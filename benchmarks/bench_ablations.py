@@ -1,0 +1,70 @@
+"""Benchmarks: ablations of the L-NUCA design decisions (DESIGN.md section 4)."""
+
+from repro.experiments import ablations
+from repro.experiments.common import select_workloads
+
+_ABLATION_INSTRUCTIONS = 3000
+
+
+def _specs():
+    return select_workloads(1)
+
+
+def test_ablation_routing_policy(benchmark):
+    """Random (paper) vs deterministic output selection in the networks."""
+    report = benchmark.pedantic(
+        ablations.routing_ablation,
+        args=(_ABLATION_INSTRUCTIONS, _specs()),
+        rounds=1,
+        iterations=1,
+    )
+    assert report["random_ipc"] > 0
+    assert report["deterministic_ipc"] > 0
+    # Random routing never increases blocked cycles relative to always
+    # taking the same output (the motivation given in Section III-B).
+    assert report["random_blocked_cycles"] <= report["deterministic_blocked_cycles"] + 50
+
+
+def test_ablation_buffer_depth(benchmark):
+    """Flow-control buffer depth (the paper uses two entries per link)."""
+    report = benchmark.pedantic(
+        ablations.buffer_depth_ablation,
+        args=(_ABLATION_INSTRUCTIONS, _specs()),
+        kwargs={"depths": (1, 2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(report) == {1, 2, 4}
+    # Deeper buffers never hurt; two entries already capture almost all of
+    # the benefit.
+    assert report[2] >= report[1] * 0.99
+    assert report[4] >= report[2] * 0.99
+
+
+def test_ablation_tile_size(benchmark):
+    """Tile size sweep (2 to 8 KB, Section III-A)."""
+    report = benchmark.pedantic(
+        ablations.tile_size_ablation,
+        args=(_ABLATION_INSTRUCTIONS, _specs()),
+        kwargs={"sizes_kb": (2, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(report) == {2, 4, 8}
+    # Bigger one-cycle tiles mean more capacity per level: 8 KB tiles are at
+    # least as good as 2 KB tiles.
+    assert report[8] >= report[2] * 0.99
+
+
+def test_ablation_level_count(benchmark):
+    """Level-count sweep behind the "4 levels and beyond do not pay off" claim."""
+    report = benchmark.pedantic(
+        ablations.level_count_ablation,
+        args=(_ABLATION_INSTRUCTIONS, _specs()),
+        kwargs={"level_range": (2, 3, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(report) == {2, 3, 4}
+    # Performance saturates: LN4 adds little over LN3.
+    assert report[4] <= report[3] * 1.1

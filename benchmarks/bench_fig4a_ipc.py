@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Fig. 4(a) — IPC of L-NUCA vs the conventional hierarchy.
+
+This is the heavyweight benchmark: it simulates every workload of the
+benchmark-sized suite on the L2-256KB baseline and on LN2/LN3/LN4.
+"""
+
+from repro.experiments import fig4_conventional
+from repro.experiments.common import format_ipc_rows
+
+# Keep in sync with benchmarks/conftest.py.
+BENCH_INSTRUCTIONS = 5000
+BENCH_PER_CATEGORY = 2
+
+
+def test_fig4a_ipc(benchmark):
+    """Time the full Fig. 4(a) sweep and check the paper's qualitative shape."""
+    report = benchmark.pedantic(
+        fig4_conventional.run,
+        kwargs={
+            "num_instructions": BENCH_INSTRUCTIONS,
+            "per_category": BENCH_PER_CATEGORY,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    ipc = report["ipc"]
+    print()
+    print("Fig. 4(a) (benchmark-sized run):")
+    for line in format_ipc_rows(ipc, "L2-256KB"):
+        print("  " + line)
+    baseline = ipc["L2-256KB"]
+    # Every L-NUCA configuration is at least on par with the baseline and at
+    # least one clearly beats it (the paper reports gains for all of them).
+    for name in ("LN2-72KB", "LN3-144KB", "LN4-248KB"):
+        assert ipc[name]["int"] >= baseline["int"] * 0.97
+        assert ipc[name]["fp"] >= baseline["fp"] * 0.97
+    assert max(ipc[name]["int"] for name in ("LN3-144KB", "LN4-248KB")) > baseline["int"]

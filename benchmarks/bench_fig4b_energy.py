@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 4(b) — total energy normalised to L2-256KB."""
+
+from repro.experiments.common import (
+    conventional_builders,
+    format_energy_rows,
+    normalised_energy,
+    total_energy_by_system,
+)
+
+
+def test_fig4b_energy(benchmark, fig4_results):
+    """Time the energy accounting over the Fig. 4 sweep and check its shape."""
+
+    def evaluate():
+        totals = total_energy_by_system(fig4_results, conventional_builders())
+        return normalised_energy(totals, "L2-256KB")
+
+    energy = benchmark(evaluate)
+    print()
+    print("Fig. 4(b) (benchmark-sized run):")
+    for line in format_energy_rows(energy):
+        print("  " + line)
+    assert sum(energy["L2-256KB"].values()) == 1.0 or abs(sum(energy["L2-256KB"].values()) - 1.0) < 1e-9
+    for name in ("LN2-72KB", "LN3-144KB", "LN4-248KB"):
+        total = sum(energy[name].values())
+        assert total < 1.0  # every L-NUCA configuration saves energy
+    # Static L3 energy dominates every bar, as in the paper.
+    for groups in energy.values():
+        assert groups["sta_L3_DNUCA"] == max(groups.values())

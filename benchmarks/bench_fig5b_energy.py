@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 5(b) — total energy normalised to DN-4x8."""
+
+from repro.experiments.common import (
+    dnuca_builders,
+    format_energy_rows,
+    normalised_energy,
+    total_energy_by_system,
+)
+
+
+def test_fig5b_energy(benchmark, fig5_results):
+    """Time the energy accounting over the Fig. 5 sweep and check its shape."""
+
+    def evaluate():
+        totals = total_energy_by_system(fig5_results, dnuca_builders())
+        return normalised_energy(totals, "DN-4x8")
+
+    energy = benchmark(evaluate)
+    print()
+    print("Fig. 5(b) (benchmark-sized run):")
+    for line in format_energy_rows(energy):
+        print("  " + line)
+    assert abs(sum(energy["DN-4x8"].values()) - 1.0) < 1e-9
+    for name in ("LN2+DN-4x8", "LN3+DN-4x8", "LN4+DN-4x8"):
+        total = sum(energy[name].values())
+        # The combined hierarchies do not increase total energy noticeably;
+        # the shallow configurations save the most (as in the paper).
+        assert total < 1.05
+    assert sum(energy["LN2+DN-4x8"].values()) <= sum(energy["LN4+DN-4x8"].values()) + 1e-9

@@ -1,0 +1,104 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+These track the cost of the inner loops every experiment relies on (tile
+searches, cache array operations, mesh transfers, trace generation), so
+performance regressions in the simulator are caught independently of the
+figure-level benchmarks.
+"""
+
+import random
+
+from repro.cache.array import SetAssociativeArray
+from repro.cache.request import AccessType
+from repro.core.config import LNUCAConfig
+from repro.core.lnuca import LightNUCA
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.cpu.workloads import integer_suite, generate_trace
+from repro.noc.mesh import Mesh2D
+
+
+def _small_lnuca():
+    backside = ConventionalHierarchy(
+        [TimedCache(CacheConfig("L3", 64 * 1024, 8, 128, completion_cycles=10))],
+        MainMemory(MainMemoryConfig(first_chunk_cycles=60)),
+        name="bs",
+    )
+    return LightNUCA(LNUCAConfig(levels=3), backside)
+
+
+def test_micro_cache_array_fill_lookup(benchmark):
+    """Throughput of set-associative array fills + lookups."""
+    array = SetAssociativeArray(32 * 1024, 4, 32)
+    addresses = [random.Random(1).randrange(1 << 20) & ~31 for _ in range(2000)]
+
+    def body():
+        hits = 0
+        for cycle, addr in enumerate(addresses):
+            if array.lookup(addr, cycle=cycle) is None:
+                array.fill(addr, cycle=cycle)
+            else:
+                hits += 1
+        return hits
+
+    benchmark(body)
+
+
+def test_micro_lnuca_miss_search_cycle(benchmark):
+    """Cost of a full search wave (miss everywhere) through a 3-level L-NUCA."""
+    lnuca = _small_lnuca()
+
+    state = {"cycle": 0, "addr": 0x100000}
+
+    def body():
+        cycle = state["cycle"]
+        request = lnuca.issue(state["addr"], AccessType.LOAD, cycle)
+        while not request.done or request.complete_cycle > cycle:
+            lnuca.tick(cycle)
+            cycle += 1
+        state["cycle"] = cycle + 1
+        state["addr"] += 32
+        return request.latency
+
+    benchmark(body)
+
+
+def test_micro_lnuca_le2_hit(benchmark):
+    """Cost of servicing an Le2 hit (search + transport + refill)."""
+    lnuca = _small_lnuca()
+    state = {"cycle": 0, "addr": 0x200000}
+
+    def body():
+        cycle = state["cycle"]
+        addr = state["addr"]
+        lnuca.tiles[(0, 1)].array.fill(addr)
+        request = lnuca.issue(addr, AccessType.LOAD, cycle)
+        while not request.done or request.complete_cycle > cycle:
+            lnuca.tick(cycle)
+            cycle += 1
+        state["cycle"] = cycle + 1
+        state["addr"] += 32
+        return request.latency
+
+    benchmark(body)
+
+
+def test_micro_mesh_transfer(benchmark):
+    """Throughput of occupancy-modelled mesh transfers (D-NUCA substrate)."""
+    mesh = Mesh2D(rows=5, cols=8)
+    state = {"cycle": 0}
+
+    def body():
+        cycle = state["cycle"]
+        for column in range(8):
+            mesh.transfer((4, 0), (column, 4), cycle, flits=5)
+        state["cycle"] = cycle + 50
+
+    benchmark(body)
+
+
+def test_micro_trace_generation(benchmark):
+    """Cost of generating a 5k-instruction synthetic SPEC-like trace."""
+    spec = integer_suite()[0]
+    benchmark(lambda: generate_trace(spec, 5000))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (conventional and L-NUCA areas)."""
+
+from repro.experiments import table2_area
+
+
+def test_table2_area(benchmark):
+    """Time the analytic regeneration of Table II and check its shape."""
+    rows = benchmark(table2_area.run)
+    by_name = {row["configuration"]: row for row in rows}
+    baseline = by_name["L2-256KB"]["total_area_mm2"]
+    assert by_name["LN2-72KB"]["total_area_mm2"] < baseline
+    assert by_name["LN3-144KB"]["total_area_mm2"] < baseline
+    assert by_name["LN4-248KB"]["total_area_mm2"] > baseline

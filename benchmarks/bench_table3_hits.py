@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III — hits per L-NUCA level and transport ratio."""
+
+from repro.experiments import table3_hits
+
+
+def test_table3_hits(benchmark, fig4_results):
+    """Time the Table III aggregation and check its qualitative shape."""
+    table = benchmark(table3_hits.run, results=fig4_results)
+    print()
+    print("Table III (benchmark-sized run):")
+    for system, categories in table.items():
+        for category, row in categories.items():
+            print(f"  {system:10s} {category:3s} {row}")
+    for system, categories in table.items():
+        for row in categories.values():
+            # The closest level serves the largest share of the former L2
+            # hits and contention keeps transport within ~25% of minimum.
+            assert row["le2_pct"] >= row["le3_pct"] >= row["le4_pct"]
+            if row["all_levels_pct"] > 0:
+                assert 1.0 <= row["avg_min_transport_ratio"] < 1.25
+    # Deeper configurations capture at least as much as shallow ones.
+    assert (
+        table["LN4-248KB"]["fp"]["all_levels_pct"]
+        >= table["LN2-72KB"]["fp"]["all_levels_pct"]
+    )

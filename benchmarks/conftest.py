@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+problem sizes below are chosen so the full benchmark suite completes in a
+few minutes; raise them (or call the ``repro.experiments`` modules directly)
+for a higher-fidelity regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import conventional_builders, dnuca_builders, select_workloads
+from repro.sim.runner import run_suite
+
+#: Instructions per workload used by the benchmark-sized experiment runs.
+BENCH_INSTRUCTIONS = 5000
+
+#: Workloads per category (int / fp) used by the benchmark-sized runs.
+BENCH_PER_CATEGORY = 2
+
+
+@pytest.fixture(scope="session")
+def fig4_results():
+    """One benchmark-sized run of the Fig. 4 configuration sweep, shared by
+    the benchmarks that only post-process it (energy, Table III)."""
+    specs = select_workloads(BENCH_PER_CATEGORY)
+    return run_suite(conventional_builders(), specs, BENCH_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def fig5_results():
+    """One benchmark-sized run of the Fig. 5 configuration sweep."""
+    specs = select_workloads(BENCH_PER_CATEGORY)
+    return run_suite(dnuca_builders(), specs, BENCH_INSTRUCTIONS)

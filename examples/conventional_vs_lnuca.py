@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: replace the 256 KB L2 of a conventional hierarchy by an L-NUCA.
+
+This is the paper's first evaluation scenario (Section V-A): the L2-256KB
+baseline against LN2-72KB, LN3-144KB and LN4-248KB, reporting area
+(Table II), per-level hit distribution (Table III), IPC (Fig. 4(a)) and the
+energy breakdown (Fig. 4(b)) over a reduced workload set.
+
+Run with::
+
+    python examples/conventional_vs_lnuca.py [instructions-per-workload]
+"""
+
+import sys
+
+from repro.experiments import fig4_conventional, table2_area, table3_hits
+from repro.experiments.common import format_energy_rows, format_ipc_rows
+
+
+def main() -> None:
+    num_instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+
+    print("=== Table II: area ===")
+    baseline_area = None
+    for row in table2_area.run():
+        if baseline_area is None:
+            baseline_area = row["total_area_mm2"]
+        delta = 100.0 * (row["total_area_mm2"] / baseline_area - 1.0)
+        print(
+            f"  {row['configuration']:10s} cache {row['cache_area_mm2']:6.3f} mm^2, "
+            f"network {row['network_area_mm2']:6.3f} mm^2 ({delta:+.1f}% vs baseline)"
+        )
+
+    print(f"\nRunning the configuration sweep ({num_instructions} instructions/workload)...")
+    report = fig4_conventional.run(num_instructions=num_instructions, per_category=2)
+
+    print("\n=== Fig. 4(a): IPC ===")
+    for line in format_ipc_rows(report["ipc"], "L2-256KB"):
+        print("  " + line)
+
+    print("\n=== Fig. 4(b): energy normalised to L2-256KB ===")
+    for line in format_energy_rows(report["energy"]):
+        print("  " + line)
+
+    print("\n=== Table III: where did the former L2 hits go? ===")
+    table = table3_hits.run(results=report["results"])
+    for system, categories in table.items():
+        for category, row in categories.items():
+            print(
+                f"  {system:10s} {category:3s}: Le2 {row['le2_pct']:5.1f}%  "
+                f"Le3 {row['le3_pct']:5.1f}%  Le4 {row['le4_pct']:5.1f}%  "
+                f"(all {row['all_levels_pct']:5.1f}%, transport avg/min "
+                f"{row['avg_min_transport_ratio']:.3f})"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scenario: explore the L-NUCA design space.
+
+Reproduces the design decisions the paper discusses in Section III with the
+ablation harness: routing policy, flow-control buffer depth, tile size and
+level count.  Also prints the geometry of each design point (tiles per
+level, links per network, nominal latencies), which is useful when adapting
+the fabric to other floorplans.
+
+Run with::
+
+    python examples/design_space.py [instructions-per-workload]
+"""
+
+import sys
+
+from repro.core.geometry import LNUCAGeometry
+from repro.energy.cacti import SRAMModel
+from repro.experiments import ablations
+
+
+def print_geometry(levels: int) -> None:
+    geometry = LNUCAGeometry(levels)
+    links = geometry.link_counts()
+    latencies = sorted(geometry.nominal_latency(t) for t in geometry.tiles)
+    print(
+        f"  LN{levels}: {geometry.num_tiles():2d} tiles, links "
+        f"(search {links['search']}, transport {links['transport']}, "
+        f"replacement {links['replacement']}), "
+        f"tile latencies {latencies[0]}..{latencies[-1]} cycles"
+    )
+
+
+def main() -> None:
+    num_instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+
+    print("=== Fabric geometry ===")
+    for levels in (2, 3, 4):
+        print_geometry(levels)
+
+    sram = SRAMModel()
+    print("\n=== Largest one-cycle tile (Cacti-style sweep) ===")
+    for assoc in (1, 2, 4):
+        largest = sram.largest_one_cycle_tile(associativity=assoc)
+        print(f"  {assoc}-way tiles: largest one-cycle size = {largest} KB")
+
+    print(f"\n=== Ablations ({num_instructions} instructions/workload) ===")
+    report = ablations.run(num_instructions)
+    routing = report["routing"]
+    print(
+        "  routing     : random IPC "
+        f"{routing['random_ipc']:.3f} vs deterministic {routing['deterministic_ipc']:.3f} "
+        f"(blocked cycles {int(routing['random_blocked_cycles'])} vs "
+        f"{int(routing['deterministic_blocked_cycles'])})"
+    )
+    print("  buffer depth:", ", ".join(f"{k} entries -> {v:.3f}" for k, v in report["buffer_depth"].items()))
+    print("  tile size   :", ", ".join(f"{k} KB -> {v:.3f}" for k, v in report["tile_size"].items()))
+    print("  level count :", ", ".join(f"LN{k} -> {v:.3f}" for k, v in report["levels"].items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Scenario: put an L-NUCA between the L1 and an 8 MB D-NUCA.
+
+This is the paper's second evaluation scenario (Section V-B): the DN-4x8
+D-NUCA baseline against LN2/LN3/LN4 + DN-4x8, reporting IPC (Fig. 5(a)) and
+the energy breakdown (Fig. 5(b)).  It also prints a few D-NUCA internals
+(hits per row, promotions) to show the migration machinery at work.
+
+Run with::
+
+    python examples/lnuca_plus_dnuca.py [instructions-per-workload]
+"""
+
+import sys
+
+from repro.experiments import fig5_dnuca
+from repro.experiments.common import format_energy_rows, format_ipc_rows
+from repro.sim.runner import results_for_system
+
+
+def main() -> None:
+    num_instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+
+    print(f"Running the D-NUCA configuration sweep ({num_instructions} instructions/workload)...")
+    report = fig5_dnuca.run(num_instructions=num_instructions, per_category=2)
+
+    print("\n=== Fig. 5(a): IPC ===")
+    for line in format_ipc_rows(report["ipc"], "DN-4x8"):
+        print("  " + line)
+
+    print("\n=== Fig. 5(b): energy normalised to DN-4x8 ===")
+    for line in format_energy_rows(report["energy"]):
+        print("  " + line)
+
+    print("\n=== D-NUCA internals (baseline runs) ===")
+    for result in results_for_system(report["results"], "DN-4x8"):
+        lookups = result.activity_value("DNUCA.bank_lookups")
+        promotions = result.activity_value("DNUCA.promotions")
+        row0 = result.activity_value("DNUCA.hits_row0")
+        hits = result.activity_value("DNUCA.hits")
+        share = 100.0 * row0 / hits if hits else 0.0
+        print(
+            f"  {result.workload:18s} bank lookups {int(lookups):6d}, hits {int(hits):5d} "
+            f"({share:4.1f}% in the closest row), promotions {int(promotions):5d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the baseline and on an L-NUCA.
+
+Builds the paper's two main hierarchies (the conventional L1/L2-256KB/L3
+baseline and the LN3-144KB L-NUCA in front of the same L3), runs the same
+synthetic SPEC-like workload on both, and prints where the loads were
+serviced and what that did to IPC.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import build_conventional_hierarchy, build_lnuca_l3_hierarchy, run_workload
+from repro.cpu.workloads import workload_by_name
+
+NUM_INSTRUCTIONS = 10_000
+WORKLOAD = "bzip2-like"
+
+
+def describe(result) -> None:
+    """Print a small service-level breakdown for one run."""
+    print(f"  {result.system:12s} IPC = {result.ipc:5.3f}  cycles = {int(result.cycles)}")
+    l1_hits = result.activity_value("L1.read_hits") + result.activity_value("L1-RT.read_hits")
+    print(f"    L1 / r-tile read hits : {int(l1_hits)}")
+    for key, label in [
+        ("L2.read_hits", "L2 read hits"),
+        ("read_hits_Le2", "Le2 read hits"),
+        ("read_hits_Le3", "Le3 read hits"),
+        ("read_hits_Le4", "Le4 read hits"),
+        ("L3.read_hits", "L3 read hits"),
+        ("MEM.reads", "memory reads"),
+    ]:
+        value = result.activity_value(key)
+        if value:
+            print(f"    {label:22s}: {int(value)}")
+
+
+def main() -> None:
+    spec = workload_by_name(WORKLOAD)
+    print(f"Workload: {spec.name} ({spec.category}), {NUM_INSTRUCTIONS} instructions\n")
+
+    print("Conventional three-level hierarchy (Fig. 1(a)):")
+    baseline = run_workload(build_conventional_hierarchy, spec, NUM_INSTRUCTIONS)
+    describe(baseline)
+
+    print("\nLN3-144KB L-NUCA in front of the 8 MB L3 (Fig. 1(b)):")
+    lnuca = run_workload(lambda: build_lnuca_l3_hierarchy(3), spec, NUM_INSTRUCTIONS)
+    describe(lnuca)
+
+    gain = 100.0 * (lnuca.ipc / baseline.ipc - 1.0)
+    print(f"\nIPC gain of the L-NUCA over the baseline: {gain:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduction of "Light NUCA: a proposal for bridging the inter-cache
+latency gap" (Suárez et al., DATE 2009).
+
+The package is organised as a cycle-level cache-hierarchy simulator:
+
+* :mod:`repro.core` — the L-NUCA itself (tiles, the Search / Transport /
+  Replacement networks, and the cycle-level controller);
+* :mod:`repro.cache` — the conventional cache substrate (set-associative
+  arrays, MSHRs, write buffers, timed banks, main memory, multi-level
+  hierarchies);
+* :mod:`repro.dnuca` — the 8 MB D-NUCA baseline;
+* :mod:`repro.noc` — network-on-chip building blocks;
+* :mod:`repro.cpu` — the out-of-order core model and synthetic SPEC-like
+  workloads;
+* :mod:`repro.energy` — Cacti/Orion-style area and energy models plus the
+  energy accounting used by the figures;
+* :mod:`repro.sim` — configuration presets (Table I), the run harness and
+  statistics helpers;
+* :mod:`repro.experiments` — one module per table / figure of the paper.
+
+Quick start::
+
+    from repro import build_lnuca_l3_hierarchy, run_workload
+    from repro.cpu.workloads import workload_by_name
+
+    result = run_workload(
+        lambda: build_lnuca_l3_hierarchy(levels=3),
+        workload_by_name("mcf-like"),
+        num_instructions=5000,
+    )
+    print(result.ipc)
+"""
+
+from repro.cache import ConventionalHierarchy
+from repro.core import LightNUCA, LNUCAConfig, LNUCAGeometry
+from repro.dnuca import DNUCACache, DNUCAConfig, DNUCASystem
+from repro.sim import (
+    CYCLE_TIME_NS,
+    build_accountant,
+    build_conventional_hierarchy,
+    build_dnuca_hierarchy,
+    build_lnuca_dnuca_hierarchy,
+    build_lnuca_l3_hierarchy,
+    run_suite,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CYCLE_TIME_NS",
+    "ConventionalHierarchy",
+    "DNUCACache",
+    "DNUCAConfig",
+    "DNUCASystem",
+    "LNUCAConfig",
+    "LNUCAGeometry",
+    "LightNUCA",
+    "__version__",
+    "build_accountant",
+    "build_conventional_hierarchy",
+    "build_dnuca_hierarchy",
+    "build_lnuca_dnuca_hierarchy",
+    "build_lnuca_l3_hierarchy",
+    "run_suite",
+    "run_workload",
+]

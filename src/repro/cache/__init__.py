@@ -1,0 +1,48 @@
+"""Conventional cache substrate.
+
+This package implements everything a conventional multi-level cache
+hierarchy needs: set-associative arrays with pluggable replacement policies,
+MSHR files with secondary-miss merging, write buffers, timed cache banks
+with initiation/completion latencies and port arbitration, a main-memory
+model, and the :class:`~repro.cache.hierarchy.ConventionalHierarchy`
+controller that stitches L1/L2/L3/memory together.
+
+The L-NUCA tiles (:mod:`repro.core`) reuse the same set-associative array
+and replacement policies, so cache indexing behaviour is identical across
+the hierarchies the paper compares.
+"""
+
+from repro.cache.array import SetAssociativeArray
+from repro.cache.block import CacheBlock
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.request import AccessType, MemoryRequest
+from repro.cache.writebuffer import WriteBuffer
+
+__all__ = [
+    "AccessType",
+    "CacheBlock",
+    "CacheConfig",
+    "ConventionalHierarchy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MainMemory",
+    "MainMemoryConfig",
+    "MemoryRequest",
+    "MSHRFile",
+    "PLRUPolicy",
+    "RandomPolicy",
+    "SetAssociativeArray",
+    "TimedCache",
+    "WriteBuffer",
+    "make_policy",
+]

@@ -1,0 +1,194 @@
+"""Set-associative tag/data array.
+
+This is the storage structure shared by every cache in the simulator: the
+conventional L1/L2/L3, the D-NUCA banks, and the L-NUCA tiles.  It models
+only metadata (tags, valid/dirty bits, recency) — payload bytes are never
+stored because the experiments only need timing, energy, and hit/miss
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.common.addr import block_address, is_power_of_two, set_index, tag_bits
+from repro.common.errors import ConfigurationError
+
+
+class SetAssociativeArray:
+    """A set-associative array of cache blocks.
+
+    Args:
+        size_bytes: total capacity in bytes.
+        associativity: number of ways per set.
+        block_size: block (line) size in bytes.
+        policy: replacement policy name or instance (default LRU).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        block_size: int,
+        policy: str | ReplacementPolicy = "lru",
+        policy_seed: int = 0,
+    ) -> None:
+        if not is_power_of_two(block_size):
+            raise ConfigurationError("block size must be a power of two")
+        if size_bytes % (associativity * block_size) != 0:
+            raise ConfigurationError(
+                "cache size must be a multiple of associativity * block_size"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.block_size = block_size
+        self.num_sets = size_bytes // (associativity * block_size)
+        if self.num_sets < 1:
+            raise ConfigurationError("cache must contain at least one set")
+        if isinstance(policy, ReplacementPolicy):
+            self.policy = policy
+        else:
+            self.policy = make_policy(policy, associativity, seed=policy_seed)
+        self._sets: List[List[Optional[CacheBlock]]] = [
+            [None] * associativity for _ in range(self.num_sets)
+        ]
+
+    # -- address helpers -----------------------------------------------------------
+    def set_of(self, addr: int) -> int:
+        """Return the set index that ``addr`` maps to."""
+        return set_index(addr, self.block_size, self.num_sets)
+
+    def tag_of(self, addr: int) -> int:
+        """Return the tag of ``addr``."""
+        return tag_bits(addr, self.block_size, self.num_sets)
+
+    def block_addr_of(self, addr: int) -> int:
+        """Return the block-aligned address containing ``addr``."""
+        return block_address(addr, self.block_size)
+
+    # -- lookups -------------------------------------------------------------------
+    def lookup(self, addr: int, cycle: int = 0, update_lru: bool = True) -> Optional[CacheBlock]:
+        """Return the resident block for ``addr`` or ``None`` on a miss.
+
+        Args:
+            addr: byte address (any address within the block).
+            cycle: current cycle, recorded as the block's last touch.
+            update_lru: whether the access should update replacement state
+                (probes used for statistics or search snooping pass False).
+        """
+        idx = self.set_of(addr)
+        tag = self.tag_of(addr)
+        ways = self._sets[idx]
+        for way, blk in enumerate(ways):
+            if blk is not None and blk.valid and blk.tag == tag:
+                if update_lru:
+                    blk.touch(cycle)
+                    self.policy.on_access(idx, way, cycle)
+                return blk
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """Return True if the block containing ``addr`` is resident."""
+        return self.lookup(addr, update_lru=False) is not None
+
+    # -- fills and evictions ---------------------------------------------------------
+    def fill(
+        self, addr: int, cycle: int = 0, dirty: bool = False
+    ) -> Tuple[CacheBlock, Optional[CacheBlock]]:
+        """Insert the block containing ``addr``, evicting a victim if needed.
+
+        Returns:
+            ``(inserted, victim)`` where ``victim`` is the evicted
+            :class:`CacheBlock` or ``None`` when an empty way was available
+            (or the block was already resident, which only refreshes it).
+        """
+        idx = self.set_of(addr)
+        tag = self.tag_of(addr)
+        ways = self._sets[idx]
+
+        # Re-fill of an already resident block just refreshes it.
+        for way, blk in enumerate(ways):
+            if blk is not None and blk.valid and blk.tag == tag:
+                blk.touch(cycle)
+                blk.dirty = blk.dirty or dirty
+                self.policy.on_access(idx, way, cycle)
+                return blk, None
+
+        victim: Optional[CacheBlock] = None
+        target_way: Optional[int] = None
+        for way, blk in enumerate(ways):
+            if blk is None or not blk.valid:
+                target_way = way
+                break
+        if target_way is None:
+            target_way = self.policy.victim_way(idx, ways)
+            victim = ways[target_way]
+
+        new_block = CacheBlock(
+            tag=tag,
+            block_addr=self.block_addr_of(addr),
+            dirty=dirty,
+            last_touch=cycle,
+            fill_cycle=cycle,
+        )
+        ways[target_way] = new_block
+        self.policy.on_fill(idx, target_way, cycle)
+        return new_block, victim
+
+    def invalidate(self, addr: int) -> Optional[CacheBlock]:
+        """Remove the block containing ``addr`` and return it (or ``None``)."""
+        idx = self.set_of(addr)
+        tag = self.tag_of(addr)
+        ways = self._sets[idx]
+        for way, blk in enumerate(ways):
+            if blk is not None and blk.valid and blk.tag == tag:
+                ways[way] = None
+                self.policy.on_invalidate(idx, way)
+                return blk
+        return None
+
+    def set_is_full(self, addr: int) -> bool:
+        """Return True when the set that ``addr`` maps to has no free way."""
+        ways = self._sets[self.set_of(addr)]
+        return all(blk is not None and blk.valid for blk in ways)
+
+    def victim_for(self, addr: int) -> Optional[CacheBlock]:
+        """Return the block that would be evicted to make room for ``addr``.
+
+        Returns ``None`` when the set has a free way or already holds the
+        block.
+        """
+        if self.contains(addr) or not self.set_is_full(addr):
+            return None
+        idx = self.set_of(addr)
+        ways = self._sets[idx]
+        return ways[self.policy.victim_way(idx, ways)]
+
+    # -- introspection -----------------------------------------------------------
+    def occupancy(self) -> int:
+        """Return the number of valid blocks currently resident."""
+        return sum(
+            1 for ways in self._sets for blk in ways if blk is not None and blk.valid
+        )
+
+    def resident_blocks(self) -> Iterator[CacheBlock]:
+        """Yield every valid resident block (order unspecified)."""
+        for ways in self._sets:
+            for blk in ways:
+                if blk is not None and blk.valid:
+                    yield blk
+
+    def ways_of_set(self, idx: int) -> List[Optional[CacheBlock]]:
+        """Return the ways of set ``idx`` (shared references, for tests)."""
+        return list(self._sets[idx])
+
+    def __len__(self) -> int:
+        return self.occupancy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeArray({self.size_bytes}B, {self.associativity}-way, "
+            f"{self.block_size}B blocks, {self.occupancy()}/{self.num_sets * self.associativity} valid)"
+        )

@@ -1,0 +1,180 @@
+"""A timed cache bank.
+
+:class:`TimedCache` couples a :class:`~repro.cache.array.SetAssociativeArray`
+with the timing resources a real bank has: a fixed number of ports, an
+initiation interval (how often a new access can start), a completion latency
+(how long until data is available), an MSHR file, and a write buffer towards
+the next level.  The conventional hierarchy, the L3 behind an L-NUCA, and
+the D-NUCA banks are all built out of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.array import SetAssociativeArray
+from repro.cache.block import CacheBlock
+from repro.cache.mshr import MSHRFile
+from repro.cache.writebuffer import WriteBuffer
+from repro.common.errors import ConfigurationError
+from repro.sim.stats import Stats
+
+
+@dataclass
+class CacheConfig:
+    """Static parameters of one cache level (mirrors Table I of the paper).
+
+    Attributes:
+        name: human-readable level name (``"L1"``, ``"L2"``, ``"L3"`` ...).
+        size_bytes: total capacity.
+        associativity: ways per set.
+        block_size: line size in bytes.
+        completion_cycles: access latency until data is available.
+        initiation_cycles: minimum interval between two accesses to a port.
+        ports: number of concurrently usable ports.
+        write_policy: ``"write_through"`` or ``"copy_back"``.
+        access_mode: ``"parallel"`` (tag and data in parallel) or
+            ``"serial"`` (tag first); serial access determines misses before
+            the full completion latency has elapsed.
+        mshr_entries / mshr_secondary: MSHR file geometry.
+        write_buffer_entries: write buffer towards the next level.
+        read_energy_pj / write_energy_pj: dynamic energy per access.
+        leakage_mw: static power of the structure.
+        replacement: replacement policy name.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_size: int
+    completion_cycles: int
+    initiation_cycles: int = 1
+    ports: int = 1
+    write_policy: str = "copy_back"
+    access_mode: str = "parallel"
+    mshr_entries: int = 16
+    mshr_secondary: int = 4
+    write_buffer_entries: int = 32
+    read_energy_pj: float = 0.0
+    write_energy_pj: float = 0.0
+    leakage_mw: float = 0.0
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.write_policy not in ("write_through", "copy_back"):
+            raise ConfigurationError(f"unknown write policy {self.write_policy!r}")
+        if self.access_mode not in ("parallel", "serial"):
+            raise ConfigurationError(f"unknown access mode {self.access_mode!r}")
+        if self.completion_cycles < 1 or self.initiation_cycles < 1:
+            raise ConfigurationError("latencies must be >= 1 cycle")
+        if self.ports < 1:
+            raise ConfigurationError("a cache needs at least one port")
+        if self.write_energy_pj == 0.0:
+            self.write_energy_pj = self.read_energy_pj
+
+    @property
+    def tag_latency_cycles(self) -> int:
+        """Cycles until the hit/miss outcome is known.
+
+        For a serial-access cache the tag check finishes before the data
+        array is read, so a miss is determined one cycle before completion
+        (but never in fewer than one cycle).  Parallel-access caches learn
+        the outcome together with the data.
+        """
+        if self.access_mode == "serial":
+            return max(1, self.completion_cycles - 1)
+        return self.completion_cycles
+
+
+class TimedCache:
+    """One cache level with port, MSHR and write-buffer timing."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.name = config.name
+        self.array = SetAssociativeArray(
+            config.size_bytes,
+            config.associativity,
+            config.block_size,
+            policy=config.replacement,
+        )
+        self.mshr = MSHRFile(
+            config.mshr_entries, config.mshr_secondary, name=f"{config.name}.mshr"
+        )
+        self.write_buffer = WriteBuffer(
+            config.write_buffer_entries, name=f"{config.name}.wb"
+        )
+        self._port_free_cycle: List[int] = [0] * config.ports
+        self.stats = Stats(config.name)
+
+    # -- timing ---------------------------------------------------------------
+    def reserve_port(self, cycle: int) -> int:
+        """Reserve the earliest available port at or after ``cycle``.
+
+        Returns the cycle the access actually starts.  The chosen port is
+        busy for the initiation interval.
+        """
+        best_port = min(range(len(self._port_free_cycle)), key=self._port_free_cycle.__getitem__)
+        start = max(cycle, self._port_free_cycle[best_port])
+        self._port_free_cycle[best_port] = start + self.config.initiation_cycles
+        if start > cycle:
+            self.stats.incr("port_stall_cycles", start - cycle)
+        return start
+
+    def port_available(self, cycle: int) -> bool:
+        """Return True if some port can start an access at ``cycle``."""
+        return any(free <= cycle for free in self._port_free_cycle)
+
+    def next_port_free_cycle(self) -> int:
+        """Return the earliest cycle at which any port frees up."""
+        return min(self._port_free_cycle)
+
+    # -- functional + accounting ------------------------------------------------
+    def probe(self, addr: int) -> bool:
+        """Hit/miss check without changing replacement or timing state."""
+        return self.array.contains(addr)
+
+    def lookup(self, addr: int, cycle: int, is_write: bool = False) -> Optional[CacheBlock]:
+        """Perform a (timeless) lookup, updating replacement state and stats."""
+        blk = self.array.lookup(addr, cycle=cycle, update_lru=True)
+        kind = "write" if is_write else "read"
+        self.stats.incr(f"{kind}_accesses")
+        if blk is not None:
+            self.stats.incr(f"{kind}_hits")
+            if is_write:
+                blk.dirty = blk.dirty or self.config.write_policy == "copy_back"
+        else:
+            self.stats.incr(f"{kind}_misses")
+        return blk
+
+    def fill(self, addr: int, cycle: int, dirty: bool = False) -> Optional[CacheBlock]:
+        """Fill a block and return the evicted victim (if any)."""
+        self.stats.incr("fills")
+        _, victim = self.array.fill(addr, cycle=cycle, dirty=dirty)
+        if victim is not None:
+            self.stats.incr("evictions")
+            if victim.dirty:
+                self.stats.incr("dirty_evictions")
+        return victim
+
+    # -- convenience ------------------------------------------------------------
+    @property
+    def completion_cycles(self) -> int:
+        return self.config.completion_cycles
+
+    @property
+    def tag_latency_cycles(self) -> int:
+        return self.config.tag_latency_cycles
+
+    def block_addr(self, addr: int) -> int:
+        return self.array.block_addr_of(addr)
+
+    def reset(self) -> None:
+        """Clear all timing state (contents are preserved)."""
+        self._port_free_cycle = [0] * self.config.ports
+        self.mshr.reset()
+        self.write_buffer.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimedCache({self.name}, {self.config.size_bytes}B)"

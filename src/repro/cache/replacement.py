@@ -1,0 +1,192 @@
+"""Replacement policies for set-associative arrays.
+
+The paper's caches all use LRU (Table I: "All caches use LRU replacement"),
+but the substrate provides the usual alternatives so the ablation
+benchmarks can quantify how much the choice matters for the small 2-way
+L-NUCA tiles.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.common.errors import ConfigurationError
+
+
+class ReplacementPolicy(ABC):
+    """Strategy object deciding which way of a set to evict.
+
+    A policy instance is shared by all sets of one array; per-set state is
+    keyed by the set index.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        self.associativity = associativity
+
+    @abstractmethod
+    def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
+        """Return the way to evict from ``set_index``.
+
+        Invalid ways are always preferred by the caller, so the policy is
+        only consulted when the set is full.
+        """
+
+    def on_access(self, set_index: int, way: int, cycle: int) -> None:
+        """Notify the policy that ``way`` of ``set_index`` was accessed."""
+
+    def on_fill(self, set_index: int, way: int, cycle: int) -> None:
+        """Notify the policy that ``way`` of ``set_index`` was filled."""
+        self.on_access(set_index, way, cycle)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Notify the policy that ``way`` of ``set_index`` was invalidated."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Maintains a recency stack per set: the first entry is the most recently
+    used way and the last entry is the LRU victim candidate.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._stacks: Dict[int, List[int]] = {}
+
+    def _stack(self, set_index: int) -> List[int]:
+        if set_index not in self._stacks:
+            self._stacks[set_index] = list(range(self.associativity))
+        return self._stacks[set_index]
+
+    def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
+        return self._stack(set_index)[-1]
+
+    def on_access(self, set_index: int, way: int, cycle: int) -> None:
+        stack = self._stack(set_index)
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        stack.remove(way)
+        stack.append(way)
+
+    def recency_order(self, set_index: int) -> List[int]:
+        """Return ways ordered from most to least recently used (for tests)."""
+        return list(self._stack(set_index))
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out replacement: evicts the oldest filled way."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._queues: Dict[int, List[int]] = {}
+
+    def _queue(self, set_index: int) -> List[int]:
+        if set_index not in self._queues:
+            self._queues[set_index] = list(range(self.associativity))
+        return self._queues[set_index]
+
+    def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
+        return self._queue(set_index)[0]
+
+    def on_fill(self, set_index: int, way: int, cycle: int) -> None:
+        queue = self._queue(set_index)
+        queue.remove(way)
+        queue.append(way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random replacement with a deterministic, seedable stream."""
+
+    def __init__(self, associativity: int, seed: int = 0) -> None:
+        super().__init__(associativity)
+        self._rng = random.Random(seed)
+
+    def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
+        return self._rng.randrange(self.associativity)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU, the common hardware approximation of LRU.
+
+    Requires a power-of-two associativity; the tree has ``associativity - 1``
+    internal bits per set.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ConfigurationError("PLRU requires a power-of-two associativity")
+        self._trees: Dict[int, List[int]] = {}
+
+    def _tree(self, set_index: int) -> List[int]:
+        if set_index not in self._trees:
+            self._trees[set_index] = [0] * max(self.associativity - 1, 1)
+        return self._trees[set_index]
+
+    def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
+        if self.associativity == 1:
+            return 0
+        tree = self._tree(set_index)
+        node = 0
+        way = 0
+        span = self.associativity
+        while span > 1:
+            bit = tree[node]
+            span //= 2
+            if bit == 0:
+                node = 2 * node + 1
+            else:
+                way += span
+                node = 2 * node + 2
+        return way
+
+    def on_access(self, set_index: int, way: int, cycle: int) -> None:
+        if self.associativity == 1:
+            return
+        tree = self._tree(set_index)
+        node = 0
+        span = self.associativity
+        low = 0
+        while span > 1:
+            span //= 2
+            if way < low + span:
+                tree[node] = 1  # point away from the accessed half
+                node = 2 * node + 1
+            else:
+                tree[node] = 0
+                node = 2 * node + 2
+                low += span
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+}
+
+
+def make_policy(name: str, associativity: int, seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy by name.
+
+    Args:
+        name: one of ``"lru"``, ``"fifo"``, ``"random"``, ``"plru"``.
+        associativity: number of ways per set.
+        seed: seed for the random policy (ignored by the others).
+    """
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        )
+    if key == "random":
+        return RandomPolicy(associativity, seed=seed)
+    return _POLICIES[key](associativity)

@@ -1,0 +1,80 @@
+"""Command-line interface for the reproduction.
+
+Examples::
+
+    python -m repro.cli table2
+    python -m repro.cli fig4 --instructions 15000 --per-category 4
+    python -m repro.cli fig5
+    python -m repro.cli table3
+    python -m repro.cli ablations --instructions 4000
+    python -m repro.cli report --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.experiments import ablations, fig4_conventional, fig5_dnuca, table2_area, table3_hits
+from repro.experiments import report as report_module
+from repro.experiments.common import DEFAULT_INSTRUCTIONS, DEFAULT_PER_CATEGORY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the Light NUCA paper (DATE 2009).",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=DEFAULT_INSTRUCTIONS,
+        help="instructions simulated per workload",
+    )
+    parser.add_argument(
+        "--per-category",
+        type=int,
+        default=DEFAULT_PER_CATEGORY,
+        help="workloads per category (integer / floating point)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table2", help="Table II: conventional and L-NUCA areas")
+    sub.add_parser("table3", help="Table III: hits per level and transport latency ratio")
+    sub.add_parser("fig4", help="Figure 4: IPC and energy vs the conventional hierarchy")
+    sub.add_parser("fig5", help="Figure 5: IPC and energy vs the D-NUCA hierarchy")
+    sub.add_parser("ablations", help="Design-decision ablations")
+    report = sub.add_parser("report", help="Run everything and write markdown + CSV files")
+    report.add_argument("--output", default="results", help="output directory")
+    report.add_argument(
+        "--with-ablations", action="store_true", help="include the ablation sweeps"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table2":
+        table2_area.main()
+    elif args.command == "table3":
+        table3_hits.main(num_instructions=args.instructions, per_category=args.per_category)
+    elif args.command == "fig4":
+        fig4_conventional.main(num_instructions=args.instructions, per_category=args.per_category)
+    elif args.command == "fig5":
+        fig5_dnuca.main(num_instructions=args.instructions, per_category=args.per_category)
+    elif args.command == "ablations":
+        ablations.main(num_instructions=args.instructions)
+    elif args.command == "report":
+        path = report_module.write_report(
+            args.output,
+            num_instructions=args.instructions,
+            per_category=args.per_category,
+            include_ablations=args.with_ablations,
+        )
+        print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through main()
+    raise SystemExit(main())

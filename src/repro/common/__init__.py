@@ -1,0 +1,26 @@
+"""Shared low-level utilities used across the simulator.
+
+This package contains address manipulation helpers, parameter validation,
+and small generic containers that every other subsystem builds on.
+"""
+
+from repro.common.addr import (
+    block_address,
+    block_offset,
+    is_power_of_two,
+    log2_int,
+    set_index,
+    tag_bits,
+)
+from repro.common.errors import ConfigurationError, SimulationError
+
+__all__ = [
+    "block_address",
+    "block_offset",
+    "set_index",
+    "tag_bits",
+    "is_power_of_two",
+    "log2_int",
+    "ConfigurationError",
+    "SimulationError",
+]

@@ -1,0 +1,47 @@
+"""Address arithmetic helpers.
+
+All caches in the simulator operate on byte addresses.  Blocks are aligned
+to the cache block size, and set indices are extracted from the block
+address, exactly as in a physical cache.  These helpers centralise the bit
+manipulation so that every cache model indexes identically.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ConfigurationError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def block_address(addr: int, block_size: int) -> int:
+    """Return the address of the block containing ``addr``."""
+    return addr & ~(block_size - 1)
+
+
+def block_offset(addr: int, block_size: int) -> int:
+    """Return the byte offset of ``addr`` within its block."""
+    return addr & (block_size - 1)
+
+
+def set_index(addr: int, block_size: int, num_sets: int) -> int:
+    """Return the set index for ``addr`` in a cache with ``num_sets`` sets."""
+    return (addr // block_size) % num_sets
+
+
+def tag_bits(addr: int, block_size: int, num_sets: int) -> int:
+    """Return the tag (address bits above the set index) for ``addr``."""
+    return addr // (block_size * num_sets)

@@ -1,0 +1,17 @@
+"""Exception types raised by the simulator."""
+
+
+class ConfigurationError(ValueError):
+    """Raised when a cache, network, or core configuration is invalid.
+
+    Examples include non power-of-two sizes, a block size larger than the
+    cache, or an L-NUCA with fewer than two levels.
+    """
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator reaches an inconsistent internal state.
+
+    This always indicates a bug in the model (for example a block found in
+    two tiles at once despite content exclusion), never a user error.
+    """

@@ -1,0 +1,34 @@
+"""Light NUCA (L-NUCA) — the paper's primary contribution.
+
+An L-NUCA surrounds the L1 cache (the *root tile*, r-tile) with levels of
+small one-cycle tiles connected by three dedicated unidirectional networks:
+
+* the **Search** network, a broadcast tree that propagates miss requests
+  outwards one level per cycle and collects global misses;
+* the **Transport** network, a 2-D mesh that carries hit blocks back to the
+  r-tile with dynamic random routing;
+* the **Replacement** network, a latency-ordered irregular topology over
+  which evicted blocks "domino" away from the r-tile, turning the tile
+  fabric into a distributed victim cache.
+
+:class:`~repro.core.lnuca.LightNUCA` simulates all of this cycle by cycle
+and plugs into any backside level (a conventional L3 or a D-NUCA) through
+the common :class:`~repro.sim.memsys.MemorySystem` interface.
+"""
+
+from repro.core.config import LNUCAConfig, TileConfig
+from repro.core.geometry import LNUCAGeometry
+from repro.core.lnuca import LightNUCA
+from repro.core.networks import ReplacementNetwork, SearchNetwork, TransportNetwork
+from repro.core.tile import Tile
+
+__all__ = [
+    "LNUCAConfig",
+    "LNUCAGeometry",
+    "LightNUCA",
+    "ReplacementNetwork",
+    "SearchNetwork",
+    "Tile",
+    "TileConfig",
+    "TransportNetwork",
+]

@@ -1,0 +1,142 @@
+"""L-NUCA configuration objects.
+
+The defaults reproduce the paper's evaluated design points: 8 KB 2-way
+32 B-block one-cycle tiles (the largest tile Cacti fit in the 19 FO4 cycle),
+a 32 KB 4-way r-tile, two-entry flow-control buffers per link, and 2/3/4
+levels (LN2-72KB, LN3-144KB, LN4-248KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class TileConfig:
+    """Static parameters of one L-NUCA tile.
+
+    Table I: 8 KB, 2-way, 32 B blocks, parallel access, 1-cycle completion
+    and initiation, copy-back, 1 port, 14 pJ per read hit, 2.2 mW leakage.
+    """
+
+    size_bytes: int = 8 * 1024
+    associativity: int = 2
+    block_size: int = 32
+    read_energy_pj: float = 14.0
+    write_energy_pj: float = 14.0
+    leakage_mw: float = 2.2
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < self.block_size:
+            raise ConfigurationError("tile smaller than one block")
+        if self.size_bytes % (self.associativity * self.block_size) != 0:
+            raise ConfigurationError(
+                "tile size must be a multiple of associativity * block_size"
+            )
+
+
+def default_rtile_config() -> CacheConfig:
+    """Return the r-tile (L1) configuration from Table I.
+
+    32 KB, 4-way, 32 B blocks, parallel access, 2-cycle completion, 1-cycle
+    initiation, write-through, 2 ports, 21.2 pJ per read hit, 12.8 mW
+    leakage.
+    """
+    return CacheConfig(
+        name="L1-RT",
+        size_bytes=32 * 1024,
+        associativity=4,
+        block_size=32,
+        completion_cycles=2,
+        initiation_cycles=1,
+        ports=2,
+        write_policy="write_through",
+        access_mode="parallel",
+        mshr_entries=16,
+        mshr_secondary=4,
+        write_buffer_entries=32,
+        read_energy_pj=21.2,
+        leakage_mw=12.8,
+    )
+
+
+@dataclass
+class LNUCAConfig:
+    """Full configuration of an L-NUCA cache.
+
+    Attributes:
+        levels: total number of levels including the r-tile level (Le1), so
+            ``levels=3`` is the LN3-144KB design point.
+        tile: per-tile parameters.
+        rtile: r-tile (L1) parameters.
+        buffer_depth: entries per flow-control (D and U) buffer.
+        rtile_fill_ports: blocks the r-tile can accept per cycle from the
+            Transport network / backside fills (bounded by its 2 ports).
+        mshr_entries / mshr_secondary: the L-NUCA MSHR file (Table I: 16/4).
+        routing_policy: ``"random"`` (the paper's dynamic distributed
+            routing) or ``"deterministic"`` (always the first valid output;
+            used by the routing ablation).
+        exclusive: manage tile contents in exclusion (the paper's choice);
+            the ablation benchmark can disable it.
+        seed: seed for the routing random number generator.
+    """
+
+    levels: int = 3
+    tile: TileConfig = field(default_factory=TileConfig)
+    rtile: CacheConfig = field(default_factory=default_rtile_config)
+    buffer_depth: int = 2
+    rtile_fill_ports: int = 2
+    mshr_entries: int = 16
+    mshr_secondary: int = 4
+    routing_policy: str = "random"
+    exclusive: bool = True
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigurationError("an L-NUCA needs at least 2 levels (r-tile + Le2)")
+        if self.levels > 8:
+            raise ConfigurationError("more than 8 levels is outside the validated range")
+        if self.buffer_depth < 1:
+            raise ConfigurationError("flow-control buffers need at least one entry")
+        if self.rtile_fill_ports < 1:
+            raise ConfigurationError("the r-tile needs at least one fill port")
+        if self.routing_policy not in ("random", "deterministic"):
+            raise ConfigurationError(f"unknown routing policy {self.routing_policy!r}")
+        if self.rtile.block_size != self.tile.block_size:
+            raise ConfigurationError(
+                "all tiles (including the r-tile) must share the same block size"
+            )
+
+    # -- derived figures -------------------------------------------------------
+    @property
+    def tiles_per_level(self) -> list:
+        """Number of tiles in each level, from Le1 (the r-tile) outwards."""
+        counts = [1]
+        for level in range(2, self.levels + 1):
+            counts.append(4 * (level - 1) + 1)
+        return counts
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of 8 KB tiles (excluding the r-tile)."""
+        return sum(self.tiles_per_level[1:])
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Total L-NUCA capacity including the r-tile."""
+        return self.rtile.size_bytes + self.num_tiles * self.tile.size_bytes
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``LN3-144KB``."""
+        return f"LN{self.levels}-{self.total_capacity_bytes // 1024}KB"
+
+
+def lnuca_config_for_levels(levels: int, **overrides) -> LNUCAConfig:
+    """Convenience constructor for the paper's LN2/LN3/LN4 design points."""
+    return LNUCAConfig(levels=levels, **overrides)

@@ -1,0 +1,279 @@
+"""L-NUCA tile geometry and network topologies.
+
+The r-tile sits at grid coordinate ``(0, 0)`` with the processor attached to
+its lower edge.  Levels grow on the remaining three sides: after level *n*
+the occupied region is the rectangle ``|x| <= n-1, 0 <= y <= n-1``, so level
+*n* (for ``n >= 2``) contributes the ``4*(n-1) + 1`` tiles of the new partial
+ring — 5 tiles for Le2, 9 for Le3, 13 for Le4, matching the LN2-72KB /
+LN3-144KB / LN4-248KB capacities of the paper.
+
+From the tile coordinates the class derives the three network topologies of
+Section III-A:
+
+* **Search** — a broadcast tree: every tile's parent is its nearest
+  lower-level neighbour, so a miss reaches level *n* after ``n - 1`` hops
+  and adding a level adds exactly one hop to the maximum distance.
+* **Transport** — a 2-D mesh restricted to unidirectional links that point
+  towards the r-tile (strictly decreasing Manhattan distance), giving every
+  tile one or two return paths (path diversity).
+* **Replacement** — a latency-driven irregular topology: each tile's output
+  links go to the neighbouring tiles with the smallest latency larger than
+  its own, so evicted blocks stay ordered by temporal locality.  Only the
+  two upper-corner tiles have no outgoing replacement link; they are the
+  only tiles that evict to the next cache level, and their distance from
+  the r-tile grows by 3 hops per added level, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+Coordinate = Tuple[int, int]
+
+ROOT: Coordinate = (0, 0)
+
+_ORTHOGONAL = ((1, 0), (-1, 0), (0, 1), (0, -1))
+_DIAGONAL = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+class LNUCAGeometry:
+    """Tile placement and network adjacency for an ``levels``-level L-NUCA."""
+
+    def __init__(self, levels: int) -> None:
+        if levels < 2:
+            raise ConfigurationError("an L-NUCA needs at least two levels")
+        self.levels = levels
+        self.level_tiles: List[List[Coordinate]] = self._build_levels(levels)
+        self.tiles: List[Coordinate] = [
+            coord for level in self.level_tiles[1:] for coord in level
+        ]
+        self.level_of: Dict[Coordinate, int] = {}
+        for index, level in enumerate(self.level_tiles, start=1):
+            for coord in level:
+                self.level_of[coord] = index
+
+        self.search_parent: Dict[Coordinate, Coordinate] = {}
+        self.search_children: Dict[Coordinate, List[Coordinate]] = {
+            coord: [] for coord in [ROOT] + self.tiles
+        }
+        self._build_search_tree()
+
+        self.transport_outputs: Dict[Coordinate, List[Coordinate]] = {}
+        self.transport_inputs: Dict[Coordinate, List[Coordinate]] = {
+            coord: [] for coord in [ROOT] + self.tiles
+        }
+        self._build_transport_mesh()
+
+        self.replacement_outputs: Dict[Coordinate, List[Coordinate]] = {}
+        self.replacement_inputs: Dict[Coordinate, List[Coordinate]] = {
+            coord: [] for coord in self.tiles
+        }
+        self.corner_tiles: List[Coordinate] = []
+        self._build_replacement_network()
+
+    # ------------------------------------------------------------------ placement
+    @staticmethod
+    def _build_levels(levels: int) -> List[List[Coordinate]]:
+        rings: List[List[Coordinate]] = [[ROOT]]
+        occupied = {ROOT}
+        for level in range(2, levels + 1):
+            radius = level - 1
+            ring: List[Coordinate] = []
+            for y in range(0, radius + 1):
+                for x in range(-radius, radius + 1):
+                    coord = (x, y)
+                    if coord not in occupied:
+                        ring.append(coord)
+                        occupied.add(coord)
+            rings.append(sorted(ring, key=lambda c: (c[1], c[0])))
+        return rings
+
+    def contains(self, coord: Coordinate) -> bool:
+        """Return True if ``coord`` is the r-tile or one of the tiles."""
+        return coord in self.level_of
+
+    def manhattan_to_root(self, coord: Coordinate) -> int:
+        """Manhattan distance from ``coord`` to the r-tile."""
+        return abs(coord[0]) + abs(coord[1])
+
+    def nominal_latency(self, coord: Coordinate) -> int:
+        """Contention-free hit latency of ``coord`` assuming 1-cycle tiles.
+
+        Search hops (``level - 1``) + one tile access + transport hops back
+        to the r-tile — the quantity annotated on Fig. 2(c) of the paper
+        (the r-tile itself is 1).
+        """
+        if coord == ROOT:
+            return 1
+        return self.level_of[coord] + self.manhattan_to_root(coord)
+
+    def _neighbours(self, coord: Coordinate, include_diagonal: bool = False) -> List[Coordinate]:
+        offsets = _ORTHOGONAL + _DIAGONAL if include_diagonal else _ORTHOGONAL
+        result = []
+        for dx, dy in offsets:
+            candidate = (coord[0] + dx, coord[1] + dy)
+            if candidate in self.level_of:
+                result.append(candidate)
+        return result
+
+    # ------------------------------------------------------------------ search tree
+    def _build_search_tree(self) -> None:
+        for coord in self.tiles:
+            level = self.level_of[coord]
+            parent = self._pick_search_parent(coord, level)
+            self.search_parent[coord] = parent
+            self.search_children[parent].append(coord)
+        for children in self.search_children.values():
+            children.sort(key=lambda c: (c[1], c[0]))
+
+    def _pick_search_parent(self, coord: Coordinate, level: int) -> Coordinate:
+        # Prefer an orthogonal lower-level neighbour, fall back to diagonal
+        # (only the outer corner tiles of each level need the diagonal link).
+        for include_diagonal in (False, True):
+            candidates = [
+                n
+                for n in self._neighbours(coord, include_diagonal)
+                if self.level_of[n] == level - 1
+            ]
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda n: (self.manhattan_to_root(n), abs(n[0]), n[0], n[1]),
+                )
+        raise ConfigurationError(f"tile {coord} has no search parent")  # pragma: no cover
+
+    def search_depth(self, coord: Coordinate) -> int:
+        """Number of search hops from the r-tile to ``coord``."""
+        depth = 0
+        node = coord
+        while node != ROOT:
+            node = self.search_parent[node]
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------ transport mesh
+    def _build_transport_mesh(self) -> None:
+        for coord in self.tiles:
+            outputs = [
+                n
+                for n in self._neighbours(coord)
+                if self.manhattan_to_root(n) < self.manhattan_to_root(coord)
+            ]
+            if not outputs:
+                raise ConfigurationError(  # pragma: no cover - geometry guarantees outputs
+                    f"tile {coord} has no transport output"
+                )
+            outputs.sort(key=lambda c: (c[1], c[0]))
+            self.transport_outputs[coord] = outputs
+            for n in outputs:
+                self.transport_inputs[n].append(coord)
+        self.transport_outputs[ROOT] = []
+
+    def min_transport_hops(self, coord: Coordinate) -> int:
+        """Contention-free number of transport hops from ``coord`` to the r-tile."""
+        return self.manhattan_to_root(coord)
+
+    # ------------------------------------------------------------------ replacement network
+    def _build_replacement_network(self) -> None:
+        for coord in self.tiles:
+            own_latency = self.nominal_latency(coord)
+            candidates: List[Coordinate] = []
+            for include_diagonal in (False, True):
+                candidates = [
+                    n
+                    for n in self._neighbours(coord, include_diagonal)
+                    if n != ROOT and self.nominal_latency(n) > own_latency
+                ]
+                if candidates:
+                    break
+            if not candidates:
+                self.replacement_outputs[coord] = []
+                self.corner_tiles.append(coord)
+                continue
+            smallest = min(self.nominal_latency(n) for n in candidates)
+            outputs = sorted(
+                (n for n in candidates if self.nominal_latency(n) == smallest),
+                key=lambda c: (c[1], c[0]),
+            )
+            self.replacement_outputs[coord] = outputs
+            for n in outputs:
+                self.replacement_inputs[n].append(coord)
+        # Repair pass: the minimum-degree construction can leave a tile with
+        # no incoming link (its lower-latency neighbours all found an even
+        # closer latency step).  Such a tile would never receive evicted
+        # blocks, wasting its capacity, so it is attached to its
+        # closest-latency lower neighbour.
+        for coord in self.tiles:
+            if self.replacement_inputs[coord]:
+                continue
+            own_latency = self.nominal_latency(coord)
+            for include_diagonal in (False, True):
+                donors = [
+                    n
+                    for n in self._neighbours(coord, include_diagonal)
+                    if n != ROOT and self.nominal_latency(n) < own_latency
+                ]
+                if donors:
+                    donor = max(donors, key=self.nominal_latency)
+                    self.replacement_outputs[donor].append(coord)
+                    self.replacement_outputs[donor].sort(key=lambda c: (c[1], c[0]))
+                    self.replacement_inputs[coord].append(donor)
+                    break
+
+        # The r-tile evicts into the closest (lowest-latency) Le2 tiles.
+        le2 = self.level_tiles[1]
+        lowest = min(self.nominal_latency(c) for c in le2)
+        self.replacement_outputs[ROOT] = sorted(
+            (c for c in le2 if self.nominal_latency(c) == lowest),
+            key=lambda c: (c[1], c[0]),
+        )
+        for n in self.replacement_outputs[ROOT]:
+            self.replacement_inputs[n].append(ROOT)
+        self.corner_tiles.sort(key=lambda c: (c[1], c[0]))
+
+    def replacement_depth(self, coord: Coordinate) -> int:
+        """Hops from the r-tile to ``coord`` through the replacement network."""
+        # Breadth-first search over replacement links starting at the root.
+        frontier = [ROOT]
+        depth = 0
+        seen = {ROOT}
+        while frontier:
+            if coord in frontier:
+                return depth
+            next_frontier: List[Coordinate] = []
+            for node in frontier:
+                for child in self.replacement_outputs.get(node, []):
+                    if child not in seen:
+                        seen.add(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+            depth += 1
+        raise ConfigurationError(f"tile {coord} unreachable through the replacement network")
+
+    # ------------------------------------------------------------------ summaries
+    def num_tiles(self) -> int:
+        """Number of tiles excluding the r-tile."""
+        return len(self.tiles)
+
+    def link_counts(self) -> Dict[str, int]:
+        """Number of unidirectional links per network (for area/energy models)."""
+        search = len(self.search_parent)
+        transport = sum(len(v) for k, v in self.transport_outputs.items())
+        replacement = sum(len(v) for v in self.replacement_outputs.values())
+        return {"search": search, "transport": transport, "replacement": replacement}
+
+    def degree(self, coord: Coordinate) -> int:
+        """Total number of input plus output links of ``coord`` across networks."""
+        total = 0
+        total += len(self.search_children.get(coord, []))
+        total += 0 if coord == ROOT else 1  # search input from the parent
+        total += len(self.transport_outputs.get(coord, []))
+        total += len(self.transport_inputs.get(coord, []))
+        total += len(self.replacement_outputs.get(coord, []))
+        total += len(self.replacement_inputs.get(coord, []))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LNUCAGeometry(levels={self.levels}, tiles={self.num_tiles()})"

@@ -1,0 +1,645 @@
+"""Cycle-level Light NUCA model.
+
+:class:`LightNUCA` is the paper's contribution: the L1 (r-tile) surrounded
+by levels of one-cycle 8 KB tiles connected by the Search, Transport and
+Replacement networks.  The class implements the
+:class:`~repro.sim.memsys.MemorySystem` interface so the out-of-order core
+can drive it exactly like the conventional hierarchy, and it delegates
+global misses, write-through traffic, and corner-tile evictions to an
+arbitrary *backside* memory system (a conventional L3 or a D-NUCA).
+
+Cycle semantics
+===============
+
+The model follows Section II/III of the paper:
+
+* a request that misses in the r-tile launches a *search wave*; the wave
+  probes one level per cycle (tile access plus one-hop routing fit in a
+  single cycle), and tiles that hit stop propagating while the others fan
+  the miss out to their search children;
+* a hit extracts the block from the tile (content exclusion) and injects a
+  headerless transport message that hops towards the r-tile through the
+  2-D mesh, choosing randomly among the On output links each cycle;
+* when the wave falls off the last level without a hit, the segmented miss
+  line collects the global miss one cycle later and the request is
+  forwarded to the backside;
+* every fill into the r-tile may evict a victim, which "dominoes" outwards
+  over the Replacement network during search-idle cycles; only the two
+  upper-corner tiles evict to the backside.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cache.cache import TimedCache
+from repro.cache.request import AccessType, MemoryRequest
+from repro.common.errors import SimulationError
+from repro.core.config import LNUCAConfig
+from repro.core.geometry import ROOT, Coordinate, LNUCAGeometry
+from repro.core.networks import ReplacementNetwork, SearchNetwork, TransportNetwork
+from repro.core.tile import Tile
+from repro.noc.buffer import FlowControlBuffer
+from repro.noc.message import Message, MessageKind
+from repro.sim.memsys import MemorySystem
+
+_wave_ids = itertools.count()
+
+
+@dataclass
+class SearchWave:
+    """One miss request propagating outwards through the Search network."""
+
+    block_addr: int
+    frontier: List[Coordinate]
+    next_cycle: int
+    launched_cycle: int
+    hit: bool = False
+    hit_level: Optional[int] = None
+    is_write: bool = False
+    wave_id: int = field(default_factory=lambda: next(_wave_ids))
+
+
+class LightNUCA(MemorySystem):
+    """An L-NUCA cache in front of an arbitrary backside memory system.
+
+    Args:
+        config: the L-NUCA design point (levels, tile geometry, buffers...).
+        backside: memory system servicing global misses and write-through
+            traffic (a :class:`~repro.cache.hierarchy.ConventionalHierarchy`
+            holding the L3, or a D-NUCA system).
+        name: label for statistics; defaults to the paper-style LNx name.
+    """
+
+    def __init__(
+        self,
+        config: LNUCAConfig,
+        backside: MemorySystem,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or config.name)
+        self.config = config
+        self.backside = backside
+        self.geometry = LNUCAGeometry(config.levels)
+        self.rng = random.Random(config.seed)
+
+        self.rtile = TimedCache(config.rtile)
+        self.tiles: Dict[Coordinate, Tile] = {
+            coord: Tile(coord, config.tile, config.buffer_depth)
+            for coord in self.geometry.tiles
+        }
+
+        self.search_net = SearchNetwork(self.geometry)
+        self.transport_net = TransportNetwork(self.geometry, config.routing_policy, self.rng)
+        self.replacement_net = ReplacementNetwork(self.geometry, config.routing_policy, self.rng)
+        self.root_d_buffers: Dict[Coordinate, FlowControlBuffer] = {}
+        self.transport_net.wire(self.tiles, self.root_d_buffers)
+        self.replacement_net.wire(self.tiles)
+
+        # In-flight state.
+        self._waves: List[SearchWave] = []
+        self._last_wave_cycle = -1
+        self._backside_fills: List[Tuple[int, int, int, str]] = []  # heap
+        self._fill_seq = itertools.count()
+        self._rtile_evictions: Deque[Tuple[int, bool]] = deque()
+        self._corner_evictions: Deque[Tuple[int, bool]] = deque()
+        self._transport_active: set = set()
+        self._replacement_active: set = set()
+
+        # Tiles ordered by distance for the two buffered-network sweeps.
+        self._tiles_by_distance = sorted(
+            self.geometry.tiles, key=self.geometry.manhattan_to_root
+        )
+
+    # ------------------------------------------------------------------ interface
+    def can_accept(self, cycle: int, access: AccessType) -> bool:
+        if access.is_write:
+            return self.rtile.port_available(cycle) and self.rtile.write_buffer.can_accept()
+        return self.rtile.port_available(cycle) and not self.rtile.mshr.is_full()
+
+    def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
+        if access.is_write:
+            self._issue_store(request, cycle)
+        else:
+            self._issue_load(request, cycle)
+        self.stats.incr("writes" if access.is_write else "reads")
+        return request
+
+    def busy(self) -> bool:
+        return bool(
+            self._waves
+            or self._backside_fills
+            or self._rtile_evictions
+            or self._corner_evictions
+            or self._transport_active
+            or self._replacement_active
+            or not self.rtile.write_buffer.is_empty()
+            or any(buffer for buffer in self.root_d_buffers.values())
+            or self.backside.busy()
+        )
+
+    def finalize(self, cycle: int) -> None:
+        guard = cycle
+        limit = cycle + 1_000_000
+        while self.busy() and guard < limit:
+            self.tick(guard)
+            guard += 1
+        self.backside.finalize(guard)
+
+    # ------------------------------------------------------------------ stores
+    def _issue_store(self, request: MemoryRequest, cycle: int) -> None:
+        start = self.rtile.reserve_port(cycle)
+        block = self.rtile.lookup(request.addr, start, is_write=True)
+        block_addr = self.rtile.block_addr(request.addr)
+        request.complete(start + 1, self.rtile.name)
+        if block is not None:
+            # Store hit: the r-tile keeps the dirty block; it reaches the
+            # backside later, when it dominoes off an upper-corner tile.
+            block.dirty = True
+            return
+        # The block may be a victim still waiting to enter the Replacement
+        # network — updating it there preserves exclusion.
+        for index, (victim_addr, _) in enumerate(self._rtile_evictions):
+            if victim_addr == block_addr:
+                self._rtile_evictions[index] = (victim_addr, True)
+                return
+        # Store miss: the write searches the tile fabric like any other
+        # request; only a *global* write miss leaves for the backside
+        # (Fig. 2(c): "write misses to L3").
+        mshr = self.rtile.mshr
+        if mshr.has_entry(block_addr):
+            # The block is already on its way to the r-tile; it will be
+            # written once it arrives (timing-wise nothing more to model).
+            self.stats.incr("store_merges")
+            return
+        if mshr.is_full():
+            # No tracking resources left: post the write straight to the
+            # backside through the write buffer instead of searching.
+            if self.rtile.write_buffer.can_accept():
+                self.rtile.write_buffer.coalesce_or_push(block_addr, start)
+            else:
+                self.stats.incr("store_buffer_full_stalls")
+            return
+        mshr.allocate(block_addr, start + 1)
+        self._launch_wave(block_addr, start + 1, is_write=True)
+
+    # ------------------------------------------------------------------ loads
+    def _issue_load(self, request: MemoryRequest, cycle: int) -> None:
+        start = self.rtile.reserve_port(cycle)
+        block = self.rtile.lookup(request.addr, start, is_write=False)
+        if block is not None:
+            request.complete(start + self.rtile.completion_cycles, self.rtile.name)
+            return
+
+        block_addr = self.rtile.block_addr(request.addr)
+        miss_known = start + max(1, self.rtile.completion_cycles - 1)
+
+        # A victim still waiting to enter the Replacement network behaves
+        # like a victim-buffer hit; consuming it here preserves exclusion.
+        for index, (victim_addr, dirty) in enumerate(self._rtile_evictions):
+            if victim_addr == block_addr:
+                del self._rtile_evictions[index]
+                self._refill_rtile(block_addr, miss_known + 1, dirty)
+                request.complete(miss_known + 1, self.rtile.name)
+                self.stats.incr("rtile_victim_buffer_hits")
+                return
+
+        mshr = self.rtile.mshr
+        entry = mshr.get(block_addr)
+        if entry is not None:
+            if entry.secondary < mshr.max_secondary:
+                mshr.merge(block_addr, miss_known)
+            entry.waiters.append(request)
+            self.stats.incr("secondary_miss_merges")
+            return
+        if mshr.is_full():
+            raise SimulationError("load issued with a full L-NUCA MSHR file")
+        entry = mshr.allocate(block_addr, miss_known)
+        entry.waiters.append(request)
+        self._launch_wave(block_addr, miss_known + 1, is_write=False)
+
+    def _launch_wave(self, block_addr: int, earliest_cycle: int, is_write: bool) -> None:
+        """Start a search wave; the r-tile injects at most one wave per cycle."""
+        launch = max(earliest_cycle, self._last_wave_cycle + 1)
+        self._last_wave_cycle = launch
+        frontier = list(self.search_net.children_of(ROOT))
+        self.search_net.record_broadcast(len(frontier))
+        self._waves.append(
+            SearchWave(
+                block_addr=block_addr,
+                frontier=frontier,
+                next_cycle=launch,
+                launched_cycle=launch,
+                is_write=is_write,
+            )
+        )
+        self.stats.incr("search_waves")
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        idle = not (
+            self._waves
+            or self._backside_fills
+            or self._rtile_evictions
+            or self._corner_evictions
+            or self._transport_active
+            or self._replacement_active
+            or any(buffer for buffer in self.root_d_buffers.values())
+            or not self.rtile.write_buffer.is_empty()
+        )
+        if not idle:
+            searching = self._tiles_searching_at(cycle)
+            self._deliver_to_rtile(cycle)
+            self._advance_transport(cycle)
+            self._advance_replacement(cycle, searching)
+            self._advance_search(cycle)
+            self._inject_rtile_evictions(cycle)
+            self._drain_to_backside(cycle)
+        self.backside.tick(cycle)
+
+    # -- helpers -------------------------------------------------------------
+    def _tiles_searching_at(self, cycle: int) -> set:
+        searching = set()
+        for wave in self._waves:
+            if wave.next_cycle == cycle:
+                searching.update(wave.frontier)
+        return searching
+
+    # -- step 1: deliveries into the r-tile -----------------------------------
+    def _deliver_to_rtile(self, cycle: int) -> None:
+        delivered = 0
+        ports = self.config.rtile_fill_ports
+        # Transport arrivals first (they are the latency-critical path).
+        for source in sorted(self.root_d_buffers):
+            if delivered >= ports:
+                break
+            buffer = self.root_d_buffers[source]
+            message = buffer.pop()
+            if message is None:
+                continue
+            delivered += 1
+            actual = cycle - message.created_cycle
+            minimum = max(1, self.geometry.min_transport_hops(message.source))
+            self.stats.incr("transport_actual_cycles", actual)
+            self.stats.incr("transport_min_cycles", minimum)
+            self.stats.incr("transport_deliveries")
+            level = self.geometry.level_of[message.source]
+            self._complete_waiters(message.block_addr, cycle, f"Le{level}")
+            self._refill_rtile(message.block_addr, cycle, message.dirty)
+        while delivered < ports and self._backside_fills:
+            ready, _, block_addr, level = self._backside_fills[0]
+            if ready > cycle:
+                break
+            heapq.heappop(self._backside_fills)
+            delivered += 1
+            self._complete_waiters(block_addr, cycle, level)
+            self._refill_rtile(block_addr, cycle, dirty=False)
+
+    def _complete_waiters(self, block_addr: int, cycle: int, level: str) -> None:
+        mshr = self.rtile.mshr
+        entry = mshr.get(block_addr)
+        if entry is None:
+            self.stats.incr("stray_fills")
+            return
+        for waiter in entry.waiters:
+            waiter.complete(cycle, level)
+        if entry.waiters and level != self.rtile.name:
+            self.stats.incr(f"read_hits_{level}", len(entry.waiters))
+        mshr.release(block_addr)
+
+    def _refill_rtile(self, block_addr: int, cycle: int, dirty: bool) -> None:
+        victim = self.rtile.fill(block_addr, cycle, dirty=dirty)
+        if victim is not None:
+            self._rtile_evictions.append((victim.block_addr, victim.dirty))
+            self.stats.incr("rtile_evictions")
+
+    # -- step 2: transport network ---------------------------------------------
+    def _advance_transport(self, cycle: int) -> None:
+        if not self._transport_active:
+            return
+        active = sorted(self._transport_active, key=self.geometry.manhattan_to_root)
+        for coord in active:
+            tile = self.tiles[coord]
+            moved_everything = True
+            # A previously blocked hit injection retries first.
+            if tile.pending_hit is not None:
+                if self._route_transport(coord, tile.pending_hit, cycle):
+                    tile.pending_hit = None
+                else:
+                    moved_everything = False
+            for buffer in tile.d_in.values():
+                message = buffer.peek()
+                if message is None:
+                    continue
+                if self._route_transport(coord, message, cycle):
+                    buffer.pop()
+                if buffer.peek() is not None:
+                    moved_everything = False
+            if moved_everything and tile.pending_hit is None:
+                self._transport_active.discard(coord)
+
+    def _route_transport(self, coord: Coordinate, message: Message, cycle: int) -> bool:
+        options = self.transport_net.open_outputs(coord, cycle)
+        if not options:
+            self.stats.incr("transport_blocked_cycles")
+            return False
+        destination = self.transport_net.choose_output(options)
+        self.transport_net.send(coord, destination, message, cycle)
+        if destination != ROOT:
+            self._transport_active.add(destination)
+        return True
+
+    # -- step 3: replacement network ---------------------------------------------
+    def _advance_replacement(self, cycle: int, searching: set) -> None:
+        if not self._replacement_active:
+            return
+        active = sorted(
+            self._replacement_active,
+            key=self.geometry.manhattan_to_root,
+            reverse=True,
+        )
+        for coord in active:
+            if coord in searching:
+                # Replacement only proceeds during search-idle cycles.
+                continue
+            tile = self.tiles[coord]
+            buffer = next((b for b in tile.u_in.values() if b), None)
+            if buffer is None:
+                self._replacement_active.discard(coord)
+                continue
+            message = buffer.peek()
+            needs_eviction = (
+                tile.array.set_is_full(message.block_addr)
+                and not tile.contains(message.block_addr)
+            )
+            if needs_eviction and coord not in self.geometry.corner_tiles:
+                options = self.replacement_net.open_outputs(coord, cycle)
+                if not options:
+                    self.stats.incr("replacement_blocked_cycles")
+                    continue
+            buffer.pop()
+            victim = tile.fill(message.block_addr, cycle, message.dirty)
+            self.stats.incr("tile_fills")
+            if victim is not None:
+                self._push_victim(coord, victim.block_addr, victim.dirty, cycle)
+            if not any(b for b in tile.u_in.values()):
+                self._replacement_active.discard(coord)
+
+    def _push_victim(self, coord: Coordinate, block_addr: int, dirty: bool, cycle: int) -> None:
+        if coord in self.geometry.corner_tiles or not self.geometry.replacement_outputs.get(coord):
+            self._corner_evictions.append((block_addr, dirty))
+            self.stats.incr("corner_evictions")
+            return
+        options = self.replacement_net.open_outputs(coord, cycle)
+        if not options:
+            # The victim was already read out; fall back to evicting it to
+            # the backside rather than dropping it (rare, counted).
+            self._corner_evictions.append((block_addr, dirty))
+            self.stats.incr("replacement_overflow_evictions")
+            return
+        destination = self.replacement_net.choose_output(options)
+        message = Message(
+            kind=MessageKind.REPLACEMENT,
+            block_addr=block_addr,
+            created_cycle=cycle,
+            source=coord,
+            dirty=dirty,
+        )
+        self.replacement_net.send(coord, destination, message, cycle)
+        self._replacement_active.add(destination)
+
+    def _inject_rtile_evictions(self, cycle: int) -> None:
+        while self._rtile_evictions:
+            options = self.replacement_net.open_outputs(ROOT, cycle)
+            if not options:
+                self.stats.incr("rtile_eviction_blocked_cycles")
+                return
+            block_addr, dirty = self._rtile_evictions.popleft()
+            destination = self.replacement_net.choose_output(options)
+            message = Message(
+                kind=MessageKind.REPLACEMENT,
+                block_addr=block_addr,
+                created_cycle=cycle,
+                source=ROOT,
+                dirty=dirty,
+            )
+            self.replacement_net.send(ROOT, destination, message, cycle)
+            self._replacement_active.add(destination)
+
+    # -- step 4: search network -----------------------------------------------
+    def _advance_search(self, cycle: int) -> None:
+        finished: List[SearchWave] = []
+        for wave in self._waves:
+            if wave.next_cycle != cycle:
+                continue
+            next_frontier: List[Coordinate] = []
+            for coord in wave.frontier:
+                tile = self.tiles[coord]
+                block = tile.lookup(wave.block_addr, cycle)
+                in_flight = None
+                if block is None:
+                    in_flight = tile.lookup_u_buffers(wave.block_addr)
+                if block is None and in_flight is None:
+                    next_frontier.extend(self.search_net.children_of(coord))
+                    continue
+                if wave.hit:
+                    raise SimulationError(
+                        f"block 0x{wave.block_addr:x} found in two tiles: "
+                        "content exclusion violated"
+                    )
+                wave.hit = True
+                wave.hit_level = self.geometry.level_of[coord]
+                if block is not None:
+                    dirty = block.dirty
+                    tile.extract(wave.block_addr)
+                else:
+                    source, message = in_flight
+                    dirty = message.dirty
+                    tile.u_in[source].remove(message)
+                self.stats.incr(f"tile_hits_Le{wave.hit_level}")
+                transport = Message(
+                    kind=MessageKind.TRANSPORT,
+                    block_addr=wave.block_addr,
+                    created_cycle=cycle,
+                    source=coord,
+                    dirty=dirty or wave.is_write,
+                )
+                if not self._route_transport(coord, transport, cycle):
+                    tile.pending_hit = transport
+                    self._transport_active.add(coord)
+                    self.search_net.record_contention_restart()
+                    self.stats.incr("contention_marked_hits")
+            if next_frontier:
+                self.search_net.record_broadcast(len(next_frontier))
+                wave.frontier = next_frontier
+                wave.next_cycle = cycle + 1
+            else:
+                finished.append(wave)
+                if not wave.hit:
+                    self.search_net.record_global_miss()
+                    self.stats.incr("global_misses")
+                    self._handle_global_miss(wave, cycle)
+        for wave in finished:
+            self._waves.remove(wave)
+
+    def _handle_global_miss(self, wave: SearchWave, cycle: int) -> None:
+        entry = self.rtile.mshr.get(wave.block_addr)
+        has_load_waiters = entry is not None and bool(entry.waiters)
+        if wave.is_write and not has_load_waiters:
+            # Global write miss: release the tracking entry and post the
+            # write towards the backside (no data needs to come back).
+            if entry is not None:
+                self.rtile.mshr.release(wave.block_addr)
+            self.stats.incr("global_write_misses")
+            if self.rtile.write_buffer.can_accept():
+                self.rtile.write_buffer.coalesce_or_push(wave.block_addr, cycle)
+            else:
+                self._corner_evictions.append((wave.block_addr, True))
+            return
+        self._forward_to_backside(wave.block_addr, cycle + 1)
+
+    def _forward_to_backside(self, block_addr: int, cycle: int) -> None:
+        response = self.backside.issue(block_addr, AccessType.LOAD, cycle)
+        ready = response.complete_cycle if response.complete_cycle is not None else cycle + 1
+        level = response.service_level or self.backside.name
+        heapq.heappush(
+            self._backside_fills, (ready, next(self._fill_seq), block_addr, level)
+        )
+
+    # -- step 5: backside traffic ------------------------------------------------
+    def _drain_to_backside(self, cycle: int) -> None:
+        if not self.rtile.write_buffer.is_empty():
+            entry = self.rtile.write_buffer.drain_one(cycle)
+            if entry is not None:
+                self.backside.post_write(entry.block_addr, cycle)
+        if self._corner_evictions:
+            block_addr, dirty = self._corner_evictions.popleft()
+            if dirty:
+                self.backside.post_write(block_addr, cycle)
+                self.stats.incr("corner_writebacks")
+            else:
+                self.stats.incr("corner_clean_drops")
+
+    # ------------------------------------------------------------------ warm-up
+    def prewarm(self, addresses) -> None:
+        """Functionally install an address stream into the r-tile and tiles.
+
+        Placement mirrors what the timed model converges to: the most
+        recently used blocks sit in the r-tile and earlier victims domino
+        outwards along the Replacement network, preserving content
+        exclusion.  The backside is pre-warmed with the same stream.
+        """
+        addresses = list(addresses)
+        for addr in addresses:
+            block = self.rtile.block_addr(addr)
+            if self.rtile.array.lookup(block, update_lru=True) is not None:
+                continue
+            for tile in self.tiles.values():
+                if tile.contains(block):
+                    tile.array.invalidate(block)
+                    break
+            self._prewarm_fill(block)
+        self.backside.prewarm(addresses)
+
+    def _prewarm_fill(self, block_addr: int) -> None:
+        _, victim = self.rtile.array.fill(block_addr)
+        node: Coordinate = ROOT
+        while victim is not None:
+            outputs = self.geometry.replacement_outputs.get(node, [])
+            if not outputs:
+                break
+            node = outputs[0]
+            array = self.tiles[node].array
+            displaced = None
+            if array.set_is_full(victim.block_addr) and not array.contains(victim.block_addr):
+                candidate = array.victim_for(victim.block_addr)
+                if candidate is not None:
+                    displaced = array.invalidate(candidate.block_addr)
+            array.fill(victim.block_addr, dirty=victim.dirty)
+            victim = displaced
+
+    # ------------------------------------------------------------------ coherence
+    def invalidate_block(self, block_addr: int) -> bool:
+        """Invalidate ``block_addr`` everywhere in the fabric (Section III-D).
+
+        The paper enforces inclusion with respect to the coherency point
+        (the next cache level) through explicit invalidations; this is the
+        hook that coherence apparatus would call.  The block is removed from
+        the r-tile, every tile, the eviction queues, and any in-flight
+        Transport/Replacement buffer entry.  Returns True if a copy was
+        found.
+        """
+        block_addr = self.rtile.block_addr(block_addr)
+        self.stats.incr("invalidations")
+        found = self.rtile.array.invalidate(block_addr) is not None
+        for tile in self.tiles.values():
+            if tile.array.invalidate(block_addr) is not None:
+                found = True
+        for queue in (self._rtile_evictions, self._corner_evictions):
+            for index, (addr, _) in enumerate(list(queue)):
+                if addr == block_addr:
+                    del queue[index]
+                    found = True
+                    break
+        for network in (self.transport_net, self.replacement_net):
+            for buffer in network.link_buffers.values():
+                message = buffer.find_block(block_addr)
+                if message is not None:
+                    buffer.remove(message)
+                    found = True
+        for buffer in self.root_d_buffers.values():
+            message = buffer.find_block(block_addr)
+            if message is not None:
+                buffer.remove(message)
+                found = True
+        if found:
+            self.stats.incr("invalidation_hits")
+        return found
+
+    # ------------------------------------------------------------------ queries
+    def tile_at(self, coord: Coordinate) -> Tile:
+        """Return the tile at ``coord`` (raises for the r-tile or outside)."""
+        return self.tiles[coord]
+
+    def find_block(self, block_addr: int) -> List[Coordinate]:
+        """Return every location (tile coordinate or ``ROOT``) holding the block.
+
+        With content exclusion this list never has more than one entry; the
+        property-based tests rely on this.
+        """
+        holders: List[Coordinate] = []
+        if self.rtile.array.contains(block_addr):
+            holders.append(ROOT)
+        for coord, tile in self.tiles.items():
+            if tile.contains(block_addr):
+                holders.append(coord)
+        return holders
+
+    def total_occupancy(self) -> int:
+        """Number of blocks resident across the r-tile and all tiles."""
+        return self.rtile.array.occupancy() + sum(
+            tile.occupancy() for tile in self.tiles.values()
+        )
+
+    def activity(self) -> Dict[str, float]:
+        merged = dict(self.stats.as_dict())
+        for key, value in self.rtile.stats.as_dict().items():
+            merged[f"L1-RT.{key}"] = value
+        tile_totals: Dict[str, float] = {}
+        for tile in self.tiles.values():
+            for key, value in tile.stats.as_dict().items():
+                tile_totals[key] = tile_totals.get(key, 0.0) + value
+        for key, value in tile_totals.items():
+            merged[f"tiles.{key}"] = value
+        for net in (self.search_net, self.transport_net, self.replacement_net):
+            for key, value in net.stats.as_dict().items():
+                merged[f"{net.stats.name}.{key}"] = value
+        for key, value in self.backside.activity().items():
+            merged[key] = merged.get(key, 0.0) + value
+        return merged

@@ -1,0 +1,138 @@
+"""A single L-NUCA tile.
+
+A tile is an 8 KB, 2-way, one-cycle cache bank plus the small amount of
+network state the paper attaches to it (Fig. 3): a Miss Address (MA)
+register for the incoming search request, downstream (D) buffers on its
+incoming Transport links, and upstream (U) buffers on its incoming
+Replacement links.  The tile performs a cache access and one hop of routing
+within a single processor cycle; the surrounding
+:class:`~repro.core.lnuca.LightNUCA` controller orchestrates when each tile
+does what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cache.array import SetAssociativeArray
+from repro.cache.block import CacheBlock
+from repro.core.config import TileConfig
+from repro.noc.buffer import FlowControlBuffer
+from repro.noc.message import Message
+from repro.sim.stats import Stats
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass
+class SearchProbe:
+    """A miss request latched in a tile's MA register for the next cycle."""
+
+    block_addr: int
+    wave_id: int
+    arrival_cycle: int
+
+
+class Tile:
+    """One L-NUCA tile: cache array + MA register + D/U input buffers."""
+
+    def __init__(self, coord: Coordinate, config: TileConfig, buffer_depth: int = 2) -> None:
+        self.coord = coord
+        self.config = config
+        self.array = SetAssociativeArray(
+            config.size_bytes,
+            config.associativity,
+            config.block_size,
+            policy=config.replacement,
+        )
+        # Input buffers, keyed by the upstream tile the link comes from.
+        self.d_in: Dict[Coordinate, FlowControlBuffer] = {}
+        self.u_in: Dict[Coordinate, FlowControlBuffer] = {}
+        self.buffer_depth = buffer_depth
+        self.ma_register: Optional[SearchProbe] = None
+        # A hit whose transport injection was blocked (all output D channels
+        # Off).  The paper handles this with a contention-marked search
+        # message; the model retries the injection next cycle and counts the
+        # event.
+        self.pending_hit: Optional[Message] = None
+        self.stats = Stats(f"tile{coord}")
+
+    # ------------------------------------------------------------------ wiring
+    def add_transport_input(self, source: Coordinate) -> FlowControlBuffer:
+        """Create the D buffer for the incoming transport link from ``source``."""
+        buffer = FlowControlBuffer(self.buffer_depth, name=f"D{source}->{self.coord}")
+        self.d_in[source] = buffer
+        return buffer
+
+    def add_replacement_input(self, source: Coordinate) -> FlowControlBuffer:
+        """Create the U buffer for the incoming replacement link from ``source``."""
+        buffer = FlowControlBuffer(self.buffer_depth, name=f"U{source}->{self.coord}")
+        self.u_in[source] = buffer
+        return buffer
+
+    # ------------------------------------------------------------------ search
+    def latch_search(self, probe: SearchProbe) -> bool:
+        """Latch a search request into the MA register.
+
+        Returns False when the register is already occupied for that cycle
+        (a structural hazard the controller resolves by delaying the wave).
+        """
+        if self.ma_register is not None:
+            return False
+        self.ma_register = probe
+        return True
+
+    def clear_search(self) -> Optional[SearchProbe]:
+        """Consume and return the latched search request."""
+        probe, self.ma_register = self.ma_register, None
+        return probe
+
+    def lookup(self, block_addr: int, cycle: int) -> Optional[CacheBlock]:
+        """Search the tag array for ``block_addr`` (one search per cycle)."""
+        self.stats.incr("search_lookups")
+        block = self.array.lookup(block_addr, cycle=cycle, update_lru=True)
+        if block is not None:
+            self.stats.incr("hits")
+        return block
+
+    def lookup_u_buffers(self, block_addr: int) -> Optional[Tuple[Coordinate, Message]]:
+        """Search the U buffers for a block in transit (avoids false misses)."""
+        for source, buffer in self.u_in.items():
+            message = buffer.find_block(block_addr)
+            if message is not None:
+                self.stats.incr("u_buffer_hits")
+                return source, message
+        return None
+
+    # ------------------------------------------------------------------ contents
+    def extract(self, block_addr: int) -> Optional[CacheBlock]:
+        """Remove ``block_addr`` from the array (content exclusion on a hit)."""
+        return self.array.invalidate(block_addr)
+
+    def fill(self, block_addr: int, cycle: int, dirty: bool) -> Optional[CacheBlock]:
+        """Insert an evicted block arriving over the Replacement network.
+
+        Returns the victim this fill displaces (the "domino" continues with
+        it), or ``None`` when a free way absorbed the block.
+        """
+        self.stats.incr("fills")
+        victim = None
+        if self.array.set_is_full(block_addr) and not self.array.contains(block_addr):
+            victim_block = self.array.victim_for(block_addr)
+            if victim_block is not None:
+                victim = self.array.invalidate(victim_block.block_addr)
+        self.array.fill(block_addr, cycle=cycle, dirty=dirty)
+        if victim is not None:
+            self.stats.incr("evictions")
+        return victim
+
+    def occupancy(self) -> int:
+        """Number of valid blocks currently stored in the tile."""
+        return self.array.occupancy()
+
+    def contains(self, block_addr: int) -> bool:
+        return self.array.contains(block_addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tile({self.coord}, {self.occupancy()} blocks)"

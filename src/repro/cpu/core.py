@@ -1,0 +1,320 @@
+"""Cycle-level out-of-order core model.
+
+The model reproduces the Table I core: 4-wide fetch/commit, a 128-entry
+reorder buffer, separate integer/floating-point/memory issue windows (32 /
+24 / 16 entries), a 64-entry load-store queue, a 48-entry store buffer, an
+issue bandwidth of 4 integer-or-memory plus 4 floating-point operations per
+cycle, and an 8-cycle branch misprediction redirect.
+
+It is a *timing* model, not a functional one: instructions come from a
+pre-generated trace, dependences are explicit distances, and the only
+interaction with the outside world is issuing loads and stores into a
+:class:`~repro.sim.memsys.MemorySystem`.  Scheduling is event-driven
+(producers wake their consumers when their completion time becomes known),
+which keeps the per-cycle work proportional to the activity rather than to
+the ROB size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cache.request import AccessType, MemoryRequest
+from repro.common.errors import SimulationError
+from repro.cpu.isa import Instruction, InstrClass
+from repro.cpu.trace import Trace
+from repro.sim.memsys import MemorySystem
+from repro.sim.stats import Stats
+
+_INT = "int"
+_FP = "fp"
+_MEM = "mem"
+
+
+@dataclass
+class CoreConfig:
+    """Out-of-order core parameters (defaults follow Table I)."""
+
+    fetch_width: int = 4
+    commit_width: int = 4
+    int_mem_issue_width: int = 4
+    fp_issue_width: int = 4
+    rob_size: int = 128
+    lsq_size: int = 64
+    int_window: int = 32
+    fp_window: int = 24
+    mem_window: int = 16
+    store_buffer_size: int = 48
+    branch_mispredict_penalty: int = 8
+    int_latency: int = 1
+    fp_latency: int = 4
+    branch_latency: int = 1
+    store_agen_latency: int = 1
+
+
+def _window_class(kind: InstrClass) -> str:
+    if kind is InstrClass.FP_ALU:
+        return _FP
+    if kind.is_memory:
+        return _MEM
+    return _INT
+
+
+class OoOCore:
+    """Trace-driven out-of-order core attached to a memory system."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        memsys: MemorySystem,
+        config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.trace = trace
+        self.memsys = memsys
+        self.config = config or CoreConfig()
+        self.stats = Stats(f"core[{trace.name}]")
+
+        self.cycle = 0
+        self.committed = 0
+        self._next_fetch = 0
+        self._rob: Deque[int] = deque()
+        self._complete_cycle: Dict[int, int] = {}
+        self._unresolved: Dict[int, int] = {}
+        self._pending_ready: Dict[int, int] = {}
+        self._waiters: Dict[int, List[int]] = defaultdict(list)
+        self._ready: Dict[str, List[Tuple[int, int]]] = {_INT: [], _FP: [], _MEM: []}
+        self._window_count: Dict[str, int] = {_INT: 0, _FP: 0, _MEM: 0}
+        self._window_limit: Dict[str, int] = {
+            _INT: self.config.int_window,
+            _FP: self.config.fp_window,
+            _MEM: self.config.mem_window,
+        }
+        self._lsq_count = 0
+        self._outstanding_loads: List[Tuple[int, MemoryRequest]] = []
+        self._store_buffer: List[MemoryRequest] = []
+        self._pending_stores: Deque[int] = deque()
+        self._fetch_stall_until = 0
+        self._unresolved_branch: Optional[int] = None
+
+    # ------------------------------------------------------------------ run loop
+    def finished(self) -> bool:
+        """True when every instruction has committed and all stores drained."""
+        return (
+            self._next_fetch >= len(self.trace)
+            and not self._rob
+            and not self._pending_stores
+            and not self._store_buffer
+        )
+
+    def run(self, max_cycles: Optional[int] = None) -> Dict[str, float]:
+        """Simulate until the trace completes and return summary statistics."""
+        limit = max_cycles or (len(self.trace) * 400 + 100_000)
+        while not self.finished():
+            self.tick(self.cycle)
+            self.memsys.tick(self.cycle)
+            self.cycle += 1
+            if self.cycle > limit:
+                raise SimulationError(
+                    f"core did not finish within {limit} cycles "
+                    f"({self.committed}/{len(self.trace)} committed)"
+                )
+        self.memsys.finalize(self.cycle)
+        return self.summary()
+
+    def summary(self) -> Dict[str, float]:
+        """Return IPC and the main activity counters of the finished run."""
+        cycles = max(1, self.cycle)
+        return {
+            "cycles": float(cycles),
+            "instructions": float(self.committed),
+            "ipc": self.committed / cycles,
+            "loads": self.stats.get("loads_issued"),
+            "stores": self.stats.get("stores_committed"),
+            "branch_mispredictions": self.stats.get("branch_mispredictions"),
+        }
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / max(1, self.cycle)
+
+    # ------------------------------------------------------------------ per-cycle
+    def tick(self, cycle: int) -> None:
+        self._harvest_memory(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._fetch(cycle)
+
+    # -- memory responses -------------------------------------------------------
+    def _harvest_memory(self, cycle: int) -> None:
+        if self._outstanding_loads:
+            still_waiting = []
+            for idx, request in self._outstanding_loads:
+                if request.done and request.complete_cycle <= cycle:
+                    self._announce_completion(idx, request.complete_cycle)
+                    self._lsq_count -= 1
+                else:
+                    still_waiting.append((idx, request))
+            self._outstanding_loads = still_waiting
+        if self._store_buffer:
+            self._store_buffer = [
+                request
+                for request in self._store_buffer
+                if not (request.done and request.complete_cycle <= cycle)
+            ]
+        while self._pending_stores and self.memsys.can_accept(cycle, AccessType.STORE):
+            idx = self._pending_stores.popleft()
+            request = self.memsys.issue(self.trace[idx].addr, AccessType.STORE, cycle)
+            self._store_buffer.append(request)
+
+    # -- commit ----------------------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        committed = 0
+        while self._rob and committed < self.config.commit_width:
+            idx = self._rob[0]
+            done = self._complete_cycle.get(idx)
+            if done is None or done > cycle:
+                break
+            instruction = self.trace[idx]
+            if instruction.kind is InstrClass.STORE:
+                in_flight = len(self._store_buffer) + len(self._pending_stores)
+                if in_flight >= self.config.store_buffer_size:
+                    self.stats.incr("store_buffer_stall_cycles")
+                    break
+                if self.memsys.can_accept(cycle, AccessType.STORE):
+                    request = self.memsys.issue(instruction.addr, AccessType.STORE, cycle)
+                    self._store_buffer.append(request)
+                else:
+                    self._pending_stores.append(idx)
+                self._lsq_count -= 1
+                self.stats.incr("stores_committed")
+            self._rob.popleft()
+            self.committed += 1
+            committed += 1
+
+    # -- issue -----------------------------------------------------------------
+    def _issue(self, cycle: int) -> None:
+        int_mem_budget = self.config.int_mem_issue_width
+        fp_budget = self.config.fp_issue_width
+        # Memory and integer operations share the same issue bandwidth.
+        int_mem_budget -= self._issue_from(_MEM, cycle, int_mem_budget)
+        int_mem_budget -= self._issue_from(_INT, cycle, int_mem_budget)
+        self._issue_from(_FP, cycle, fp_budget)
+
+    def _issue_from(self, window: str, cycle: int, budget: int) -> int:
+        issued = 0
+        heap = self._ready[window]
+        deferred: List[Tuple[int, int]] = []
+        while heap and issued < budget:
+            ready_cycle, idx = heap[0]
+            if ready_cycle > cycle:
+                break
+            heapq.heappop(heap)
+            instruction = self.trace[idx]
+            if instruction.kind is InstrClass.LOAD:
+                if not self.memsys.can_accept(cycle, AccessType.LOAD):
+                    deferred.append((cycle + 1, idx))
+                    self.stats.incr("load_issue_retries")
+                    continue
+                request = self.memsys.issue(instruction.addr, AccessType.LOAD, cycle)
+                self.stats.incr("loads_issued")
+                if request.done:
+                    self._announce_completion(idx, request.complete_cycle)
+                    self._lsq_count -= 1
+                else:
+                    self._outstanding_loads.append((idx, request))
+            elif instruction.kind is InstrClass.STORE:
+                self._announce_completion(idx, cycle + self.config.store_agen_latency)
+            elif instruction.kind is InstrClass.BRANCH:
+                resolve = cycle + self.config.branch_latency
+                self._announce_completion(idx, resolve)
+                if instruction.mispredicted:
+                    self.stats.incr("branch_mispredictions")
+                    self._fetch_stall_until = max(
+                        self._fetch_stall_until,
+                        resolve + self.config.branch_mispredict_penalty,
+                    )
+                if self._unresolved_branch == idx:
+                    self._unresolved_branch = None
+            else:
+                latency = (
+                    self.config.fp_latency
+                    if instruction.kind is InstrClass.FP_ALU
+                    else max(self.config.int_latency, instruction.latency)
+                )
+                self._announce_completion(idx, cycle + latency)
+            self._window_count[window] -= 1
+            issued += 1
+        for item in deferred:
+            heapq.heappush(heap, item)
+        return issued
+
+    def _announce_completion(self, idx: int, when: int) -> None:
+        self._complete_cycle[idx] = when
+        for consumer in self._waiters.pop(idx, []):
+            self._pending_ready[consumer] = max(self._pending_ready[consumer], when)
+            self._unresolved[consumer] -= 1
+            if self._unresolved[consumer] == 0:
+                self._enqueue_ready(consumer)
+
+    def _enqueue_ready(self, idx: int) -> None:
+        window = _window_class(self.trace[idx].kind)
+        heapq.heappush(self._ready[window], (self._pending_ready[idx], idx))
+
+    # -- fetch / dispatch ---------------------------------------------------------
+    def _fetch(self, cycle: int) -> None:
+        if cycle < self._fetch_stall_until or self._unresolved_branch is not None:
+            self.stats.incr("fetch_stall_cycles")
+            return
+        fetched = 0
+        while (
+            fetched < self.config.fetch_width
+            and self._next_fetch < len(self.trace)
+            and len(self._rob) < self.config.rob_size
+        ):
+            idx = self._next_fetch
+            instruction = self.trace[idx]
+            window = _window_class(instruction.kind)
+            if self._window_count[window] >= self._window_limit[window]:
+                self.stats.incr("window_full_stalls")
+                break
+            if instruction.kind.is_memory and self._lsq_count >= self.config.lsq_size:
+                self.stats.incr("lsq_full_stalls")
+                break
+
+            self._rob.append(idx)
+            self._window_count[window] += 1
+            if instruction.kind.is_memory:
+                self._lsq_count += 1
+            self._dispatch_dependences(idx, instruction, cycle)
+            if instruction.kind is InstrClass.BRANCH and instruction.mispredicted:
+                # Stop fetching down the wrong path until the branch resolves.
+                self._unresolved_branch = idx
+                self._next_fetch += 1
+                fetched += 1
+                break
+            self._next_fetch += 1
+            fetched += 1
+        if self._next_fetch < len(self.trace) and len(self._rob) >= self.config.rob_size:
+            self.stats.incr("rob_full_stalls")
+
+    def _dispatch_dependences(self, idx: int, instruction: Instruction, cycle: int) -> None:
+        unresolved = 0
+        ready = cycle + 1
+        for producer in instruction.producers(idx):
+            known = self._complete_cycle.get(producer)
+            if known is None and producer >= self._next_fetch:
+                # Producer outside the fetched stream (cannot happen with
+                # backwards distances) — treat as resolved.
+                continue
+            if known is not None:
+                ready = max(ready, known)
+            else:
+                unresolved += 1
+                self._waiters[producer].append(idx)
+        self._pending_ready[idx] = ready
+        self._unresolved[idx] = unresolved
+        if unresolved == 0:
+            self._enqueue_ready(idx)

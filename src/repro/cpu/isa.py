@@ -1,0 +1,67 @@
+"""Instruction representation of the synthetic trace ISA.
+
+The trace ISA is deliberately small: the cache-hierarchy comparison only
+needs the core to exert realistic pressure on the memory system, so an
+instruction is its class (integer ALU, floating-point ALU, load, store,
+branch), an optional memory address, up to two register dependences encoded
+as backwards distances, and — for branches — whether the branch was
+mispredicted (precomputed by the workload generator from the configured
+misprediction rate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrClass(enum.IntEnum):
+    """Instruction classes recognised by the core models."""
+
+    INT_ALU = 0
+    FP_ALU = 1
+    LOAD = 2
+    STORE = 3
+    BRANCH = 4
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        return self is InstrClass.FP_ALU
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One instruction of a synthetic trace.
+
+    Attributes:
+        kind: instruction class.
+        addr: byte address accessed (memory instructions only).
+        dep1 / dep2: backwards distances (in dynamic instructions) to the
+            producers of the source operands; 0 means "no dependence".
+        latency: execution latency once issued (ALU/FP instructions).
+        mispredicted: True for branches the front end mispredicts.
+        transient: True for memory accesses outside the resident working
+            set (streaming or cold data); the warm-up skips these so they
+            take their compulsory misses during the measured run.
+    """
+
+    kind: InstrClass
+    addr: int = 0
+    dep1: int = 0
+    dep2: int = 0
+    latency: int = 1
+    mispredicted: bool = False
+    transient: bool = False
+
+    def producers(self, index: int) -> tuple:
+        """Return the dynamic indices of this instruction's producers."""
+        result = []
+        if self.dep1 and index - self.dep1 >= 0:
+            result.append(index - self.dep1)
+        if self.dep2 and index - self.dep2 >= 0:
+            result.append(index - self.dep2)
+        return tuple(result)

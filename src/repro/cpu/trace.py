@@ -1,0 +1,63 @@
+"""Instruction trace container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.cpu.isa import Instruction, InstrClass
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction trace plus its metadata.
+
+    Attributes:
+        name: workload name (e.g. ``"mcf-like"``).
+        category: ``"int"`` or ``"fp"`` — the suite the workload mimics,
+            used when the experiments aggregate results the way the paper
+            does (separate Integer and Floating-Point means).
+        instructions: the dynamic instruction stream.
+    """
+
+    name: str
+    category: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------ summaries
+    def class_mix(self) -> Dict[str, float]:
+        """Return the fraction of instructions in each class."""
+        counts: Dict[str, int] = {cls.name: 0 for cls in InstrClass}
+        for instruction in self.instructions:
+            counts[instruction.kind.name] += 1
+        total = max(1, len(self.instructions))
+        return {name: count / total for name, count in counts.items()}
+
+    def memory_instructions(self) -> int:
+        """Number of loads plus stores in the trace."""
+        return sum(1 for instruction in self.instructions if instruction.kind.is_memory)
+
+    def unique_blocks(self, block_size: int = 64) -> int:
+        """Number of distinct ``block_size``-byte blocks touched by the trace."""
+        blocks = {
+            instruction.addr // block_size
+            for instruction in self.instructions
+            if instruction.kind.is_memory
+        }
+        return len(blocks)
+
+    def footprint_bytes(self, block_size: int = 64) -> int:
+        """Approximate memory footprint of the trace."""
+        return self.unique_blocks(block_size) * block_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.name}, {len(self.instructions)} instructions)"

@@ -1,0 +1,21 @@
+"""Dynamic NUCA (D-NUCA) baseline.
+
+The paper's second scenario places the L-NUCA between the L1 and an 8 MB
+D-NUCA modelled after the SS-performance configuration of Kim et al.
+(Table I: 8 sparse sets, 4 rows, 256 KB 2-way banks with 128 B blocks,
+3-cycle banks, a 2-D mesh with 4 virtual channels and 32 B flits).  This
+package provides:
+
+* :class:`~repro.dnuca.dnuca.DNUCACache` — the banked cache with multicast
+  bankset search, generational promotion (block migration) and tail
+  insertion, timed over an occupancy-modelled 2-D mesh;
+* :class:`~repro.dnuca.system.DNUCASystem` — a
+  :class:`~repro.sim.memsys.MemorySystem` wrapper that optionally puts a
+  conventional L1 in front (the DN-4x8 baseline) or exposes the D-NUCA
+  directly as the backside of an L-NUCA.
+"""
+
+from repro.dnuca.dnuca import DNUCACache, DNUCAConfig
+from repro.dnuca.system import DNUCASystem
+
+__all__ = ["DNUCACache", "DNUCAConfig", "DNUCASystem"]

@@ -1,0 +1,26 @@
+"""Area, delay and energy models.
+
+The paper estimates cache area/delay/energy with Cacti 5.3, router and link
+energy with Orion, and verifies the transport crossbar with HSPICE.  This
+package substitutes calibrated analytic models:
+
+* :mod:`repro.energy.cacti` — an SRAM area/delay/energy estimator whose
+  constants are fitted to the per-structure numbers the paper itself lists
+  (Tables I and II);
+* :mod:`repro.energy.orion` — router, buffer, crossbar and link energy plus
+  the network area overhead of the L-NUCA fabric;
+* :mod:`repro.energy.accounting` — turns a simulation's activity counters
+  into the static/dynamic energy breakdowns of Figs. 4(b) and 5(b).
+"""
+
+from repro.energy.accounting import EnergyAccountant, EnergyBreakdown
+from repro.energy.cacti import SRAMModel
+from repro.energy.orion import LNUCANetworkModel, RouterEnergyModel
+
+__all__ = [
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "LNUCANetworkModel",
+    "RouterEnergyModel",
+    "SRAMModel",
+]

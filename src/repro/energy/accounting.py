@@ -1,0 +1,133 @@
+"""Energy accounting.
+
+Turns the activity counters a simulation produces into the total-energy
+breakdowns of Figs. 4(b) and 5(b): static energy per structure group
+(L3 or D-NUCA, L2 or the non-root tiles, L1/r-tile) plus one dynamic
+component, all over the run's execution time.
+
+The accountant is deliberately declarative: an experiment registers each
+static component (name, group, leakage) and each dynamic rule (activity
+counter key, energy per event), then evaluates any number of runs against
+it.  The configuration builders in :mod:`repro.sim.configs` register the
+paper's Table I values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.common.errors import ConfigurationError
+
+GROUP_DYNAMIC = "dyn"
+GROUP_L1_RT = "sta_L1_RT"
+GROUP_L2_RESTT = "sta_L2_RESTT"
+GROUP_L3_DNUCA = "sta_L3_DNUCA"
+
+ALL_GROUPS = (GROUP_DYNAMIC, GROUP_L1_RT, GROUP_L2_RESTT, GROUP_L3_DNUCA)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one run, split into the figure's stacked components (joules)."""
+
+    by_group: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.by_group.values())
+
+    def group(self, name: str) -> float:
+        return self.by_group.get(name, 0.0)
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> Dict[str, float]:
+        """Return each group as a fraction of the *baseline total* energy.
+
+        This is how the paper's figures are drawn: every stacked bar is
+        normalised to the baseline configuration's total.
+        """
+        base = baseline.total_joules
+        if base <= 0:
+            raise ConfigurationError("baseline energy must be positive")
+        return {name: value / base for name, value in self.by_group.items()}
+
+    def merged(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Return a breakdown with both runs' energies added group-wise."""
+        result = dict(self.by_group)
+        for name, value in other.by_group.items():
+            result[name] = result.get(name, 0.0) + value
+        return EnergyBreakdown(result)
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a breakdown with every group multiplied by ``factor``."""
+        return EnergyBreakdown({name: value * factor for name, value in self.by_group.items()})
+
+
+@dataclass
+class _StaticComponent:
+    name: str
+    group: str
+    leakage_mw: float
+    count: int = 1
+
+
+@dataclass
+class _DynamicRule:
+    activity_key: str
+    energy_pj: float
+    group: str = GROUP_DYNAMIC
+
+
+class EnergyAccountant:
+    """Declarative static + dynamic energy model for one configuration."""
+
+    def __init__(self, cycle_time_ns: float = 0.30, name: str = "energy") -> None:
+        if cycle_time_ns <= 0:
+            raise ConfigurationError("cycle time must be positive")
+        self.cycle_time_ns = cycle_time_ns
+        self.name = name
+        self._static: List[_StaticComponent] = []
+        self._dynamic: List[_DynamicRule] = []
+
+    # ------------------------------------------------------------------ registration
+    def add_static(self, name: str, group: str, leakage_mw: float, count: int = 1) -> None:
+        """Register a leaking structure (``count`` identical instances)."""
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown energy group {group!r}")
+        if leakage_mw < 0 or count < 0:
+            raise ConfigurationError("leakage and count cannot be negative")
+        self._static.append(_StaticComponent(name, group, leakage_mw, count))
+
+    def add_dynamic(self, activity_key: str, energy_pj: float, group: str = GROUP_DYNAMIC) -> None:
+        """Charge ``energy_pj`` for every occurrence of ``activity_key``."""
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown energy group {group!r}")
+        if energy_pj < 0:
+            raise ConfigurationError("per-event energy cannot be negative")
+        self._dynamic.append(_DynamicRule(activity_key, energy_pj, group))
+
+    # ------------------------------------------------------------------ evaluation
+    def static_power_mw(self) -> float:
+        """Total leakage power of every registered structure."""
+        return sum(component.leakage_mw * component.count for component in self._static)
+
+    def evaluate(self, activity: Mapping[str, float], cycles: float) -> EnergyBreakdown:
+        """Compute the energy of a run with ``cycles`` cycles of activity."""
+        if cycles < 0:
+            raise ConfigurationError("cycle count cannot be negative")
+        seconds = cycles * self.cycle_time_ns * 1e-9
+        breakdown: Dict[str, float] = {group: 0.0 for group in ALL_GROUPS}
+        for component in self._static:
+            breakdown[component.group] += component.leakage_mw * 1e-3 * component.count * seconds
+        for rule in self._dynamic:
+            events = activity.get(rule.activity_key, 0.0)
+            breakdown[rule.group] += events * rule.energy_pj * 1e-12
+        return EnergyBreakdown(breakdown)
+
+    def describe(self) -> Dict[str, float]:
+        """Summarise the registered model (used by documentation examples)."""
+        return {
+            "static_components": float(len(self._static)),
+            "dynamic_rules": float(len(self._dynamic)),
+            "static_power_mw": self.static_power_mw(),
+        }

@@ -1,0 +1,180 @@
+"""Calibrated analytic SRAM model (Cacti 5.3 substitute).
+
+The model captures the first-order scaling of SRAM arrays in a 32 nm
+process — area grows linearly with capacity plus a peripheral overhead that
+shrinks relatively for larger arrays, access delay and energy grow roughly
+with the square root of capacity, multi-porting multiplies area — and its
+constants are fitted so that the structures the paper reports (32 KB L1,
+256 KB L2, 8 KB tile, Table II areas, Table I energies) come out right.
+Absolute accuracy for arbitrary caches is not the goal; relative accuracy
+across the paper's design space is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+# Fitted constants (see module docstring).
+_AREA_PER_KB_MM2 = 2109e-6
+_AREA_OVERHEAD = 3.878
+_PORT_AREA_FACTOR = 1.1
+_ENERGY_BASE_PJ = 3.5
+_ENERGY_ASSOC_FACTOR = 0.06
+_SERIAL_ENERGY_FACTOR = 0.55
+_LOP_ENERGY_FACTOR = 0.35
+_DELAY_BASE_NS = 0.10
+_DELAY_PER_SQRT_KB_NS = 0.065
+_DELAY_ASSOC_FACTOR = 0.02
+_LEAKAGE_PER_KB_MW = 0.28
+_LOP_LEAKAGE_FACTOR = 0.27
+
+
+@dataclass
+class SRAMEstimate:
+    """Result of one model evaluation."""
+
+    area_mm2: float
+    access_delay_ns: float
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_mw: float
+
+    def access_cycles(self, cycle_time_ns: float) -> int:
+        """Access latency in whole cycles at the given clock period."""
+        return max(1, math.ceil(self.access_delay_ns / cycle_time_ns))
+
+
+class SRAMModel:
+    """Analytic area / delay / energy estimator for SRAM cache banks."""
+
+    def __init__(self, cycle_time_ns: float = 0.30) -> None:
+        if cycle_time_ns <= 0:
+            raise ConfigurationError("cycle time must be positive")
+        self.cycle_time_ns = cycle_time_ns
+
+    # ------------------------------------------------------------------ area
+    def area_mm2(
+        self,
+        size_bytes: int,
+        associativity: int = 1,
+        ports: int = 1,
+        subbanks: int = 1,
+    ) -> float:
+        """Estimate the area of a cache bank in mm^2."""
+        self._validate(size_bytes, associativity, ports, subbanks)
+        size_kb = size_bytes / 1024.0 / subbanks
+        per_bank = (
+            size_kb
+            * _AREA_PER_KB_MM2
+            * (1.0 + _AREA_OVERHEAD / math.sqrt(size_kb))
+            * (1.0 + _PORT_AREA_FACTOR * (ports - 1))
+        )
+        return per_bank * subbanks
+
+    # ------------------------------------------------------------------ delay
+    def access_delay_ns(
+        self, size_bytes: int, associativity: int = 1, subbanks: int = 1
+    ) -> float:
+        """Estimate the access delay of a cache bank in nanoseconds."""
+        self._validate(size_bytes, associativity, 1, subbanks)
+        size_kb = size_bytes / 1024.0 / subbanks
+        return _DELAY_BASE_NS + _DELAY_PER_SQRT_KB_NS * math.sqrt(size_kb) * (
+            1.0 + _DELAY_ASSOC_FACTOR * associativity
+        )
+
+    def tag_delay_ns(self, size_bytes: int, associativity: int = 1) -> float:
+        """Delay until the tag comparison completes (~80% of the access).
+
+        The paper relies on this margin to fit the miss propagation of an
+        L-NUCA tile in the same cycle as its access.
+        """
+        return 0.8 * self.access_delay_ns(size_bytes, associativity)
+
+    # ------------------------------------------------------------------ energy
+    def read_energy_pj(
+        self,
+        size_bytes: int,
+        associativity: int = 1,
+        block_size: int = 32,
+        access_mode: str = "parallel",
+        transistor_type: str = "hp",
+        subbanks: int = 1,
+    ) -> float:
+        """Estimate the dynamic energy of one read access in picojoules."""
+        self._validate(size_bytes, associativity, 1, subbanks)
+        size_kb = size_bytes / 1024.0 / subbanks
+        energy = (
+            _ENERGY_BASE_PJ
+            * math.sqrt(size_kb)
+            * (1.0 + _ENERGY_ASSOC_FACTOR * associativity)
+            * max(1.0, math.sqrt(block_size / 64.0))
+        )
+        if access_mode == "serial":
+            energy *= _SERIAL_ENERGY_FACTOR
+        if transistor_type == "lop":
+            energy *= _LOP_ENERGY_FACTOR
+        return energy
+
+    def write_energy_pj(self, size_bytes: int, **kwargs) -> float:
+        """Write energy (modelled as equal to a read of the same bank)."""
+        return self.read_energy_pj(size_bytes, **kwargs)
+
+    def leakage_mw(
+        self, size_bytes: int, transistor_type: str = "hp", subbanks: int = 1
+    ) -> float:
+        """Estimate the static (leakage) power of a bank in milliwatts."""
+        self._validate(size_bytes, 1, 1, subbanks)
+        size_kb = size_bytes / 1024.0
+        leakage = size_kb * _LEAKAGE_PER_KB_MW
+        if transistor_type == "lop":
+            leakage *= _LOP_LEAKAGE_FACTOR
+        return leakage
+
+    # ------------------------------------------------------------------ combined
+    def estimate(
+        self,
+        size_bytes: int,
+        associativity: int = 1,
+        block_size: int = 32,
+        ports: int = 1,
+        access_mode: str = "parallel",
+        transistor_type: str = "hp",
+        subbanks: int = 1,
+    ) -> SRAMEstimate:
+        """Return a full :class:`SRAMEstimate` for a cache bank."""
+        return SRAMEstimate(
+            area_mm2=self.area_mm2(size_bytes, associativity, ports, subbanks),
+            access_delay_ns=self.access_delay_ns(size_bytes, associativity, subbanks),
+            read_energy_pj=self.read_energy_pj(
+                size_bytes, associativity, block_size, access_mode, transistor_type, subbanks
+            ),
+            write_energy_pj=self.read_energy_pj(
+                size_bytes, associativity, block_size, access_mode, transistor_type, subbanks
+            ),
+            leakage_mw=self.leakage_mw(size_bytes, transistor_type, subbanks),
+        )
+
+    def largest_one_cycle_tile(
+        self, associativity: int = 2, candidates=(2, 4, 8, 16, 32, 64)
+    ) -> int:
+        """Largest tile size (KB) whose access fits in one cycle.
+
+        The paper reports 8 KB 2-way as the largest one-cycle tile under its
+        19 FO4 clock; this helper reproduces that design-space step.
+        """
+        best = candidates[0]
+        for size_kb in candidates:
+            delay = self.access_delay_ns(size_kb * 1024, associativity)
+            if delay <= self.cycle_time_ns:
+                best = size_kb
+        return best
+
+    @staticmethod
+    def _validate(size_bytes: int, associativity: int, ports: int, subbanks: int) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError("cache size must be positive")
+        if associativity < 1 or ports < 1 or subbanks < 1:
+            raise ConfigurationError("associativity, ports and subbanks must be >= 1")

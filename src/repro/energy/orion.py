@@ -1,0 +1,82 @@
+"""Router / link energy and area (Orion substitute).
+
+Orion estimates the per-event energy of router buffers, crossbars,
+arbiters and links.  The constants below are representative 32 nm values
+scaled so that the L-NUCA network's total area overhead matches the paper's
+Table II (about 0.06 mm^2 of routing resources for the 14-tile LN3) and its
+dynamic contribution stays the small fraction the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class RouterEnergyModel:
+    """Per-event energies (picojoules) of network components.
+
+    Attributes:
+        buffer_write_pj / buffer_read_pj: one flit entering / leaving a
+            flow-control buffer.
+        crossbar_pj: one flit traversing a crossbar.
+        arbitration_pj: one switch-allocation decision.
+        link_pj_per_mm: link traversal energy per millimetre of wire.
+        vc_router_flit_pj: total per-flit energy of a conventional
+            virtual-channel router (used for the D-NUCA mesh).
+    """
+
+    buffer_write_pj: float = 0.60
+    buffer_read_pj: float = 0.45
+    crossbar_pj: float = 1.00
+    arbitration_pj: float = 0.10
+    link_pj_per_mm: float = 1.50
+    vc_router_flit_pj: float = 3.10
+
+    def lnuca_hop_energy_pj(self, link_length_mm: float = 0.25) -> float:
+        """Energy of one L-NUCA hop: buffer write+read, crossbar, link."""
+        if link_length_mm <= 0:
+            raise ConfigurationError("link length must be positive")
+        return (
+            self.buffer_write_pj
+            + self.buffer_read_pj
+            + self.crossbar_pj
+            + self.arbitration_pj
+            + self.link_pj_per_mm * link_length_mm
+        )
+
+    def search_hop_energy_pj(self, link_length_mm: float = 0.25) -> float:
+        """Energy of one Search-network fan-out hop (no buffers, no crossbar)."""
+        return self.arbitration_pj + self.link_pj_per_mm * link_length_mm
+
+    def dnuca_hop_energy_pj(self, link_length_mm: float = 1.0) -> float:
+        """Per-flit energy of one D-NUCA mesh hop (VC router plus long link)."""
+        return self.vc_router_flit_pj + self.link_pj_per_mm * link_length_mm
+
+
+@dataclass
+class LNUCANetworkModel:
+    """Area overhead of the L-NUCA interconnect.
+
+    The fabric adds, per tile, the D/U buffers, the small cut-through
+    crossbar and the wiring of the three networks; the per-tile constant is
+    calibrated so a 14-tile LN3 carries roughly the 0.06 mm^2 / ~19 %
+    network overhead of Table II.
+    """
+
+    per_tile_router_mm2: float = 0.0036
+    per_link_mm2: float = 0.00030
+
+    def network_area_mm2(self, num_tiles: int, num_links: int) -> float:
+        """Total network area for ``num_tiles`` tiles and ``num_links`` links."""
+        if num_tiles < 0 or num_links < 0:
+            raise ConfigurationError("tile and link counts cannot be negative")
+        return num_tiles * self.per_tile_router_mm2 + num_links * self.per_link_mm2
+
+    def dnuca_router_area_mm2(self, num_routers: int) -> float:
+        """Area of the D-NUCA's virtual-channel routers."""
+        if num_routers < 0:
+            raise ConfigurationError("router count cannot be negative")
+        return num_routers * 0.0150

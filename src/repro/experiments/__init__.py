@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Each module exposes a ``run(...)`` function returning plain data structures
+(the rows/series the paper reports) and a ``main()`` that prints them, so
+every result can be regenerated either programmatically::
+
+    from repro.experiments import fig4_conventional
+    report = fig4_conventional.run(num_instructions=8000, per_category=3)
+
+or from the command line::
+
+    python -m repro.experiments.table2_area
+    python -m repro.experiments.table3_hits
+    python -m repro.experiments.fig4_conventional
+    python -m repro.experiments.fig5_dnuca
+    python -m repro.experiments.ablations
+
+The benchmarks under ``benchmarks/`` wrap the same ``run`` functions with
+pytest-benchmark so the regeneration time is tracked as well.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    fig4_conventional,
+    fig5_dnuca,
+    table2_area,
+    table3_hits,
+)
+
+__all__ = [
+    "ablations",
+    "fig4_conventional",
+    "fig5_dnuca",
+    "table2_area",
+    "table3_hits",
+]

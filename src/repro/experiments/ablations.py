@@ -1,0 +1,136 @@
+"""Ablations of the L-NUCA design decisions.
+
+The paper motivates several choices without always quantifying them; these
+ablations regenerate the evidence with the reproduction's simulator:
+
+* **routing** — the dynamic distributed (random) routing of the Transport /
+  Replacement networks versus a deterministic first-output policy
+  (Section III-B argues randomness reduces contention);
+* **buffers** — the depth of the D/U flow-control buffers (the paper uses
+  two entries because the inter-tile round trip is two cycles);
+* **tile size** — 2/4/8 KB tiles (Section III-A: "small L-NUCA tiles
+  (2 to 8 KB)"), trading capacity per level against level count;
+* **levels** — the level-count sweep that underlies the "beyond 4 levels
+  does not pay off" observation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import TileConfig
+from repro.cpu.workloads import WorkloadSpec
+from repro.experiments.common import DEFAULT_INSTRUCTIONS, select_workloads
+from repro.sim.configs import build_lnuca_l3_hierarchy
+from repro.sim.runner import ipc_by_category, run_suite
+from repro.sim.stats import harmonic_mean
+
+
+def _overall(ipc: Dict[str, Dict[str, float]], system: str) -> float:
+    """Harmonic mean over the int and fp means (single figure of merit)."""
+    values = [value for value in ipc[system].values() if value > 0]
+    return harmonic_mean(values) if values else 0.0
+
+
+def routing_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    specs: Optional[List[WorkloadSpec]] = None,
+    levels: int = 3,
+) -> Dict[str, float]:
+    """Random versus deterministic output selection in the buffered networks."""
+    specs = specs or select_workloads(2)
+    builders = {
+        "random": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="random"),
+        "deterministic": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="deterministic"),
+    }
+    results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    contention = {
+        name: sum(
+            r.activity_value("transport_blocked_cycles")
+            for r in results
+            if r.system == name
+        )
+        for name in builders
+    }
+    return {
+        "random_ipc": round(_overall(ipc, "random"), 4),
+        "deterministic_ipc": round(_overall(ipc, "deterministic"), 4),
+        "random_blocked_cycles": contention["random"],
+        "deterministic_blocked_cycles": contention["deterministic"],
+    }
+
+
+def buffer_depth_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    specs: Optional[List[WorkloadSpec]] = None,
+    depths: tuple = (1, 2, 4),
+    levels: int = 3,
+) -> Dict[int, float]:
+    """IPC as a function of the flow-control buffer depth."""
+    specs = specs or select_workloads(2)
+    builders = {
+        f"depth-{depth}": (lambda d=depth: build_lnuca_l3_hierarchy(levels, buffer_depth=d))
+        for depth in depths
+    }
+    results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    return {depth: round(_overall(ipc, f"depth-{depth}"), 4) for depth in depths}
+
+
+def tile_size_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    specs: Optional[List[WorkloadSpec]] = None,
+    sizes_kb: tuple = (2, 4, 8),
+    levels: int = 3,
+) -> Dict[int, float]:
+    """IPC as a function of the tile size (2 to 8 KB, Section III-A)."""
+    specs = specs or select_workloads(2)
+    builders = {}
+    for size_kb in sizes_kb:
+        tile = TileConfig(size_bytes=size_kb * 1024)
+        builders[f"tile-{size_kb}KB"] = (
+            lambda t=tile: build_lnuca_l3_hierarchy(levels, tile=t)
+        )
+    results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    return {size_kb: round(_overall(ipc, f"tile-{size_kb}KB"), 4) for size_kb in sizes_kb}
+
+
+def level_count_ablation(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    specs: Optional[List[WorkloadSpec]] = None,
+    level_range: tuple = (2, 3, 4, 5),
+) -> Dict[int, float]:
+    """IPC as a function of the number of L-NUCA levels."""
+    specs = specs or select_workloads(2)
+    builders = {
+        f"LN{levels}": (lambda n=levels: build_lnuca_l3_hierarchy(n)) for levels in level_range
+    }
+    results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    return {levels: round(_overall(ipc, f"LN{levels}"), 4) for levels in level_range}
+
+
+def run(num_instructions: int = DEFAULT_INSTRUCTIONS) -> Dict[str, object]:
+    """Run every ablation with a reduced workload set."""
+    specs = select_workloads(2)
+    return {
+        "routing": routing_ablation(num_instructions, specs),
+        "buffer_depth": buffer_depth_ablation(num_instructions, specs),
+        "tile_size": tile_size_ablation(num_instructions, specs),
+        "levels": level_count_ablation(num_instructions, specs),
+    }
+
+
+def main(num_instructions: int = DEFAULT_INSTRUCTIONS) -> None:
+    """Print every ablation."""
+    report = run(num_instructions)
+    print("Ablation — routing policy:", report["routing"])
+    print("Ablation — buffer depth (IPC):", report["buffer_depth"])
+    print("Ablation — tile size KB (IPC):", report["tile_size"])
+    print("Ablation — level count (IPC):", report["levels"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.cpu.workloads import WorkloadSpec, fp_suite, integer_suite
+from repro.energy.accounting import ALL_GROUPS, EnergyBreakdown
+from repro.sim.configs import (
+    build_accountant,
+    build_conventional_hierarchy,
+    build_dnuca_hierarchy,
+    build_lnuca_dnuca_hierarchy,
+    build_lnuca_l3_hierarchy,
+)
+from repro.sim.memsys import MemorySystem
+from repro.sim.runner import RunResult
+
+SystemBuilder = Callable[[], MemorySystem]
+
+#: Default trace length per workload.  The paper simulates 100 M instructions
+#: after a 200 M warm-up; the reproduction uses short traces plus functional
+#: warm-up (see DESIGN.md) so that every figure regenerates in minutes.
+DEFAULT_INSTRUCTIONS = 15000
+
+#: Default number of workloads per category (int / fp) taken from the
+#: synthetic suite.  Raise towards 10+ for the full-suite runs.
+DEFAULT_PER_CATEGORY = 3
+
+
+def select_workloads(per_category: int = DEFAULT_PER_CATEGORY) -> List[WorkloadSpec]:
+    """Pick ``per_category`` integer and floating-point workloads.
+
+    The picks are spread across each suite so the mix of behaviours
+    (pointer-chasing, streaming, small/large working sets) is preserved.
+    """
+    def spread(specs: List[WorkloadSpec]) -> List[WorkloadSpec]:
+        if per_category >= len(specs):
+            return list(specs)
+        step = len(specs) / per_category
+        return [specs[int(i * step)] for i in range(per_category)]
+
+    return spread(integer_suite()) + spread(fp_suite())
+
+
+def conventional_builders() -> Dict[str, SystemBuilder]:
+    """The four configurations of Fig. 4: baseline plus LN2/LN3/LN4 + L3."""
+    return {
+        "L2-256KB": build_conventional_hierarchy,
+        "LN2-72KB": lambda: build_lnuca_l3_hierarchy(2),
+        "LN3-144KB": lambda: build_lnuca_l3_hierarchy(3),
+        "LN4-248KB": lambda: build_lnuca_l3_hierarchy(4),
+    }
+
+
+def dnuca_builders() -> Dict[str, SystemBuilder]:
+    """The four configurations of Fig. 5: DN-4x8 plus LN2/LN3/LN4 + DN-4x8."""
+    return {
+        "DN-4x8": build_dnuca_hierarchy,
+        "LN2+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(2),
+        "LN3+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(3),
+        "LN4+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(4),
+    }
+
+
+def total_energy_by_system(
+    results: Iterable[RunResult], builders: Dict[str, SystemBuilder]
+) -> Dict[str, EnergyBreakdown]:
+    """Sum the per-run energy breakdown over all workloads, per system."""
+    accountants = {name: build_accountant(builder()) for name, builder in builders.items()}
+    totals: Dict[str, EnergyBreakdown] = {
+        name: EnergyBreakdown({group: 0.0 for group in ALL_GROUPS}) for name in builders
+    }
+    for result in results:
+        accountant = accountants[result.system]
+        breakdown = accountant.evaluate(result.activity, result.cycles)
+        totals[result.system] = totals[result.system].merged(breakdown)
+    return totals
+
+
+def normalised_energy(
+    totals: Dict[str, EnergyBreakdown], baseline: str
+) -> Dict[str, Dict[str, float]]:
+    """Normalise every system's stacked energy to the baseline total.
+
+    This is exactly how Figs. 4(b) and 5(b) are drawn: each bar is split
+    into dynamic, static L1/r-tile, static L2 (or rest of tiles), and static
+    L3 (or D-NUCA), all as fractions of the baseline configuration's total.
+    """
+    base = totals[baseline]
+    return {name: breakdown.normalized_to(base) for name, breakdown in totals.items()}
+
+
+def format_ipc_rows(ipc: Dict[str, Dict[str, float]], baseline: str) -> List[str]:
+    """Render the harmonic-mean IPC table as printable rows."""
+    lines = [f"{'configuration':<14} {'Int IPC':>8} {'FP IPC':>8} {'Int gain':>9} {'FP gain':>9}"]
+    base = ipc[baseline]
+    for name, values in ipc.items():
+        int_ipc = values.get("int", 0.0)
+        fp_ipc = values.get("fp", 0.0)
+        int_gain = 100.0 * (int_ipc / base["int"] - 1.0) if base.get("int") else 0.0
+        fp_gain = 100.0 * (fp_ipc / base["fp"] - 1.0) if base.get("fp") else 0.0
+        lines.append(
+            f"{name:<14} {int_ipc:>8.3f} {fp_ipc:>8.3f} {int_gain:>+8.1f}% {fp_gain:>+8.1f}%"
+        )
+    return lines
+
+
+def format_energy_rows(normalised: Dict[str, Dict[str, float]]) -> List[str]:
+    """Render the normalised stacked-energy table as printable rows."""
+    lines = [
+        f"{'configuration':<14} {'dyn':>7} {'sta L1-RT':>10} {'sta L2/RESTT':>13} "
+        f"{'sta L3/DNUCA':>13} {'total':>7}"
+    ]
+    for name, groups in normalised.items():
+        total = sum(groups.values())
+        lines.append(
+            f"{name:<14} {groups.get('dyn', 0.0):>7.3f} {groups.get('sta_L1_RT', 0.0):>10.3f} "
+            f"{groups.get('sta_L2_RESTT', 0.0):>13.3f} {groups.get('sta_L3_DNUCA', 0.0):>13.3f} "
+            f"{total:>7.3f}"
+        )
+    return lines

@@ -1,0 +1,66 @@
+"""Figure 4 — L-NUCA versus the conventional three-level hierarchy.
+
+* **Fig. 4(a)**: harmonic-mean IPC (integer and floating point) of the
+  L2-256KB baseline and the LN2/LN3/LN4 + L3 hierarchies.
+* **Fig. 4(b)**: total energy of every configuration normalised to the
+  baseline, stacked into dynamic energy and the static energy of the L3,
+  the L2 / rest of tiles, and the L1 / r-tile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_PER_CATEGORY,
+    conventional_builders,
+    format_energy_rows,
+    format_ipc_rows,
+    normalised_energy,
+    select_workloads,
+    total_energy_by_system,
+)
+from repro.sim.runner import RunResult, ipc_by_category, run_suite
+
+BASELINE = "L2-256KB"
+
+
+def run(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    results: Optional[List[RunResult]] = None,
+) -> Dict[str, object]:
+    """Regenerate both panels of Fig. 4.
+
+    Returns a dictionary with:
+
+    * ``"ipc"`` — ``{configuration: {"int": hmean, "fp": hmean}}`` (Fig. 4a);
+    * ``"energy"`` — ``{configuration: {group: fraction-of-baseline}}``
+      (Fig. 4b);
+    * ``"results"`` — the raw per-workload :class:`RunResult` list.
+    """
+    builders = conventional_builders()
+    if results is None:
+        specs = select_workloads(per_category)
+        results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    totals = total_energy_by_system(results, builders)
+    energy = normalised_energy(totals, BASELINE)
+    return {"ipc": ipc, "energy": energy, "results": results}
+
+
+def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+    """Print Fig. 4(a) and Fig. 4(b)."""
+    report = run(num_instructions=num_instructions, per_category=per_category)
+    print("Figure 4(a) — IPC harmonic mean (conventional vs L-NUCA)")
+    for line in format_ipc_rows(report["ipc"], BASELINE):
+        print("  " + line)
+    print()
+    print("Figure 4(b) — total energy normalised to L2-256KB")
+    for line in format_energy_rows(report["energy"]):
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Figure 5 — integrating L-NUCAs with D-NUCAs.
+
+* **Fig. 5(a)**: harmonic-mean IPC of the DN-4x8 baseline and the
+  LN2/LN3/LN4 + DN-4x8 hierarchies.
+* **Fig. 5(b)**: total energy normalised to DN-4x8, stacked into dynamic
+  energy and the static energy of the D-NUCA banks, the rest of the tiles,
+  and the L1 / r-tile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_PER_CATEGORY,
+    dnuca_builders,
+    format_energy_rows,
+    format_ipc_rows,
+    normalised_energy,
+    select_workloads,
+    total_energy_by_system,
+)
+from repro.sim.runner import RunResult, ipc_by_category, run_suite
+
+BASELINE = "DN-4x8"
+
+
+def run(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    results: Optional[List[RunResult]] = None,
+) -> Dict[str, object]:
+    """Regenerate both panels of Fig. 5 (see :func:`fig4_conventional.run`)."""
+    builders = dnuca_builders()
+    if results is None:
+        specs = select_workloads(per_category)
+        results = run_suite(builders, specs, num_instructions)
+    ipc = ipc_by_category(results)
+    totals = total_energy_by_system(results, builders)
+    energy = normalised_energy(totals, BASELINE)
+    return {"ipc": ipc, "energy": energy, "results": results}
+
+
+def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+    """Print Fig. 5(a) and Fig. 5(b)."""
+    report = run(num_instructions=num_instructions, per_category=per_category)
+    print("Figure 5(a) — IPC harmonic mean (D-NUCA vs L-NUCA + D-NUCA)")
+    for line in format_ipc_rows(report["ipc"], BASELINE):
+        print("  " + line)
+    print()
+    print("Figure 5(b) — total energy normalised to DN-4x8")
+    for line in format_energy_rows(report["energy"]):
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

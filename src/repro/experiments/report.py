@@ -1,0 +1,167 @@
+"""Full-report generation.
+
+Runs every experiment of the reproduction and renders one self-contained
+report (markdown plus optional CSV files), so a complete paper-vs-measured
+refresh is a single command::
+
+    python -m repro.cli report --output results/
+
+The experiment sizes are parameters; the defaults match the ones used in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+from repro.experiments import ablations, fig4_conventional, fig5_dnuca, table2_area, table3_hits
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_PER_CATEGORY,
+    format_energy_rows,
+    format_ipc_rows,
+)
+
+
+def generate_report(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    include_ablations: bool = False,
+    ablation_instructions: int = 4000,
+) -> Dict[str, object]:
+    """Run every experiment and return their raw results."""
+    fig4 = fig4_conventional.run(num_instructions=num_instructions, per_category=per_category)
+    report: Dict[str, object] = {
+        "table2": table2_area.run(),
+        "fig4": fig4,
+        "table3": table3_hits.run(results=fig4["results"]),
+        "fig5": fig5_dnuca.run(num_instructions=num_instructions, per_category=per_category),
+        "parameters": {
+            "num_instructions": num_instructions,
+            "per_category": per_category,
+        },
+    }
+    if include_ablations:
+        report["ablations"] = ablations.run(ablation_instructions)
+    return report
+
+
+def render_markdown(report: Dict[str, object]) -> str:
+    """Render the report dictionary as a markdown document."""
+    lines: List[str] = ["# Light NUCA reproduction — experiment report", ""]
+    params = report["parameters"]
+    lines.append(
+        f"Run parameters: {params['num_instructions']} instructions per workload, "
+        f"{params['per_category']} workloads per category."
+    )
+
+    lines += ["", "## Table II — area", ""]
+    for row in report["table2"]:
+        lines.append(
+            f"* {row['configuration']}: {row['total_area_mm2']:.3f} mm² "
+            f"(network {row['network_area_mm2']:.3f} mm², {row['network_percentage']:.1f} %)"
+        )
+
+    lines += ["", "## Figure 4(a) — IPC (conventional scenario)", "", "```"]
+    lines += format_ipc_rows(report["fig4"]["ipc"], "L2-256KB")
+    lines += ["```", "", "## Figure 4(b) — energy normalised to L2-256KB", "", "```"]
+    lines += format_energy_rows(report["fig4"]["energy"])
+    lines += ["```", "", "## Table III — hits per level", ""]
+    for system, categories in report["table3"].items():
+        for category, row in categories.items():
+            lines.append(
+                f"* {system} ({category}): Le2 {row['le2_pct']:.1f} %, Le3 {row['le3_pct']:.1f} %, "
+                f"Le4 {row['le4_pct']:.1f} %, transport avg/min {row['avg_min_transport_ratio']:.3f}"
+            )
+
+    lines += ["", "## Figure 5(a) — IPC (D-NUCA scenario)", "", "```"]
+    lines += format_ipc_rows(report["fig5"]["ipc"], "DN-4x8")
+    lines += ["```", "", "## Figure 5(b) — energy normalised to DN-4x8", "", "```"]
+    lines += format_energy_rows(report["fig5"]["energy"])
+    lines += ["```"]
+
+    if "ablations" in report:
+        lines += ["", "## Ablations", ""]
+        for name, values in report["ablations"].items():
+            lines.append(f"* {name}: {values}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_csv_files(report: Dict[str, object], directory: str) -> List[str]:
+    """Write the IPC and energy series as CSV files; return the paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def dump(name: str, header: List[str], rows: List[List[object]]) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        written.append(path)
+
+    dump(
+        "table2_area.csv",
+        ["configuration", "cache_area_mm2", "network_area_mm2", "total_area_mm2"],
+        [
+            [r["configuration"], r["cache_area_mm2"], r["network_area_mm2"], r["total_area_mm2"]]
+            for r in report["table2"]
+        ],
+    )
+    for figure, baseline in (("fig4", "L2-256KB"), ("fig5", "DN-4x8")):
+        ipc = report[figure]["ipc"]
+        dump(
+            f"{figure}a_ipc.csv",
+            ["configuration", "int_ipc", "fp_ipc"],
+            [[name, values.get("int", 0.0), values.get("fp", 0.0)] for name, values in ipc.items()],
+        )
+        energy = report[figure]["energy"]
+        dump(
+            f"{figure}b_energy.csv",
+            ["configuration", "dyn", "sta_L1_RT", "sta_L2_RESTT", "sta_L3_DNUCA"],
+            [
+                [
+                    name,
+                    groups.get("dyn", 0.0),
+                    groups.get("sta_L1_RT", 0.0),
+                    groups.get("sta_L2_RESTT", 0.0),
+                    groups.get("sta_L3_DNUCA", 0.0),
+                ]
+                for name, groups in energy.items()
+            ],
+        )
+    dump(
+        "table3_hits.csv",
+        ["configuration", "category", "le2_pct", "le3_pct", "le4_pct", "all_levels_pct",
+         "avg_min_transport_ratio"],
+        [
+            [system, category, row["le2_pct"], row["le3_pct"], row["le4_pct"],
+             row["all_levels_pct"], row["avg_min_transport_ratio"]]
+            for system, categories in report["table3"].items()
+            for category, row in categories.items()
+        ],
+    )
+    return written
+
+
+def write_report(
+    directory: str,
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    include_ablations: bool = False,
+) -> str:
+    """Generate the report, write markdown + CSVs into ``directory``."""
+    report = generate_report(
+        num_instructions=num_instructions,
+        per_category=per_category,
+        include_ablations=include_ablations,
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "REPORT.md")
+    with open(path, "w") as handle:
+        handle.write(render_markdown(report))
+    write_csv_files(report, directory)
+    return path

@@ -1,0 +1,108 @@
+"""Table II — conventional and L-NUCA areas.
+
+The paper compares the area of the baseline L1 + 256 KB L2 against the
+L1 + L-NUCA fabrics (LN2-72KB, LN3-144KB, LN4-248KB), listing the tile+L1
+area, the network area, and the network share.  This module regenerates the
+same rows from the calibrated SRAM model (:mod:`repro.energy.cacti`) and the
+network area model (:mod:`repro.energy.orion`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import LNUCAConfig
+from repro.core.geometry import LNUCAGeometry
+from repro.energy.cacti import SRAMModel
+from repro.energy.orion import LNUCANetworkModel
+from repro.sim.configs import CYCLE_TIME_NS, l1_config, l2_config
+
+
+@dataclass
+class AreaRow:
+    """One row of Table II."""
+
+    configuration: str
+    cache_area_mm2: float
+    network_area_mm2: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.cache_area_mm2 + self.network_area_mm2
+
+    @property
+    def network_percentage(self) -> float:
+        """Network share of the tile (non-L1) plus network area, in percent."""
+        if self.network_area_mm2 == 0.0:
+            return 0.0
+        return 100.0 * self.network_area_mm2 / self.total_area_mm2
+
+
+def conventional_area_mm2(sram: SRAMModel) -> float:
+    """Area of the baseline L1 + L2-256KB pair."""
+    l1 = l1_config()
+    l2 = l2_config()
+    return sram.area_mm2(l1.size_bytes, l1.associativity, ports=l1.ports) + sram.area_mm2(
+        l2.size_bytes, l2.associativity, ports=l2.ports
+    )
+
+
+def lnuca_area_mm2(levels: int, sram: SRAMModel, network: LNUCANetworkModel) -> AreaRow:
+    """Area of an LN``levels`` fabric (r-tile + tiles + networks)."""
+    config = LNUCAConfig(levels=levels)
+    geometry = LNUCAGeometry(levels)
+    l1 = config.rtile
+    tile = config.tile
+    cache_area = sram.area_mm2(l1.size_bytes, l1.associativity, ports=l1.ports)
+    cache_area += config.num_tiles * sram.area_mm2(tile.size_bytes, tile.associativity)
+    links = sum(geometry.link_counts().values())
+    network_area = network.network_area_mm2(config.num_tiles, links)
+    return AreaRow(config.name, cache_area, network_area)
+
+
+def run(cycle_time_ns: float = CYCLE_TIME_NS) -> List[Dict[str, float]]:
+    """Regenerate Table II and return its rows as dictionaries."""
+    sram = SRAMModel(cycle_time_ns=cycle_time_ns)
+    network = LNUCANetworkModel()
+    rows: List[Dict[str, float]] = [
+        {
+            "configuration": "L2-256KB",
+            "cache_area_mm2": round(conventional_area_mm2(sram), 3),
+            "network_area_mm2": 0.0,
+            "total_area_mm2": round(conventional_area_mm2(sram), 3),
+            "network_percentage": 0.0,
+        }
+    ]
+    for levels in (2, 3, 4):
+        row = lnuca_area_mm2(levels, sram, network)
+        rows.append(
+            {
+                "configuration": row.configuration,
+                "cache_area_mm2": round(row.cache_area_mm2, 3),
+                "network_area_mm2": round(row.network_area_mm2, 3),
+                "total_area_mm2": round(row.total_area_mm2, 3),
+                "network_percentage": round(row.network_percentage, 1),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Table II."""
+    rows = run()
+    baseline = rows[0]["total_area_mm2"]
+    print("Table II — conventional and L-NUCA areas")
+    print(f"{'configuration':<12} {'L1+tiles (mm^2)':>16} {'network (mm^2)':>15} "
+          f"{'total (mm^2)':>13} {'net %':>6} {'vs L2-256KB':>12}")
+    for row in rows:
+        delta = 100.0 * (row["total_area_mm2"] / baseline - 1.0)
+        print(
+            f"{row['configuration']:<12} {row['cache_area_mm2']:>16.3f} "
+            f"{row['network_area_mm2']:>15.3f} {row['total_area_mm2']:>13.3f} "
+            f"{row['network_percentage']:>6.1f} {delta:>+11.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Table III — read hits per L-NUCA level and transport latency ratio.
+
+For each L-NUCA configuration (LN2, LN3, LN4) the paper reports, separately
+for the integer and floating-point suites:
+
+* the number of read hits serviced by each L-NUCA level (Le2, Le3, Le4) as
+  a percentage of the read hits the 256 KB L2 of the baseline services for
+  the same workloads;
+* the ratio between the average and the minimum (contention-free) Transport
+  network latency, which shows that the distributed random routing keeps
+  contention negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_PER_CATEGORY,
+    conventional_builders,
+    select_workloads,
+)
+from repro.sim.runner import RunResult, results_for_system, run_suite
+
+BASELINE = "L2-256KB"
+LNUCA_SYSTEMS = ("LN2-72KB", "LN3-144KB", "LN4-248KB")
+
+
+def _sum_activity(results: List[RunResult], key: str) -> float:
+    return sum(result.activity_value(key) for result in results)
+
+
+def run(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    results: Optional[List[RunResult]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Regenerate Table III.
+
+    Returns ``{configuration: {category: row}}`` where each row holds the
+    per-level hit percentages (``le2_pct`` ...), the all-levels total, and
+    the average-to-minimum transport latency ratio.
+    """
+    builders = conventional_builders()
+    if results is None:
+        specs = select_workloads(per_category)
+        results = run_suite(builders, specs, num_instructions)
+
+    baseline_results = results_for_system(results, BASELINE)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for system in LNUCA_SYSTEMS:
+        system_results = results_for_system(results, system)
+        if not system_results:
+            continue
+        table[system] = {}
+        for category in ("int", "fp"):
+            base_cat = [r for r in baseline_results if r.category == category]
+            sys_cat = [r for r in system_results if r.category == category]
+            l2_hits = _sum_activity(base_cat, "L2.read_hits")
+            row: Dict[str, float] = {}
+            total_pct = 0.0
+            for level in (2, 3, 4):
+                hits = _sum_activity(sys_cat, f"read_hits_Le{level}")
+                pct = 100.0 * hits / l2_hits if l2_hits else 0.0
+                row[f"le{level}_pct"] = round(pct, 1)
+                total_pct += pct
+            row["all_levels_pct"] = round(total_pct, 1)
+            actual = _sum_activity(sys_cat, "transport_actual_cycles")
+            minimum = _sum_activity(sys_cat, "transport_min_cycles")
+            row["avg_min_transport_ratio"] = round(actual / minimum, 3) if minimum else 0.0
+            table[system][category] = row
+    return table
+
+
+def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+    """Print Table III."""
+    table = run(num_instructions=num_instructions, per_category=per_category)
+    print("Table III — read hits per level relative to the baseline L2 and")
+    print("            average-to-minimum Transport-network latency ratio")
+    header = (
+        f"{'configuration':<12} {'cat':<4} {'Le2/L2 %':>9} {'Le3/L2 %':>9} "
+        f"{'Le4/L2 %':>9} {'all/L2 %':>9} {'avg/min':>8}"
+    )
+    print("  " + header)
+    for system, categories in table.items():
+        for category, row in categories.items():
+            print(
+                f"  {system:<12} {category:<4} {row['le2_pct']:>9.1f} {row['le3_pct']:>9.1f} "
+                f"{row['le4_pct']:>9.1f} {row['all_levels_pct']:>9.1f} "
+                f"{row['avg_min_transport_ratio']:>8.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

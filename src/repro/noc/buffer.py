@@ -1,0 +1,97 @@
+"""Store-and-forward flow-control buffers.
+
+L-NUCA links carry whole messages (the flit is the message), use
+store-and-forward flow control with On/Off back-pressure, and provide two
+buffer entries per link because the round-trip delay between neighbouring
+tiles is two cycles (Section III-B).  :class:`FlowControlBuffer` models one
+such buffer: a bounded FIFO whose ``is_on`` signal tells the upstream tile
+whether it may send.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.noc.message import Message
+
+
+class FlowControlBuffer:
+    """A bounded FIFO buffer attached to the receiving end of a link."""
+
+    def __init__(self, capacity: int = 2, name: str = "buf") -> None:
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Deque[Message] = deque()
+        self.total_enqueued = 0
+        self.total_occupancy_cycles = 0
+
+    # -- flow control ------------------------------------------------------------
+    @property
+    def is_on(self) -> bool:
+        """On/Off back-pressure signal: True when the sender may transmit."""
+        return len(self._entries) < self.capacity
+
+    def can_accept(self) -> bool:
+        return self.is_on
+
+    # -- queue operations ----------------------------------------------------------
+    def push(self, message: Message) -> None:
+        """Store an arriving message.
+
+        Raises:
+            ConfigurationError: on overflow, which would mean the sender
+                ignored the Off signal — a protocol violation the networks
+                must never commit.
+        """
+        if not self.is_on:
+            raise ConfigurationError(f"buffer {self.name} overflow (Off signal ignored)")
+        self._entries.append(message)
+        self.total_enqueued += 1
+
+    def peek(self) -> Optional[Message]:
+        """Return the oldest buffered message without removing it."""
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> Optional[Message]:
+        """Remove and return the oldest buffered message (None if empty)."""
+        return self._entries.popleft() if self._entries else None
+
+    def remove(self, message: Message) -> bool:
+        """Remove a specific message (used when a search hits in a U buffer)."""
+        try:
+            self._entries.remove(message)
+            return True
+        except ValueError:
+            return False
+
+    def find_block(self, block_addr: int) -> Optional[Message]:
+        """Return the buffered message carrying ``block_addr``, if any.
+
+        This models the per-entry address comparators the paper adds to the
+        Replacement (U) buffers so that searches find blocks in transit and
+        never produce false misses.
+        """
+        for message in self._entries:
+            if message.block_addr == block_addr:
+                return message
+        return None
+
+    def account_occupancy(self) -> None:
+        """Accumulate occupancy statistics (call once per cycle)."""
+        self.total_occupancy_cycles += len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowControlBuffer({self.name}, {len(self._entries)}/{self.capacity})"

@@ -1,0 +1,54 @@
+"""Crossbar activity accounting.
+
+The L-NUCA transport path sends hit blocks through a small cut-through
+crossbar (Section III-C): content exclusion guarantees that a hit can come
+either from the cache or from a U buffer but never from both, so the five
+nominal inputs (2 D buffers, 2 U buffers, the cache) collapse to three.
+Timing-wise the crossbar traversal is folded into the single-cycle tile, so
+this class only tracks per-cycle port usage and activity for the energy
+model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+
+
+class Crossbar:
+    """An ``inputs x outputs`` crossbar with per-cycle output arbitration."""
+
+    def __init__(self, inputs: int, outputs: int, name: str = "xbar") -> None:
+        if inputs < 1 or outputs < 1:
+            raise ConfigurationError("crossbar needs at least one input and output")
+        self.inputs = inputs
+        self.outputs = outputs
+        self.name = name
+        self.traversals = 0
+        self._output_busy: Dict[int, int] = defaultdict(lambda: -1)
+
+    def output_free(self, output: int, cycle: int) -> bool:
+        """True if ``output`` has not been used in ``cycle`` yet."""
+        self._check_output(output)
+        return self._output_busy[output] != cycle
+
+    def traverse(self, output: int, cycle: int) -> None:
+        """Send one message through ``output`` during ``cycle``."""
+        self._check_output(output)
+        if self._output_busy[output] == cycle:
+            raise ConfigurationError(
+                f"crossbar {self.name} output {output} already used in cycle {cycle}"
+            )
+        self._output_busy[output] = cycle
+        self.traversals += 1
+
+    def _check_output(self, output: int) -> None:
+        if not 0 <= output < self.outputs:
+            raise ConfigurationError(
+                f"output {output} out of range for crossbar with {self.outputs} outputs"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Crossbar({self.name}, {self.inputs}x{self.outputs}, traversals={self.traversals})"

@@ -1,0 +1,56 @@
+"""Unidirectional point-to-point links.
+
+All L-NUCA links are unidirectional and message-wide (Section III-A), so a
+link transfer moves exactly one message per cycle into the downstream
+buffer.  The class mainly exists to give every physical link an identity for
+energy accounting (each traversal is an Orion-style link activation) and to
+enforce the one-message-per-cycle bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.noc.buffer import FlowControlBuffer
+from repro.noc.message import Message
+
+
+class Link:
+    """A unidirectional link feeding a downstream flow-control buffer."""
+
+    def __init__(
+        self,
+        source: Tuple[int, int],
+        destination: Tuple[int, int],
+        buffer: FlowControlBuffer,
+        width_bytes: int = 32,
+        name: Optional[str] = None,
+    ) -> None:
+        if width_bytes < 1:
+            raise ConfigurationError("link width must be >= 1 byte")
+        self.source = source
+        self.destination = destination
+        self.buffer = buffer
+        self.width_bytes = width_bytes
+        self.name = name or f"{source}->{destination}"
+        self.traversals = 0
+        self._last_transfer_cycle = -1
+
+    def can_send(self, cycle: int) -> bool:
+        """True when the link is idle this cycle and the far buffer is On."""
+        return self._last_transfer_cycle != cycle and self.buffer.is_on
+
+    def send(self, message: Message, cycle: int) -> None:
+        """Transfer ``message`` across the link into the downstream buffer."""
+        if self._last_transfer_cycle == cycle:
+            raise ConfigurationError(f"link {self.name} already used in cycle {cycle}")
+        if not self.buffer.is_on:
+            raise ConfigurationError(f"link {self.name} destination buffer is Off")
+        self._last_transfer_cycle = cycle
+        message.hops += 1
+        self.buffer.push(message)
+        self.traversals += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, traversals={self.traversals})"

@@ -1,0 +1,55 @@
+"""Simulation infrastructure: statistics, configurations, and run harness.
+
+Only the dependency-free pieces (statistics and the abstract memory-system
+interface) are imported eagerly here; the configuration presets and the run
+harness live in :mod:`repro.sim.configs` and :mod:`repro.sim.runner` and are
+re-exported lazily to avoid import cycles with the cache substrate.
+"""
+
+from repro.sim.memsys import MemorySystem
+from repro.sim.stats import Histogram, Stats, geometric_mean, harmonic_mean
+
+__all__ = [
+    "CYCLE_TIME_NS",
+    "Histogram",
+    "MemorySystem",
+    "RunResult",
+    "Stats",
+    "build_accountant",
+    "build_conventional_hierarchy",
+    "build_dnuca_hierarchy",
+    "build_lnuca_dnuca_hierarchy",
+    "build_lnuca_l3_hierarchy",
+    "geometric_mean",
+    "harmonic_mean",
+    "l1_config",
+    "l2_config",
+    "l3_config",
+    "run_suite",
+    "run_workload",
+]
+
+_LAZY_CONFIG_NAMES = {
+    "CYCLE_TIME_NS",
+    "build_accountant",
+    "build_conventional_hierarchy",
+    "build_dnuca_hierarchy",
+    "build_lnuca_dnuca_hierarchy",
+    "build_lnuca_l3_hierarchy",
+    "l1_config",
+    "l2_config",
+    "l3_config",
+}
+_LAZY_RUNNER_NAMES = {"RunResult", "run_suite", "run_workload"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_CONFIG_NAMES:
+        from repro.sim import configs
+
+        return getattr(configs, name)
+    if name in _LAZY_RUNNER_NAMES:
+        from repro.sim import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

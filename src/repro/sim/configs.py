@@ -1,0 +1,246 @@
+"""Paper configuration presets (Table I) and system builders.
+
+Every experiment and benchmark builds its cache hierarchies through the
+functions in this module, so the architectural parameters of Table I live
+in exactly one place:
+
+* ``l1_config`` / ``l2_config`` / ``l3_config`` — the conventional levels;
+* ``build_conventional_hierarchy`` — the L2-256KB baseline (Fig. 1(a));
+* ``build_lnuca_l3_hierarchy`` — LN2/LN3/LN4 in front of the 8 MB L3
+  (Fig. 1(b));
+* ``build_dnuca_hierarchy`` — the DN-4x8 baseline (Fig. 1(c));
+* ``build_lnuca_dnuca_hierarchy`` — LNx + DN-4x8 (Fig. 1(d));
+* ``build_accountant`` — the matching Table I energy model for any of the
+  four system types.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.common.errors import ConfigurationError
+from repro.core.config import LNUCAConfig, default_rtile_config
+from repro.core.lnuca import LightNUCA
+from repro.dnuca.dnuca import DNUCACache, DNUCAConfig
+from repro.dnuca.system import DNUCASystem
+from repro.energy.accounting import (
+    GROUP_DYNAMIC,
+    GROUP_L1_RT,
+    GROUP_L2_RESTT,
+    GROUP_L3_DNUCA,
+    EnergyAccountant,
+)
+from repro.energy.orion import RouterEnergyModel
+from repro.sim.memsys import MemorySystem
+
+#: Cycle time of the modelled core: 19 FO4 at 32 nm, comparable to the
+#: 3.33 GHz Core 2 Duo E8600 the paper references.
+CYCLE_TIME_NS = 0.30
+
+# Dynamic energies for tag-only probes, as a fraction of a full read.
+_TAG_PROBE_FRACTION = 0.35
+
+
+# --------------------------------------------------------------------------- level configs
+def l1_config() -> CacheConfig:
+    """L1 data cache / r-tile: 32 KB, 4-way, 32 B, 2-cycle, write-through."""
+    return CacheConfig(
+        name="L1",
+        size_bytes=32 * 1024,
+        associativity=4,
+        block_size=32,
+        completion_cycles=2,
+        initiation_cycles=1,
+        ports=2,
+        write_policy="write_through",
+        access_mode="parallel",
+        mshr_entries=16,
+        mshr_secondary=4,
+        write_buffer_entries=32,
+        read_energy_pj=21.2,
+        leakage_mw=12.8,
+    )
+
+
+def l2_config(size_kb: int = 256) -> CacheConfig:
+    """L2: 256 KB, 8-way, 64 B, serial access, 4-cycle completion, copy-back."""
+    return CacheConfig(
+        name="L2",
+        size_bytes=size_kb * 1024,
+        associativity=8,
+        block_size=64,
+        completion_cycles=4,
+        initiation_cycles=2,
+        ports=1,
+        write_policy="copy_back",
+        access_mode="serial",
+        mshr_entries=16,
+        mshr_secondary=4,
+        write_buffer_entries=32,
+        read_energy_pj=47.2,
+        leakage_mw=66.9,
+    )
+
+
+def l3_config() -> CacheConfig:
+    """L3: 8 MB, 16-way, 128 B, 20-cycle completion, 15-cycle initiation.
+
+    The 15-cycle initiation interval of Table I is interpreted per bank; an
+    Intel-Core-2-class 8 MB cache is interleaved over several banks, so the
+    timing model exposes four of them (``ports=4``) to keep the sustained
+    throughput realistic while individual accesses still pay the Table I
+    latencies.
+    """
+    return CacheConfig(
+        name="L3",
+        size_bytes=8 * 1024 * 1024,
+        associativity=16,
+        block_size=128,
+        completion_cycles=20,
+        initiation_cycles=15,
+        ports=4,
+        write_policy="copy_back",
+        access_mode="serial",
+        mshr_entries=8,
+        mshr_secondary=4,
+        write_buffer_entries=32,
+        read_energy_pj=20.9,
+        leakage_mw=600.0,
+    )
+
+
+def main_memory_config() -> MainMemoryConfig:
+    """Main memory: 200-cycle first chunk, 4-cycle inter-chunk, 16 B wires."""
+    return MainMemoryConfig(first_chunk_cycles=200, inter_chunk_cycles=4, chunk_bytes=16)
+
+
+def dnuca_config() -> DNUCAConfig:
+    """DN-4x8: 8 MB, 8 sparse sets x 4 rows of 256 KB 2-way 128 B banks."""
+    return DNUCAConfig()
+
+
+# --------------------------------------------------------------------------- systems
+def build_conventional_hierarchy(l2_size_kb: int = 256) -> ConventionalHierarchy:
+    """The three-level baseline: L1-32KB / L2 / L3-8MB / memory."""
+    levels = [
+        TimedCache(l1_config()),
+        TimedCache(l2_config(l2_size_kb)),
+        TimedCache(l3_config()),
+    ]
+    return ConventionalHierarchy(
+        levels, MainMemory(main_memory_config()), name=f"L2-{l2_size_kb}KB"
+    )
+
+
+def build_lnuca_l3_hierarchy(levels: int, **overrides) -> LightNUCA:
+    """An LN``levels`` L-NUCA backed by the 8 MB L3 (Fig. 1(b))."""
+    backside = ConventionalHierarchy(
+        [TimedCache(l3_config())],
+        MainMemory(main_memory_config()),
+        name="L3-backside",
+        extra_bus_hops=1,
+    )
+    config = LNUCAConfig(levels=levels, rtile=default_rtile_config(), **overrides)
+    return LightNUCA(config, backside)
+
+
+def build_dnuca_hierarchy() -> DNUCASystem:
+    """The DN-4x8 baseline: L1-32KB in front of the 8 MB D-NUCA (Fig. 1(c))."""
+    return DNUCASystem(
+        dnuca=DNUCACache(dnuca_config()),
+        memory=MainMemory(main_memory_config()),
+        l1=TimedCache(l1_config()),
+        name="DN-4x8",
+    )
+
+
+def build_lnuca_dnuca_hierarchy(levels: int, **overrides) -> LightNUCA:
+    """LN``levels`` + DN-4x8: an L-NUCA whose backside is the D-NUCA (Fig. 1(d))."""
+    backside = DNUCASystem(
+        dnuca=DNUCACache(dnuca_config()),
+        memory=MainMemory(main_memory_config()),
+        l1=None,
+        name="DN-4x8-backside",
+    )
+    config = LNUCAConfig(levels=levels, rtile=default_rtile_config(), **overrides)
+    system = LightNUCA(config, backside)
+    system.stats.set("plus_dnuca", 1.0)
+    return system
+
+
+# --------------------------------------------------------------------------- energy models
+def _add_l1_dynamic(accountant: EnergyAccountant, prefix: str, energy_pj: float) -> None:
+    accountant.add_dynamic(f"{prefix}.read_accesses", energy_pj)
+    accountant.add_dynamic(f"{prefix}.write_accesses", energy_pj)
+    accountant.add_dynamic(f"{prefix}.fills", energy_pj)
+
+
+def build_accountant(system: MemorySystem) -> EnergyAccountant:
+    """Return the Table I energy model matching ``system``'s composition."""
+    router = RouterEnergyModel()
+    accountant = EnergyAccountant(cycle_time_ns=CYCLE_TIME_NS, name=f"energy[{system.name}]")
+
+    if isinstance(system, ConventionalHierarchy):
+        accountant.add_static("L1", GROUP_L1_RT, l1_config().leakage_mw)
+        accountant.add_static("L2", GROUP_L2_RESTT, l2_config().leakage_mw)
+        accountant.add_static("L3", GROUP_L3_DNUCA, l3_config().leakage_mw)
+        _add_l1_dynamic(accountant, "L1", l1_config().read_energy_pj)
+        _add_l1_dynamic(accountant, "L2", l2_config().read_energy_pj)
+        _add_l1_dynamic(accountant, "L3", l3_config().read_energy_pj)
+        return accountant
+
+    if isinstance(system, DNUCASystem):
+        cfg = system.dnuca.config
+        accountant.add_static("L1", GROUP_L1_RT, l1_config().leakage_mw)
+        accountant.add_static(
+            "DNUCA-banks", GROUP_L3_DNUCA, cfg.leakage_mw_per_bank, count=cfg.num_banks
+        )
+        _add_l1_dynamic(accountant, "L1", l1_config().read_energy_pj)
+        _register_dnuca_dynamic(accountant, system.dnuca, router)
+        return accountant
+
+    if isinstance(system, LightNUCA):
+        lnuca_cfg = system.config
+        accountant.add_static("L1-RT", GROUP_L1_RT, lnuca_cfg.rtile.leakage_mw)
+        accountant.add_static(
+            "tiles", GROUP_L2_RESTT, lnuca_cfg.tile.leakage_mw, count=lnuca_cfg.num_tiles
+        )
+        _add_l1_dynamic(accountant, "L1-RT", lnuca_cfg.rtile.read_energy_pj)
+        tile_read = lnuca_cfg.tile.read_energy_pj
+        accountant.add_dynamic("tiles.search_lookups", tile_read * _TAG_PROBE_FRACTION)
+        accountant.add_dynamic("tiles.hits", tile_read * (1.0 - _TAG_PROBE_FRACTION))
+        accountant.add_dynamic("tiles.fills", lnuca_cfg.tile.write_energy_pj)
+        hop = router.lnuca_hop_energy_pj()
+        accountant.add_dynamic("transport_net.link_traversals", hop)
+        accountant.add_dynamic("replacement_net.link_traversals", hop)
+        accountant.add_dynamic("search_net.link_traversals", router.search_hop_energy_pj())
+        backside = system.backside
+        if isinstance(backside, DNUCASystem):
+            cfg = backside.dnuca.config
+            accountant.add_static(
+                "DNUCA-banks", GROUP_L3_DNUCA, cfg.leakage_mw_per_bank, count=cfg.num_banks
+            )
+            _register_dnuca_dynamic(accountant, backside.dnuca, router)
+        elif isinstance(backside, ConventionalHierarchy):
+            accountant.add_static("L3", GROUP_L3_DNUCA, l3_config().leakage_mw)
+            _add_l1_dynamic(accountant, "L3", l3_config().read_energy_pj)
+        else:
+            raise ConfigurationError(
+                f"no energy model for backside of type {type(backside).__name__}"
+            )
+        return accountant
+
+    raise ConfigurationError(f"no energy model for system of type {type(system).__name__}")
+
+
+def _register_dnuca_dynamic(
+    accountant: EnergyAccountant, dnuca: DNUCACache, router: RouterEnergyModel
+) -> None:
+    cfg = dnuca.config
+    name = dnuca.name
+    accountant.add_dynamic(f"{name}.bank_lookups", cfg.read_energy_pj * _TAG_PROBE_FRACTION)
+    accountant.add_dynamic(f"{name}.hits", cfg.read_energy_pj * (1.0 - _TAG_PROBE_FRACTION))
+    accountant.add_dynamic(f"{name}.fills", cfg.write_energy_pj)
+    accountant.add_dynamic(f"{name}.promotions", 2.0 * cfg.read_energy_pj)
+    accountant.add_dynamic(f"{name}.mesh.link_traversals", router.dnuca_hop_energy_pj())

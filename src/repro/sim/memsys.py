@@ -1,0 +1,83 @@
+"""Abstract interface between the core model and a memory hierarchy.
+
+Every hierarchy the paper evaluates (conventional three-level, L-NUCA + L3,
+D-NUCA, L-NUCA + D-NUCA) implements this interface, so the out-of-order core
+and the experiment harness are completely agnostic of which hierarchy they
+drive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.cache.request import AccessType, MemoryRequest
+from repro.sim.stats import Stats
+
+
+class MemorySystem(ABC):
+    """A cycle-level memory hierarchy the core can issue requests into.
+
+    The contract is:
+
+    * the core calls :meth:`can_accept` and, if true, :meth:`issue` during
+      its execute stage;
+    * the system simulates forward when :meth:`tick` is called once per
+      cycle (after the core's tick);
+    * a request is finished when its ``complete_cycle`` is set and is in the
+      past.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = Stats(name)
+
+    @abstractmethod
+    def can_accept(self, cycle: int, access: AccessType) -> bool:
+        """Return True if a new request of kind ``access`` can be issued now."""
+
+    @abstractmethod
+    def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        """Issue a request and return its handle.
+
+        Implementations may complete the request immediately (setting
+        ``complete_cycle``) or leave it outstanding until a later
+        :meth:`tick`.
+        """
+
+    @abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Advance internal state by one cycle."""
+
+    def busy(self) -> bool:
+        """Return True while the hierarchy still has internal work pending."""
+        return False
+
+    def finalize(self, cycle: int) -> None:
+        """Hook called once at the end of a run (drain buffers, flush stats)."""
+
+    def activity(self) -> Dict[str, float]:
+        """Return the activity counters used by the energy accounting model."""
+        return self.stats.as_dict()
+
+    def post_write(self, block_addr: int, cycle: int) -> None:
+        """Accept a posted (non-blocking) write of ``block_addr``.
+
+        Posted writes come from write buffers and copy-back evictions of the
+        level in front of this system; they update state and count towards
+        energy but must not contend with demand reads for ports.  The
+        default implementation falls back to a regular store issue.
+        """
+        self.issue(block_addr, AccessType.STORE, cycle)
+
+    def prewarm(self, addresses) -> None:
+        """Functionally install ``addresses`` into the hierarchy's arrays.
+
+        This replaces the paper's 200-million-instruction warm-up: contents
+        are placed as if the address stream had already been executed once,
+        without simulating any timing, so the measured run starts from a
+        warm state.  Implementations must not touch timing state or
+        statistics counters used by the experiments.
+        """
+        # Default: no warm-up support (a cold run is still correct).
+        return None

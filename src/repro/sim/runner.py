@@ -1,0 +1,134 @@
+"""Run harness: one workload on one memory system.
+
+The experiment modules and benchmarks compose everything through
+:func:`run_workload` (a single simulation) and :func:`run_suite` (a sweep of
+workloads over a set of configurations), so they never have to repeat the
+core/memory-system wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.cpu.core import CoreConfig, OoOCore
+from repro.cpu.trace import Trace
+from repro.cpu.workloads import WorkloadSpec, generate_trace
+from repro.sim.memsys import MemorySystem
+from repro.sim.stats import harmonic_mean
+
+SystemBuilder = Callable[[], MemorySystem]
+
+def _resident_addresses(trace: Trace) -> List[int]:
+    """Addresses of the trace that belong to the resident working set.
+
+    Streaming and cold accesses (``Instruction.transient``) are excluded:
+    they would also be absent from a warm cache at the start of a SimPoint,
+    so they take their compulsory misses during the measured run — exactly
+    as in the paper's methodology.
+    """
+    return [
+        instruction.addr
+        for instruction in trace
+        if instruction.kind.is_memory and not instruction.transient
+    ]
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one workload on one memory system."""
+
+    system: str
+    workload: str
+    category: str
+    ipc: float
+    cycles: float
+    instructions: float
+    activity: Dict[str, float] = field(default_factory=dict)
+    core_stats: Dict[str, float] = field(default_factory=dict)
+
+    def activity_value(self, key: str) -> float:
+        return self.activity.get(key, 0.0)
+
+
+def run_workload(
+    system_builder: SystemBuilder,
+    spec: WorkloadSpec,
+    num_instructions: int,
+    core_config: Optional[CoreConfig] = None,
+    trace: Optional[Trace] = None,
+    prewarm: bool = True,
+) -> RunResult:
+    """Simulate ``spec`` (or a pre-generated ``trace``) on a fresh system.
+
+    With ``prewarm`` (the default) the hierarchy's arrays are functionally
+    warmed with the trace's own address stream before the timed run, the
+    stand-in for the paper's 200-million-instruction warm-up.
+    """
+    system = system_builder()
+    trace = trace or generate_trace(spec, num_instructions)
+    if prewarm:
+        system.prewarm(_resident_addresses(trace))
+    core = OoOCore(trace, system, config=core_config)
+    summary = core.run()
+    return RunResult(
+        system=system.name,
+        workload=spec.name,
+        category=spec.category,
+        ipc=summary["ipc"],
+        cycles=summary["cycles"],
+        instructions=summary["instructions"],
+        activity=system.activity(),
+        core_stats=core.stats.as_dict(),
+    )
+
+
+def run_suite(
+    system_builders: Dict[str, SystemBuilder],
+    specs: Iterable[WorkloadSpec],
+    num_instructions: int,
+    core_config: Optional[CoreConfig] = None,
+    prewarm: bool = True,
+) -> List[RunResult]:
+    """Run every workload on every configuration.
+
+    Traces are generated once per workload and reused across configurations
+    so all systems see the identical instruction stream (as the paper's
+    SimPoints guarantee).
+    """
+    specs = list(specs)
+    traces = {spec.name: generate_trace(spec, num_instructions) for spec in specs}
+    results: List[RunResult] = []
+    for system_name, builder in system_builders.items():
+        for spec in specs:
+            result = run_workload(
+                builder,
+                spec,
+                num_instructions,
+                core_config=core_config,
+                trace=traces[spec.name],
+                prewarm=prewarm,
+            )
+            result.system = system_name
+            results.append(result)
+    return results
+
+
+def ipc_by_category(results: Iterable[RunResult]) -> Dict[str, Dict[str, float]]:
+    """Harmonic-mean IPC per system and workload category.
+
+    Returns ``{system: {"int": hmean, "fp": hmean}}`` — the quantity plotted
+    in Figs. 4(a) and 5(a).
+    """
+    grouped: Dict[str, Dict[str, List[float]]] = {}
+    for result in results:
+        grouped.setdefault(result.system, {}).setdefault(result.category, []).append(result.ipc)
+    return {
+        system: {category: harmonic_mean(values) for category, values in categories.items()}
+        for system, categories in grouped.items()
+    }
+
+
+def results_for_system(results: Iterable[RunResult], system: str) -> List[RunResult]:
+    """Filter a result list down to one configuration."""
+    return [result for result in results if result.system == system]

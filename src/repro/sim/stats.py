@@ -1,0 +1,177 @@
+"""Statistics collection.
+
+Every component in the simulator owns a :class:`Stats` object.  A ``Stats``
+object is a flat mapping of counter names to numeric values plus a small set
+of helpers (ratios, histograms, merging).  Keeping statistics flat and
+string-keyed makes it trivial for the experiment harness to assemble the
+exact rows the paper reports without each component needing to know about
+tables and figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class Stats:
+    """A flat bag of named counters.
+
+    Counters spring into existence at zero the first time they are
+    incremented, mirroring how hardware performance counters are typically
+    exposed by simulators.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    # -- basic counter operations -------------------------------------------------
+    def incr(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set counter ``key`` to ``value``, overwriting any previous value."""
+        self._counters[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Return the value of counter ``key`` (``default`` if never touched)."""
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain ``dict`` copy of all counters."""
+        return dict(self._counters)
+
+    # -- derived values ----------------------------------------------------------
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return ``numerator / denominator``, or 0.0 when the denominator is 0."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def merge(self, other: "Stats", prefix: str = "") -> None:
+        """Add every counter of ``other`` into this object.
+
+        Args:
+            other: statistics to fold in.
+            prefix: optional prefix prepended to each key, used when merging
+                per-component statistics into a system-wide view.
+        """
+        for key, value in other._counters.items():
+            self._counters[prefix + key] += value
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"Stats({self.name!r}, {inner})"
+
+
+class Histogram:
+    """A simple integer-bucketed histogram.
+
+    Used for latency distributions (for example the transport latency of
+    L-NUCA hits, which Table III summarises through its mean and minimum).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = defaultdict(int)
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
+        self._buckets[int(value)] += count
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self._buckets.values())
+
+    @property
+    def total_value(self) -> int:
+        return sum(value * count for value, count in self._buckets.items())
+
+    def mean(self) -> float:
+        """Return the arithmetic mean of all recorded samples (0 if empty)."""
+        samples = self.total_samples
+        if samples == 0:
+            return 0.0
+        return self.total_value / samples
+
+    def minimum(self) -> int:
+        """Return the smallest recorded value (0 if empty)."""
+        if not self._buckets:
+            return 0
+        return min(self._buckets)
+
+    def maximum(self) -> int:
+        """Return the largest recorded value (0 if empty)."""
+        if not self._buckets:
+            return 0
+        return max(self._buckets)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._buckets)
+
+    def percentile(self, fraction: float) -> int:
+        """Return the smallest value v such that >= ``fraction`` of samples are <= v."""
+        if not self._buckets:
+            return 0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        threshold = fraction * self.total_samples
+        running = 0
+        for value in sorted(self._buckets):
+            running += self._buckets[value]
+            if running >= threshold:
+                return value
+        return max(self._buckets)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Return the harmonic mean of ``values``.
+
+    The paper reports IPC as a harmonic mean over benchmarks (Figs. 4(a) and
+    5(a)); zero or negative entries are rejected because they have no
+    harmonic mean.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("harmonic mean requires strictly positive values")
+    return len(values) / sum(1.0 / value for value in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Return the geometric mean of ``values`` (used in ablation reports)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires strictly positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def weighted_mean(pairs: Mapping[str, float], weights: Mapping[str, float]) -> float:
+    """Return the weighted arithmetic mean of ``pairs`` using ``weights``."""
+    total_weight = sum(weights.get(key, 0.0) for key in pairs)
+    if total_weight == 0:
+        return 0.0
+    return sum(value * weights.get(key, 0.0) for key, value in pairs.items()) / total_weight

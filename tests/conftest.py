@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.core.config import LNUCAConfig
+from repro.core.lnuca import LightNUCA
+from repro.cpu.workloads import WorkloadSpec, generate_trace
+
+
+@pytest.fixture
+def small_cache_config() -> CacheConfig:
+    """A tiny 1 KB, 2-way, 32 B cache used by unit tests."""
+    return CacheConfig(
+        name="T",
+        size_bytes=1024,
+        associativity=2,
+        block_size=32,
+        completion_cycles=2,
+        initiation_cycles=1,
+        ports=1,
+    )
+
+
+@pytest.fixture
+def small_hierarchy() -> ConventionalHierarchy:
+    """A small two-level hierarchy backed by fast memory."""
+    l1 = TimedCache(
+        CacheConfig(
+            name="L1",
+            size_bytes=1024,
+            associativity=2,
+            block_size=32,
+            completion_cycles=2,
+            write_policy="write_through",
+        )
+    )
+    l2 = TimedCache(
+        CacheConfig(
+            name="L2",
+            size_bytes=4096,
+            associativity=4,
+            block_size=64,
+            completion_cycles=4,
+            initiation_cycles=2,
+            access_mode="serial",
+        )
+    )
+    memory = MainMemory(MainMemoryConfig(first_chunk_cycles=50, inter_chunk_cycles=2))
+    return ConventionalHierarchy([l1, l2], memory, name="tiny")
+
+
+def make_small_lnuca(levels: int = 3, **overrides) -> LightNUCA:
+    """An L-NUCA with a small backside, convenient for unit tests."""
+    backside_l3 = TimedCache(
+        CacheConfig(
+            name="L3",
+            size_bytes=64 * 1024,
+            associativity=8,
+            block_size=128,
+            completion_cycles=10,
+            initiation_cycles=5,
+        )
+    )
+    backside = ConventionalHierarchy(
+        [backside_l3],
+        MainMemory(MainMemoryConfig(first_chunk_cycles=60, inter_chunk_cycles=2)),
+        name="backside",
+    )
+    config = LNUCAConfig(levels=levels, **overrides)
+    return LightNUCA(config, backside)
+
+
+@pytest.fixture
+def small_lnuca() -> LightNUCA:
+    return make_small_lnuca(3)
+
+
+@pytest.fixture
+def tiny_workload() -> WorkloadSpec:
+    """A small, fast workload specification."""
+    return WorkloadSpec(
+        name="tiny-int",
+        category="int",
+        regions=((8.0, 0.8), (48.0, 0.15)),
+        stream_weight=0.03,
+        cold_weight=0.02,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_trace(tiny_workload):
+    return generate_trace(tiny_workload, 800)

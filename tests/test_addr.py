@@ -1,0 +1,82 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addr import (
+    block_address,
+    block_offset,
+    is_power_of_two,
+    log2_int,
+    set_index,
+    tag_bits,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestPowerOfTwo:
+    def test_small_powers(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(64)
+        assert is_power_of_two(1 << 20)
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(96)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_int(1) == 0
+        assert log2_int(32) == 5
+        assert log2_int(1 << 17) == 17
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(24)
+
+    def test_log2_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(0)
+
+
+class TestBlockArithmetic:
+    def test_block_address_aligns_down(self):
+        assert block_address(0x1234, 64) == 0x1200
+        assert block_address(0x1200, 64) == 0x1200
+
+    def test_block_offset(self):
+        assert block_offset(0x1234, 64) == 0x34
+        assert block_offset(0x1240, 64) == 0
+
+    def test_set_index_wraps(self):
+        assert set_index(0, 32, 128) == 0
+        assert set_index(32, 32, 128) == 1
+        assert set_index(32 * 128, 32, 128) == 0
+
+    def test_tag_bits_above_index(self):
+        assert tag_bits(0, 32, 128) == 0
+        assert tag_bits(32 * 128, 32, 128) == 1
+        assert tag_bits(32 * 128 * 5 + 7, 32, 128) == 5
+
+    @given(st.integers(min_value=0, max_value=2**40), st.sampled_from([16, 32, 64, 128]))
+    def test_block_address_plus_offset_recovers_addr(self, addr, block):
+        assert block_address(addr, block) + block_offset(addr, block) == addr
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.sampled_from([16, 32, 64, 128]),
+        st.sampled_from([16, 64, 256, 1024]),
+    )
+    def test_same_block_same_set_and_tag(self, addr, block, sets):
+        base = block_address(addr, block)
+        assert set_index(addr, block, sets) == set_index(base, block, sets)
+        assert tag_bits(addr, block, sets) == tag_bits(base, block, sets)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_set_and_tag_uniquely_identify_block(self, addr):
+        block, sets = 32, 256
+        reconstructed = (tag_bits(addr, block, sets) * sets + set_index(addr, block, sets)) * block
+        assert reconstructed == block_address(addr, block)

@@ -1,0 +1,173 @@
+"""Unit and property tests for the set-associative array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import SetAssociativeArray
+from repro.common.errors import ConfigurationError
+
+
+def make_array(size=1024, assoc=2, block=32, policy="lru"):
+    return SetAssociativeArray(size, assoc, block, policy=policy)
+
+
+class TestConstruction:
+    def test_num_sets(self):
+        array = make_array(1024, 2, 32)
+        assert array.num_sets == 16
+
+    def test_fully_associative(self):
+        array = make_array(1024, 32, 32)
+        assert array.num_sets == 1
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            make_array(block=48)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeArray(1000, 2, 32)
+
+
+class TestLookupAndFill:
+    def test_miss_on_empty(self):
+        array = make_array()
+        assert array.lookup(0x100) is None
+        assert not array.contains(0x100)
+
+    def test_hit_after_fill(self):
+        array = make_array()
+        array.fill(0x100)
+        assert array.contains(0x100)
+        assert array.lookup(0x100).block_addr == 0x100
+
+    def test_hit_anywhere_in_block(self):
+        array = make_array(block=32)
+        array.fill(0x100)
+        assert array.contains(0x10f)
+        assert not array.contains(0x120)
+
+    def test_refill_does_not_duplicate(self):
+        array = make_array()
+        array.fill(0x100)
+        array.fill(0x100)
+        assert array.occupancy() == 1
+
+    def test_refill_merges_dirty(self):
+        array = make_array()
+        array.fill(0x100, dirty=True)
+        block, victim = array.fill(0x100, dirty=False)
+        assert victim is None
+        assert block.dirty
+
+    def test_fill_reports_victim_when_set_full(self):
+        array = make_array(size=64, assoc=2, block=32)  # one set, two ways
+        array.fill(0x000)
+        array.fill(0x100)
+        _, victim = array.fill(0x200)
+        assert victim is not None
+        assert victim.block_addr == 0x000  # LRU victim
+
+    def test_lru_update_on_lookup(self):
+        array = make_array(size=64, assoc=2, block=32)
+        array.fill(0x000, cycle=0)
+        array.fill(0x100, cycle=1)
+        array.lookup(0x000, cycle=2)  # touch 0x000 so 0x100 becomes LRU
+        _, victim = array.fill(0x200, cycle=3)
+        assert victim.block_addr == 0x100
+
+    def test_probe_does_not_disturb_lru(self):
+        array = make_array(size=64, assoc=2, block=32)
+        array.fill(0x000, cycle=0)
+        array.fill(0x100, cycle=1)
+        array.lookup(0x000, cycle=2, update_lru=False)
+        _, victim = array.fill(0x200, cycle=3)
+        assert victim.block_addr == 0x000
+
+
+class TestInvalidateAndVictims:
+    def test_invalidate_removes(self):
+        array = make_array()
+        array.fill(0x100)
+        removed = array.invalidate(0x100)
+        assert removed.block_addr == 0x100
+        assert not array.contains(0x100)
+
+    def test_invalidate_missing_returns_none(self):
+        array = make_array()
+        assert array.invalidate(0x500) is None
+
+    def test_set_is_full(self):
+        array = make_array(size=64, assoc=2, block=32)
+        assert not array.set_is_full(0x0)
+        array.fill(0x000)
+        array.fill(0x100)
+        assert array.set_is_full(0x200)
+
+    def test_victim_for_when_not_full(self):
+        array = make_array(size=64, assoc=2, block=32)
+        array.fill(0x000)
+        assert array.victim_for(0x100) is None
+
+    def test_victim_for_resident_block(self):
+        array = make_array(size=64, assoc=2, block=32)
+        array.fill(0x000)
+        array.fill(0x100)
+        assert array.victim_for(0x000) is None
+
+    def test_victim_for_full_set(self):
+        array = make_array(size=64, assoc=2, block=32)
+        array.fill(0x000)
+        array.fill(0x100)
+        assert array.victim_for(0x200).block_addr == 0x000
+
+    def test_occupancy_and_len(self):
+        array = make_array()
+        for i in range(5):
+            array.fill(i * 32)
+        assert array.occupancy() == 5
+        assert len(array) == 5
+        assert len(list(array.resident_blocks())) == 5
+
+
+class TestCapacityInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        array = make_array(size=512, assoc=2, block=32)
+        capacity = array.num_sets * array.associativity
+        for cycle, addr in enumerate(addresses):
+            array.fill(addr, cycle=cycle)
+            assert array.occupancy() <= capacity
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+    def test_most_recent_fill_is_always_resident(self, addresses):
+        array = make_array(size=512, assoc=2, block=32)
+        for cycle, addr in enumerate(addresses):
+            array.fill(addr, cycle=cycle)
+            assert array.contains(addr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200),
+        st.sampled_from(["lru", "fifo", "plru", "random"]),
+    )
+    def test_no_duplicate_blocks_any_policy(self, addresses, policy):
+        array = make_array(size=256, assoc=4, block=32, policy=policy)
+        for cycle, addr in enumerate(addresses):
+            array.fill(addr, cycle=cycle)
+        blocks = [blk.block_addr for blk in array.resident_blocks()]
+        assert len(blocks) == len(set(blocks))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200))
+    def test_lookup_after_eviction_misses(self, addresses):
+        array = make_array(size=128, assoc=1, block=32)
+        filled = set()
+        for cycle, addr in enumerate(addresses):
+            _, victim = array.fill(addr, cycle=cycle)
+            filled.add(array.block_addr_of(addr))
+            if victim is not None:
+                assert not array.contains(victim.block_addr)

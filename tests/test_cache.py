@@ -1,0 +1,161 @@
+"""Unit tests for TimedCache, CacheConfig and MainMemory."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_defaults_fill_write_energy(self):
+        cfg = CacheConfig("x", 1024, 2, 32, completion_cycles=2, read_energy_pj=10.0)
+        assert cfg.write_energy_pj == 10.0
+
+    def test_serial_tag_latency_one_less(self):
+        cfg = CacheConfig("x", 1024, 2, 32, completion_cycles=4, access_mode="serial")
+        assert cfg.tag_latency_cycles == 3
+
+    def test_parallel_tag_latency_equals_completion(self):
+        cfg = CacheConfig("x", 1024, 2, 32, completion_cycles=4, access_mode="parallel")
+        assert cfg.tag_latency_cycles == 4
+
+    def test_rejects_unknown_write_policy(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 1024, 2, 32, completion_cycles=2, write_policy="writeback")
+
+    def test_rejects_unknown_access_mode(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 1024, 2, 32, completion_cycles=2, access_mode="pipelined")
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 1024, 2, 32, completion_cycles=0)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 1024, 2, 32, completion_cycles=1, ports=0)
+
+
+class TestPortTiming:
+    def test_port_reservation_respects_initiation(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        first = cache.reserve_port(10)
+        second = cache.reserve_port(10)
+        assert first == 10
+        assert second == 11
+
+    def test_multiple_ports_allow_parallel_starts(self):
+        cfg = CacheConfig("x", 1024, 2, 32, completion_cycles=2, ports=2)
+        cache = TimedCache(cfg)
+        assert cache.reserve_port(5) == 5
+        assert cache.reserve_port(5) == 5
+        assert cache.reserve_port(5) == 6
+
+    def test_port_available(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        assert cache.port_available(0)
+        cache.reserve_port(0)
+        assert not cache.port_available(0)
+        assert cache.port_available(1)
+
+    def test_port_stall_counted(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        cache.reserve_port(0)
+        cache.reserve_port(0)
+        assert cache.stats["port_stall_cycles"] == 1
+
+    def test_initiation_interval_two(self):
+        cfg = CacheConfig("x", 1024, 2, 32, completion_cycles=4, initiation_cycles=2)
+        cache = TimedCache(cfg)
+        assert cache.reserve_port(0) == 0
+        assert cache.reserve_port(0) == 2
+
+    def test_reset_clears_ports(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        cache.reserve_port(0)
+        cache.reset()
+        assert cache.port_available(0)
+
+
+class TestLookupAccounting:
+    def test_read_hit_and_miss_counts(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        cache.lookup(0x100, 0)
+        cache.fill(0x100, 0)
+        cache.lookup(0x100, 1)
+        assert cache.stats["read_misses"] == 1
+        assert cache.stats["read_hits"] == 1
+        assert cache.stats["read_accesses"] == 2
+
+    def test_write_hit_marks_dirty_for_copy_back(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        cache.fill(0x100, 0)
+        block = cache.lookup(0x100, 1, is_write=True)
+        assert block.dirty
+
+    def test_write_hit_stays_clean_for_write_through(self):
+        cfg = CacheConfig(
+            "x", 1024, 2, 32, completion_cycles=2, write_policy="write_through"
+        )
+        cache = TimedCache(cfg)
+        cache.fill(0x100, 0)
+        block = cache.lookup(0x100, 1, is_write=True)
+        assert not block.dirty
+
+    def test_fill_counts_evictions(self):
+        cfg = CacheConfig("x", 64, 2, 32, completion_cycles=1)
+        cache = TimedCache(cfg)
+        cache.fill(0x000, 0)
+        cache.fill(0x100, 0)
+        victim = cache.fill(0x200, 1)
+        assert victim is not None
+        assert cache.stats["evictions"] == 1
+
+    def test_probe_does_not_count(self, small_cache_config):
+        cache = TimedCache(small_cache_config)
+        cache.probe(0x100)
+        assert cache.stats["read_accesses"] == 0
+
+
+class TestMainMemory:
+    def test_critical_word_latency(self):
+        mem = MainMemory(MainMemoryConfig(first_chunk_cycles=100, inter_chunk_cycles=4))
+        assert mem.access(0, block_size=128) == 100
+
+    def test_channel_occupancy_limits_bandwidth(self):
+        mem = MainMemory(MainMemoryConfig(first_chunk_cycles=100, inter_chunk_cycles=4, chunk_bytes=16))
+        first = mem.access(0, block_size=128)
+        second = mem.access(0, block_size=128)
+        # The second transfer has to wait for the 8 chunks of the first.
+        assert second == first + 32
+
+    def test_latency_overlaps_across_requests(self):
+        mem = MainMemory(MainMemoryConfig(first_chunk_cycles=200, inter_chunk_cycles=4))
+        first = mem.access(0, block_size=128)
+        second = mem.access(0, block_size=128)
+        assert second - first < 200
+
+    def test_counts_reads_and_writes(self):
+        mem = MainMemory()
+        mem.access(0, 128)
+        mem.access(0, 128, is_write=True)
+        assert mem.stats["reads"] == 1
+        assert mem.stats["writes"] == 1
+
+    def test_block_transfer_cycles(self):
+        cfg = MainMemoryConfig(first_chunk_cycles=10, inter_chunk_cycles=4, chunk_bytes=16)
+        assert cfg.block_transfer_cycles(128) == 28
+        assert cfg.block_transfer_cycles(16) == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MainMemoryConfig(first_chunk_cycles=0)
+        with pytest.raises(ConfigurationError):
+            MainMemoryConfig(chunk_bytes=0)
+
+    def test_reset(self):
+        mem = MainMemory()
+        mem.access(0, 128)
+        mem.reset()
+        assert mem.next_free_cycle() == 0

@@ -1,0 +1,225 @@
+"""Tests for the D-NUCA cache and its memory-system wrappers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.cache.request import AccessType
+from repro.common.errors import ConfigurationError
+from repro.dnuca.dnuca import DNUCACache, DNUCAConfig
+from repro.dnuca.system import DNUCASystem
+
+
+def small_dnuca(**overrides):
+    config = DNUCAConfig(
+        bank_size_bytes=4096,
+        bank_associativity=2,
+        block_size=128,
+        rows=4,
+        sparse_sets=4,
+        **overrides,
+    )
+    return DNUCACache(config)
+
+
+def small_system(l1=True):
+    dnuca = small_dnuca()
+    memory = MainMemory(MainMemoryConfig(first_chunk_cycles=60, inter_chunk_cycles=2))
+    l1_cache = None
+    if l1:
+        l1_cache = TimedCache(
+            CacheConfig("L1", 1024, 2, 32, completion_cycles=2, write_policy="write_through")
+        )
+    return DNUCASystem(dnuca=dnuca, memory=memory, l1=l1_cache, name="dn-test")
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = DNUCAConfig()
+        assert config.num_banks == 32
+        assert config.total_size_bytes == 8 * 1024 * 1024
+        assert config.name == "DN-4x8"
+        assert config.data_flits == 5
+
+    def test_rejects_bad_insertion(self):
+        with pytest.raises(ConfigurationError):
+            DNUCAConfig(insertion_row="middle")
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ConfigurationError):
+            DNUCAConfig(rows=0)
+
+
+class TestMappingAndPlacement:
+    def test_bankset_spreads_blocks(self):
+        dnuca = small_dnuca()
+        banksets = {dnuca.bankset_of(addr) for addr in range(0, 4096, 128)}
+        assert banksets == {0, 1, 2, 3}
+
+    def test_same_block_same_bankset(self):
+        dnuca = small_dnuca()
+        assert dnuca.bankset_of(0x1000) == dnuca.bankset_of(0x1000 + 64)
+
+    def test_fill_inserts_in_tail_row(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        assert dnuca.row_of(0x1000) == dnuca.config.rows - 1
+
+    def test_head_insertion_policy(self):
+        dnuca = small_dnuca(insertion_row="head")
+        dnuca.fill(0x1000, cycle=0)
+        assert dnuca.row_of(0x1000) == 0
+
+    def test_min_hit_latency_increases_with_row(self):
+        dnuca = small_dnuca()
+        assert dnuca.min_hit_latency(0) < dnuca.min_hit_latency(3)
+
+
+class TestAccessAndPromotion:
+    def test_miss_on_empty(self):
+        dnuca = small_dnuca()
+        result = dnuca.access(0x1000, cycle=0)
+        assert not result.hit
+        assert dnuca.stats["misses"] == 1
+
+    def test_hit_after_fill(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        result = dnuca.access(0x1000, cycle=10)
+        assert result.hit
+        assert result.ready_cycle > 10
+
+    def test_hit_promotes_one_row(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        start_row = dnuca.row_of(0x1000)
+        dnuca.access(0x1000, cycle=10)
+        assert dnuca.row_of(0x1000) == start_row - 1
+        assert dnuca.stats["promotions"] == 1
+
+    def test_promotion_stops_at_row_zero(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        for i in range(6):
+            dnuca.access(0x1000, cycle=100 * (i + 1))
+        assert dnuca.row_of(0x1000) == 0
+
+    def test_promotion_disabled(self):
+        dnuca = small_dnuca(promotion=False)
+        dnuca.fill(0x1000, cycle=0)
+        dnuca.access(0x1000, cycle=10)
+        assert dnuca.row_of(0x1000) == dnuca.config.rows - 1
+
+    def test_promoted_hits_get_faster(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        first = dnuca.access(0x1000, cycle=1000)
+        second = dnuca.access(0x1000, cycle=2000)
+        third = dnuca.access(0x1000, cycle=3000)
+        assert (second.ready_cycle - 2000) <= (first.ready_cycle - 1000)
+        assert (third.ready_cycle - 3000) <= (second.ready_cycle - 2000)
+
+    def test_write_access_marks_dirty(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        dnuca.access(0x1000, cycle=10, is_write=True)
+        coord = dnuca.contains(0x1000)
+        assert dnuca.banks[coord].lookup(0x1000, update_lru=False).dirty
+
+    def test_functional_promote(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        new_row = dnuca.promote_functional(0x1000)
+        assert new_row == dnuca.config.rows - 2
+        assert dnuca.promote_functional(0x999999) is None
+
+    def test_bank_lookup_energy_events(self):
+        dnuca = small_dnuca()
+        dnuca.access(0x1000, cycle=0)
+        assert dnuca.stats["bank_lookups"] == dnuca.config.rows
+
+    def test_occupancy(self):
+        dnuca = small_dnuca()
+        dnuca.fill(0x1000, cycle=0)
+        dnuca.fill(0x2000, cycle=0)
+        assert dnuca.occupancy() == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=150))
+    def test_no_duplicate_blocks_under_promotion(self, indices):
+        dnuca = small_dnuca()
+        for i, index in enumerate(indices):
+            addr = 0x4000 + index * 128
+            result = dnuca.access(addr, cycle=i * 40)
+            if not result.hit:
+                dnuca.fill(addr, cycle=i * 40)
+        seen = set()
+        for bank in dnuca.banks.values():
+            for block in bank.resident_blocks():
+                assert block.block_addr not in seen
+                seen.add(block.block_addr)
+
+
+class TestDNUCASystem:
+    def test_l1_hit_is_fast(self):
+        system = small_system()
+        system.l1.array.fill(0x100)
+        request = system.issue(0x100, AccessType.LOAD, 0)
+        assert request.service_level == "L1"
+        assert request.latency == 2
+
+    def test_dnuca_hit_after_miss(self):
+        system = small_system()
+        first = system.issue(0x4000, AccessType.LOAD, 0)
+        assert first.service_level == "MEM"
+        second = system.issue(0x8000, AccessType.LOAD, first.complete_cycle + 1)
+        assert second.service_level == "MEM"
+        # The first block is now resident (L1 + D-NUCA); evict it from L1 to
+        # exercise the D-NUCA hit path.
+        system.l1.array.invalidate(0x4000)
+        third = system.issue(0x4000, AccessType.LOAD, second.complete_cycle + 1)
+        assert third.service_level == system.dnuca.name
+        assert third.latency < first.latency
+
+    def test_store_posts_through_write_buffer(self):
+        system = small_system()
+        request = system.issue(0x100, AccessType.STORE, 0)
+        assert request.done
+        for cycle in range(1, 20):
+            system.tick(cycle)
+        assert system.l1.write_buffer.is_empty()
+
+    def test_post_write_allocates_dirty(self):
+        system = small_system()
+        system.post_write(0x4000, cycle=0)
+        coord = system.dnuca.contains(0x4000)
+        assert coord is not None
+        assert system.dnuca.banks[coord].lookup(0x4000, update_lru=False).dirty
+
+    def test_direct_system_without_l1(self):
+        system = small_system(l1=False)
+        request = system.issue(0x4000, AccessType.LOAD, 0)
+        assert request.done
+        assert request.service_level == "MEM"
+        assert system.can_accept(0, AccessType.LOAD)
+
+    def test_prewarm_promotes_reused_blocks(self):
+        system = small_system()
+        system.prewarm([0x4000, 0x4000, 0x4000, 0x4000, 0x8000])
+        assert system.dnuca.row_of(0x4000) == 0
+        assert system.dnuca.row_of(0x8000) == system.dnuca.config.rows - 1
+
+    def test_activity_includes_mesh_and_banks(self):
+        system = small_system()
+        system.issue(0x4000, AccessType.LOAD, 0)
+        activity = system.activity()
+        assert any("mesh" in key for key in activity)
+        assert any(key.endswith("bank_lookups") for key in activity)
+
+    def test_finalize_drains(self):
+        system = small_system()
+        system.issue(0x100, AccessType.STORE, 0)
+        system.finalize(1)
+        assert not system.busy()

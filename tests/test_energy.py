@@ -1,0 +1,184 @@
+"""Tests for the CACTI-like SRAM model, Orion-like network model and accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.energy.accounting import (
+    GROUP_DYNAMIC,
+    GROUP_L1_RT,
+    GROUP_L2_RESTT,
+    GROUP_L3_DNUCA,
+    EnergyAccountant,
+    EnergyBreakdown,
+)
+from repro.energy.cacti import SRAMModel
+from repro.energy.orion import LNUCANetworkModel, RouterEnergyModel
+
+
+class TestSRAMModel:
+    def setup_method(self):
+        self.model = SRAMModel(cycle_time_ns=0.30)
+
+    def test_area_grows_with_size(self):
+        assert self.model.area_mm2(256 * 1024) > self.model.area_mm2(32 * 1024)
+
+    def test_area_grows_with_ports(self):
+        single = self.model.area_mm2(32 * 1024, ports=1)
+        dual = self.model.area_mm2(32 * 1024, ports=2)
+        assert 1.5 < dual / single < 3.0
+
+    def test_calibration_l1_plus_l2_matches_table2(self):
+        l1 = self.model.area_mm2(32 * 1024, 4, ports=2)
+        l2 = self.model.area_mm2(256 * 1024, 8, ports=1)
+        assert l1 + l2 == pytest.approx(0.91, rel=0.05)
+
+    def test_calibration_tile_area(self):
+        tile = self.model.area_mm2(8 * 1024, 2)
+        assert 0.03 < tile < 0.05
+
+    def test_delay_grows_with_size(self):
+        assert self.model.access_delay_ns(256 * 1024) > self.model.access_delay_ns(8 * 1024)
+
+    def test_tile_fits_in_one_cycle(self):
+        estimate = self.model.estimate(8 * 1024, 2, 32)
+        assert estimate.access_cycles(0.30) == 1
+
+    def test_l2_needs_several_cycles(self):
+        estimate = self.model.estimate(256 * 1024, 8, 64)
+        assert estimate.access_cycles(0.30) >= 4
+
+    def test_largest_one_cycle_tile_is_8kb(self):
+        assert self.model.largest_one_cycle_tile(associativity=2) == 8
+
+    def test_tag_delay_fraction(self):
+        size = 8 * 1024
+        assert self.model.tag_delay_ns(size) == pytest.approx(
+            0.8 * self.model.access_delay_ns(size)
+        )
+
+    def test_energy_calibration_l2(self):
+        energy = self.model.read_energy_pj(256 * 1024, 8, 64, access_mode="serial")
+        assert energy == pytest.approx(47.2, rel=0.15)
+
+    def test_energy_calibration_tile(self):
+        energy = self.model.read_energy_pj(8 * 1024, 2, 32)
+        assert energy == pytest.approx(14.0, rel=0.3)
+
+    def test_lop_reduces_energy_and_leakage(self):
+        hp = self.model.read_energy_pj(1 << 20, 8, 128)
+        lop = self.model.read_energy_pj(1 << 20, 8, 128, transistor_type="lop")
+        assert lop < hp
+        assert self.model.leakage_mw(1 << 20, "lop") < self.model.leakage_mw(1 << 20)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.area_mm2(0)
+        with pytest.raises(ConfigurationError):
+            SRAMModel(cycle_time_ns=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=10, max_value=24))
+    def test_monotonic_in_size(self, log_size):
+        small = self.model.estimate(1 << log_size)
+        big = self.model.estimate(1 << (log_size + 1))
+        assert big.area_mm2 > small.area_mm2
+        assert big.access_delay_ns > small.access_delay_ns
+        assert big.read_energy_pj > small.read_energy_pj
+
+
+class TestOrionModels:
+    def test_hop_energy_components(self):
+        router = RouterEnergyModel()
+        hop = router.lnuca_hop_energy_pj(link_length_mm=0.25)
+        assert hop > router.search_hop_energy_pj(0.25)
+        assert router.dnuca_hop_energy_pj() > hop
+
+    def test_invalid_link_length(self):
+        with pytest.raises(ConfigurationError):
+            RouterEnergyModel().lnuca_hop_energy_pj(0)
+
+    def test_network_area_scales_with_tiles(self):
+        model = LNUCANetworkModel()
+        small = model.network_area_mm2(5, 20)
+        large = model.network_area_mm2(27, 110)
+        assert large > small
+
+    def test_network_area_ln3_close_to_paper(self):
+        model = LNUCANetworkModel()
+        area = model.network_area_mm2(14, 64)
+        assert 0.04 < area < 0.09
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LNUCANetworkModel().network_area_mm2(-1, 0)
+
+
+class TestAccounting:
+    def make_accountant(self):
+        accountant = EnergyAccountant(cycle_time_ns=1.0)
+        accountant.add_static("L1", GROUP_L1_RT, leakage_mw=10.0)
+        accountant.add_static("L3", GROUP_L3_DNUCA, leakage_mw=100.0)
+        accountant.add_dynamic("reads", energy_pj=50.0)
+        return accountant
+
+    def test_static_energy_scales_with_cycles(self):
+        accountant = self.make_accountant()
+        short = accountant.evaluate({}, cycles=1000)
+        long = accountant.evaluate({}, cycles=2000)
+        assert long.group(GROUP_L1_RT) == pytest.approx(2 * short.group(GROUP_L1_RT))
+
+    def test_static_magnitude(self):
+        accountant = self.make_accountant()
+        # 10 mW for 1000 cycles of 1 ns = 10e-3 W * 1e-6 s = 1e-8 J.
+        breakdown = accountant.evaluate({}, cycles=1000)
+        assert breakdown.group(GROUP_L1_RT) == pytest.approx(1e-8)
+
+    def test_dynamic_energy_counts_events(self):
+        accountant = self.make_accountant()
+        breakdown = accountant.evaluate({"reads": 1000}, cycles=10)
+        assert breakdown.group(GROUP_DYNAMIC) == pytest.approx(1000 * 50e-12)
+
+    def test_missing_activity_keys_are_zero(self):
+        accountant = self.make_accountant()
+        breakdown = accountant.evaluate({"unrelated": 5}, cycles=10)
+        assert breakdown.group(GROUP_DYNAMIC) == 0.0
+
+    def test_static_power_summary(self):
+        accountant = self.make_accountant()
+        assert accountant.static_power_mw() == pytest.approx(110.0)
+        assert accountant.describe()["static_components"] == 2
+
+    def test_count_multiplies_leakage(self):
+        accountant = EnergyAccountant()
+        accountant.add_static("tiles", GROUP_L2_RESTT, leakage_mw=2.2, count=14)
+        assert accountant.static_power_mw() == pytest.approx(30.8)
+
+    def test_unknown_group_rejected(self):
+        accountant = EnergyAccountant()
+        with pytest.raises(ConfigurationError):
+            accountant.add_static("x", "sta_other", 1.0)
+        with pytest.raises(ConfigurationError):
+            accountant.add_dynamic("x", 1.0, group="sta_other")
+
+    def test_normalisation_against_baseline(self):
+        base = EnergyBreakdown({GROUP_DYNAMIC: 2.0, GROUP_L3_DNUCA: 8.0})
+        other = EnergyBreakdown({GROUP_DYNAMIC: 1.0, GROUP_L3_DNUCA: 4.0})
+        normalised = other.normalized_to(base)
+        assert sum(normalised.values()) == pytest.approx(0.5)
+
+    def test_normalisation_requires_positive_baseline(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBreakdown({}).normalized_to(EnergyBreakdown({}))
+
+    def test_merged_and_scaled(self):
+        a = EnergyBreakdown({GROUP_DYNAMIC: 1.0})
+        b = EnergyBreakdown({GROUP_DYNAMIC: 2.0, GROUP_L1_RT: 1.0})
+        merged = a.merged(b)
+        assert merged.group(GROUP_DYNAMIC) == 3.0
+        assert merged.scaled(2.0).total_joules == pytest.approx(8.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_accountant().evaluate({}, cycles=-1)

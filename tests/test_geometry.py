@@ -1,0 +1,189 @@
+"""Tests for the L-NUCA tile geometry and network topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.geometry import ROOT, LNUCAGeometry
+
+
+class TestPlacement:
+    def test_level_sizes_match_paper(self):
+        geometry = LNUCAGeometry(4)
+        sizes = [len(level) for level in geometry.level_tiles]
+        assert sizes == [1, 5, 9, 13]
+
+    def test_total_capacity_design_points(self):
+        # 5/14/27 tiles of 8 KB plus the 32 KB r-tile: 72/144/248 KB.
+        assert LNUCAGeometry(2).num_tiles() == 5
+        assert LNUCAGeometry(3).num_tiles() == 14
+        assert LNUCAGeometry(4).num_tiles() == 27
+
+    def test_root_is_level_one(self):
+        geometry = LNUCAGeometry(3)
+        assert geometry.level_of[ROOT] == 1
+
+    def test_tiles_do_not_overlap_root(self):
+        geometry = LNUCAGeometry(3)
+        assert ROOT not in geometry.tiles
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            LNUCAGeometry(1)
+
+    def test_contains(self):
+        geometry = LNUCAGeometry(2)
+        assert geometry.contains(ROOT)
+        assert geometry.contains((1, 1))
+        assert not geometry.contains((5, 5))
+        assert not geometry.contains((0, -1))
+
+
+class TestLatencies:
+    def test_root_latency_is_one(self):
+        assert LNUCAGeometry(3).nominal_latency(ROOT) == 1
+
+    def test_adjacent_le2_latency_three(self):
+        geometry = LNUCAGeometry(3)
+        assert geometry.nominal_latency((0, 1)) == 3
+        assert geometry.nominal_latency((1, 0)) == 3
+
+    def test_corner_le2_latency_four(self):
+        geometry = LNUCAGeometry(3)
+        assert geometry.nominal_latency((1, 1)) == 4
+
+    def test_upper_corner_grows_three_per_level(self):
+        # The farthest (upper-corner) tile latency increases by 3 per level.
+        for levels in (2, 3, 4, 5):
+            geometry = LNUCAGeometry(levels)
+            corner = (levels - 1, levels - 1)
+            assert geometry.nominal_latency(corner) == 3 * levels - 2
+
+    def test_min_transport_hops_is_manhattan(self):
+        geometry = LNUCAGeometry(3)
+        assert geometry.min_transport_hops((2, 1)) == 3
+
+
+class TestSearchNetwork:
+    def test_every_tile_has_a_parent_in_previous_level(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            parent = geometry.search_parent[tile]
+            assert geometry.level_of[parent] == geometry.level_of[tile] - 1
+
+    def test_search_depth_equals_level_minus_one(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            assert geometry.search_depth(tile) == geometry.level_of[tile] - 1
+
+    def test_children_partition_tiles(self):
+        geometry = LNUCAGeometry(4)
+        all_children = [
+            child for children in geometry.search_children.values() for child in children
+        ]
+        assert sorted(all_children) == sorted(geometry.tiles)
+        assert len(all_children) == len(set(all_children))
+
+    def test_adding_a_level_adds_one_hop(self):
+        for levels in (2, 3, 4):
+            geometry = LNUCAGeometry(levels)
+            max_depth = max(geometry.search_depth(t) for t in geometry.tiles)
+            assert max_depth == levels - 1
+
+
+class TestTransportNetwork:
+    def test_every_tile_has_an_output(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            assert geometry.transport_outputs[tile]
+
+    def test_outputs_strictly_decrease_distance(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            for destination in geometry.transport_outputs[tile]:
+                assert (
+                    geometry.manhattan_to_root(destination)
+                    < geometry.manhattan_to_root(tile)
+                )
+
+    def test_root_has_no_outputs(self):
+        assert LNUCAGeometry(3).transport_outputs[ROOT] == []
+
+    def test_root_reachable_from_every_tile(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            node = tile
+            for _ in range(100):
+                if node == ROOT:
+                    break
+                node = geometry.transport_outputs[node][0]
+            assert node == ROOT
+
+    def test_path_diversity_for_inner_tiles(self):
+        geometry = LNUCAGeometry(3)
+        multi_output = [t for t in geometry.tiles if len(geometry.transport_outputs[t]) > 1]
+        assert multi_output  # the mesh offers multiple return paths
+
+
+class TestReplacementNetwork:
+    def test_outputs_increase_latency(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            for destination in geometry.replacement_outputs[tile]:
+                assert geometry.nominal_latency(destination) > geometry.nominal_latency(tile)
+
+    def test_exactly_two_corner_tiles(self):
+        for levels in (2, 3, 4, 5):
+            geometry = LNUCAGeometry(levels)
+            assert len(geometry.corner_tiles) == 2
+            assert set(geometry.corner_tiles) == {
+                (-(levels - 1), levels - 1),
+                (levels - 1, levels - 1),
+            }
+
+    def test_corner_tiles_have_no_outputs(self):
+        geometry = LNUCAGeometry(3)
+        for corner in geometry.corner_tiles:
+            assert geometry.replacement_outputs[corner] == []
+
+    def test_root_evicts_to_closest_le2_tiles(self):
+        geometry = LNUCAGeometry(3)
+        outputs = geometry.replacement_outputs[ROOT]
+        assert outputs
+        for destination in outputs:
+            assert geometry.level_of[destination] == 2
+            assert geometry.nominal_latency(destination) == 3
+
+    def test_every_tile_reachable_from_root(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            assert geometry.replacement_depth(tile) >= 1
+
+    def test_low_degree(self):
+        geometry = LNUCAGeometry(4)
+        for tile in geometry.tiles:
+            assert 1 <= len(geometry.replacement_outputs.get(tile, [])) <= 3 or (
+                tile in geometry.corner_tiles
+            )
+
+
+class TestLinkCounts:
+    def test_search_links_equal_tiles(self):
+        geometry = LNUCAGeometry(3)
+        assert geometry.link_counts()["search"] == geometry.num_tiles()
+
+    def test_degree_positive(self):
+        geometry = LNUCAGeometry(3)
+        for tile in geometry.tiles:
+            assert geometry.degree(tile) >= 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=6))
+    def test_geometry_invariants_any_level_count(self, levels):
+        geometry = LNUCAGeometry(levels)
+        assert geometry.num_tiles() == sum(4 * n + 1 for n in range(1, levels))
+        for tile in geometry.tiles:
+            assert geometry.transport_outputs[tile]
+            assert geometry.search_parent[tile] in geometry.level_of
+        assert len(geometry.corner_tiles) == 2

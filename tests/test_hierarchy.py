@@ -1,0 +1,160 @@
+"""Unit and integration tests for the conventional hierarchy."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.cache.request import AccessType
+from repro.common.errors import ConfigurationError
+
+
+def issue_load(hierarchy, addr, cycle=0):
+    return hierarchy.issue(addr, AccessType.LOAD, cycle)
+
+
+def issue_store(hierarchy, addr, cycle=0):
+    return hierarchy.issue(addr, AccessType.STORE, cycle)
+
+
+class TestLoads:
+    def test_l1_hit_latency(self, small_hierarchy):
+        small_hierarchy.levels[0].array.fill(0x100)
+        request = issue_load(small_hierarchy, 0x100, cycle=0)
+        assert request.done
+        assert request.service_level == "L1"
+        assert request.latency == small_hierarchy.levels[0].completion_cycles
+
+    def test_l2_hit_slower_than_l1(self, small_hierarchy):
+        small_hierarchy.levels[0].array.fill(0x100)
+        small_hierarchy.levels[1].array.fill(0x200)
+        l1_hit = issue_load(small_hierarchy, 0x100, cycle=0)
+        l2_hit = issue_load(small_hierarchy, 0x200, cycle=10)
+        assert l2_hit.service_level == "L2"
+        assert l2_hit.latency > l1_hit.latency
+
+    def test_memory_miss_slowest(self, small_hierarchy):
+        l2_addr = 0x200
+        small_hierarchy.levels[1].array.fill(l2_addr)
+        l2_hit = issue_load(small_hierarchy, l2_addr, cycle=0)
+        miss = issue_load(small_hierarchy, 0x9000, cycle=50)
+        assert miss.service_level == "MEM"
+        assert miss.latency > l2_hit.latency
+
+    def test_miss_fills_all_levels(self, small_hierarchy):
+        issue_load(small_hierarchy, 0x4000, cycle=0)
+        assert small_hierarchy.levels[0].array.contains(0x4000)
+        assert small_hierarchy.levels[1].array.contains(0x4000)
+
+    def test_second_access_hits_l1(self, small_hierarchy):
+        first = issue_load(small_hierarchy, 0x4000, cycle=0)
+        second = issue_load(small_hierarchy, 0x4000, cycle=first.complete_cycle + 1)
+        assert second.service_level == "L1"
+
+    def test_secondary_miss_merges(self, small_hierarchy):
+        first = issue_load(small_hierarchy, 0x8000, cycle=0)
+        second = issue_load(small_hierarchy, 0x8000, cycle=2)
+        assert second.complete_cycle <= first.complete_cycle + 1
+        assert small_hierarchy.stats["secondary_miss_merges"] >= 1
+
+    def test_port_contention_delays_later_requests(self, small_hierarchy):
+        small_hierarchy.levels[0].array.fill(0x100)
+        small_hierarchy.levels[0].array.fill(0x400)
+        a = issue_load(small_hierarchy, 0x100, cycle=0)
+        b = issue_load(small_hierarchy, 0x400, cycle=0)
+        assert b.complete_cycle > a.complete_cycle
+
+    def test_response_bus_adds_latency(self):
+        def build(bus_cycles):
+            l1 = TimedCache(CacheConfig("L1", 1024, 2, 32, completion_cycles=2))
+            l2 = TimedCache(CacheConfig("L2", 4096, 4, 64, completion_cycles=4))
+            mem = MainMemory(MainMemoryConfig(first_chunk_cycles=50))
+            return ConventionalHierarchy([l1, l2], mem, bus_hop_cycles=bus_cycles)
+
+        fast = build(0)
+        slow = build(2)
+        fast.levels[1].array.fill(0x2000)
+        slow.levels[1].array.fill(0x2000)
+        assert issue_load(slow, 0x2000).latency > issue_load(fast, 0x2000).latency
+
+    def test_extra_bus_hops_add_latency(self):
+        def build(extra):
+            l3 = TimedCache(CacheConfig("L3", 8192, 4, 128, completion_cycles=10))
+            mem = MainMemory(MainMemoryConfig(first_chunk_cycles=50))
+            return ConventionalHierarchy([l3], mem, extra_bus_hops=extra)
+
+        near = build(0)
+        far = build(2)
+        near.levels[0].array.fill(0x2000)
+        far.levels[0].array.fill(0x2000)
+        assert issue_load(far, 0x2000).latency > issue_load(near, 0x2000).latency
+
+
+class TestStores:
+    def test_write_through_l1_posts_to_write_buffer(self, small_hierarchy):
+        request = issue_store(small_hierarchy, 0x100, cycle=0)
+        assert request.done
+        assert small_hierarchy.levels[0].write_buffer.occupancy == 1
+
+    def test_write_buffer_drains_on_tick(self, small_hierarchy):
+        issue_store(small_hierarchy, 0x100, cycle=0)
+        for cycle in range(1, 10):
+            small_hierarchy.tick(cycle)
+        assert small_hierarchy.levels[0].write_buffer.is_empty()
+        assert small_hierarchy.levels[1].array.contains(0x100)
+
+    def test_store_coalescing(self, small_hierarchy):
+        issue_store(small_hierarchy, 0x100, cycle=0)
+        issue_store(small_hierarchy, 0x104, cycle=1)
+        assert small_hierarchy.levels[0].write_buffer.occupancy == 1
+
+    def test_copy_back_l1_allocates_on_write_miss(self):
+        l1 = TimedCache(
+            CacheConfig("L1", 1024, 2, 32, completion_cycles=2, write_policy="copy_back")
+        )
+        mem = MainMemory(MainMemoryConfig(first_chunk_cycles=50))
+        hierarchy = ConventionalHierarchy([l1], mem)
+        issue_store(hierarchy, 0x300, cycle=0)
+        block = l1.array.lookup(0x300, update_lru=False)
+        assert block is not None and block.dirty
+
+    def test_posted_write_updates_first_level(self, small_hierarchy):
+        small_hierarchy.post_write(0x2000, cycle=0)
+        assert small_hierarchy.stats["posted_writes"] == 1
+
+
+class TestLifecycle:
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalHierarchy([], MainMemory())
+
+    def test_can_accept_depends_on_ports(self, small_hierarchy):
+        assert small_hierarchy.can_accept(0, AccessType.LOAD)
+        small_hierarchy.levels[0].reserve_port(0)
+        assert not small_hierarchy.can_accept(0, AccessType.LOAD)
+
+    def test_finalize_drains_buffers(self, small_hierarchy):
+        issue_store(small_hierarchy, 0x100, cycle=0)
+        small_hierarchy.finalize(1)
+        assert not small_hierarchy.busy()
+
+    def test_level_by_name(self, small_hierarchy):
+        assert small_hierarchy.level_by_name("L2").name == "L2"
+        with pytest.raises(KeyError):
+            small_hierarchy.level_by_name("L9")
+
+    def test_activity_namespaced_by_level(self, small_hierarchy):
+        issue_load(small_hierarchy, 0x100, cycle=0)
+        activity = small_hierarchy.activity()
+        assert "L1.read_accesses" in activity
+        assert "MEM.reads" in activity
+
+    def test_prewarm_installs_blocks(self, small_hierarchy):
+        small_hierarchy.prewarm([0x100, 0x200, 0x300])
+        for addr in (0x100, 0x200, 0x300):
+            assert small_hierarchy.levels[0].array.contains(addr)
+            assert small_hierarchy.levels[1].array.contains(addr)
+
+    def test_prewarm_does_not_touch_stats(self, small_hierarchy):
+        small_hierarchy.prewarm([0x100])
+        assert small_hierarchy.levels[0].stats["read_accesses"] == 0

@@ -1,0 +1,110 @@
+"""End-to-end integration tests comparing whole hierarchies.
+
+These check the qualitative relationships the paper's evaluation rests on,
+using small but non-trivial synthetic workloads.
+"""
+
+import pytest
+
+from repro.cpu.workloads import WorkloadSpec
+from repro.sim.configs import (
+    build_conventional_hierarchy,
+    build_dnuca_hierarchy,
+    build_lnuca_dnuca_hierarchy,
+    build_lnuca_l3_hierarchy,
+)
+from repro.sim.runner import run_workload
+
+_N = 4000
+
+
+@pytest.fixture(scope="module")
+def warm_workload():
+    """A workload whose working set sits between the L1 and L2 sizes."""
+    return WorkloadSpec(
+        name="warmset", category="int", seed=42,
+        regions=((16.0, 0.72), (72.0, 0.22)), stream_weight=0.04, cold_weight=0.02,
+    )
+
+
+@pytest.fixture(scope="module")
+def l1_resident_workload():
+    """A workload that fits almost entirely in the 32 KB L1."""
+    return WorkloadSpec(
+        name="l1fit", category="int", seed=43,
+        regions=((16.0, 0.97),), stream_weight=0.02, cold_weight=0.01,
+    )
+
+
+class TestConventionalVsLNUCA:
+    def test_lnuca_beats_baseline_on_warm_working_set(self, warm_workload):
+        base = run_workload(build_conventional_hierarchy, warm_workload, _N)
+        ln3 = run_workload(lambda: build_lnuca_l3_hierarchy(3), warm_workload, _N)
+        assert ln3.ipc > base.ipc
+
+    def test_l1_resident_workload_never_hurt(self, l1_resident_workload):
+        # With the working set inside the L1, the L-NUCA must not slow the
+        # core down; it may still gain a little on the few L1 misses because
+        # of its faster miss determination.
+        base = run_workload(build_conventional_hierarchy, l1_resident_workload, _N)
+        ln3 = run_workload(lambda: build_lnuca_l3_hierarchy(3), l1_resident_workload, _N)
+        assert ln3.ipc >= base.ipc * 0.98
+        assert ln3.ipc == pytest.approx(base.ipc, rel=0.15)
+
+    def test_lnuca_serves_former_l2_hits_from_tiles(self, warm_workload):
+        base = run_workload(build_conventional_hierarchy, warm_workload, _N)
+        ln3 = run_workload(lambda: build_lnuca_l3_hierarchy(3), warm_workload, _N)
+        l2_hits = base.activity_value("L2.read_hits")
+        tile_hits = sum(
+            ln3.activity_value(f"read_hits_Le{level}") for level in (2, 3, 4)
+        )
+        assert l2_hits > 0
+        assert tile_hits > 0.5 * l2_hits
+
+    def test_transport_contention_is_negligible(self, warm_workload):
+        ln3 = run_workload(lambda: build_lnuca_l3_hierarchy(3), warm_workload, _N)
+        actual = ln3.activity_value("transport_actual_cycles")
+        minimum = ln3.activity_value("transport_min_cycles")
+        assert minimum > 0
+        assert actual / minimum < 1.25
+
+    def test_larger_l2_does_not_hurt(self, warm_workload):
+        small = run_workload(lambda: build_conventional_hierarchy(128), warm_workload, _N)
+        large = run_workload(lambda: build_conventional_hierarchy(512), warm_workload, _N)
+        assert large.ipc >= small.ipc * 0.98
+
+
+class TestDNUCAIntegration:
+    def test_lnuca_in_front_of_dnuca_improves_ipc(self, warm_workload):
+        base = run_workload(build_dnuca_hierarchy, warm_workload, _N)
+        combo = run_workload(lambda: build_lnuca_dnuca_hierarchy(2), warm_workload, _N)
+        assert combo.ipc > base.ipc
+
+    def test_dnuca_baseline_completes_all_requests(self, warm_workload):
+        base = run_workload(build_dnuca_hierarchy, warm_workload, _N)
+        assert base.instructions == _N
+
+    def test_combined_hierarchy_uses_both_fabrics(self, warm_workload):
+        combo = run_workload(lambda: build_lnuca_dnuca_hierarchy(3), warm_workload, _N)
+        assert combo.activity_value("read_hits_Le2") > 0
+        assert combo.activity_value("DN-4x8-backside.bank_lookups") >= 0
+
+
+class TestLevelScaling:
+    def test_more_levels_capture_more_hits(self):
+        spec = WorkloadSpec(
+            name="big-warm", category="fp", seed=44,
+            regions=((16.0, 0.55), (176.0, 0.38)), stream_weight=0.04, cold_weight=0.03,
+        )
+        ln2 = run_workload(lambda: build_lnuca_l3_hierarchy(2), spec, _N)
+        ln4 = run_workload(lambda: build_lnuca_l3_hierarchy(4), spec, _N)
+        hits2 = sum(ln2.activity_value(f"read_hits_Le{l}") for l in (2, 3, 4))
+        hits4 = sum(ln4.activity_value(f"read_hits_Le{l}") for l in (2, 3, 4))
+        assert hits4 > hits2
+        assert ln4.activity_value("global_misses") < ln2.activity_value("global_misses")
+
+    def test_deterministic_results_across_runs(self, warm_workload):
+        a = run_workload(lambda: build_lnuca_l3_hierarchy(3), warm_workload, 2000)
+        b = run_workload(lambda: build_lnuca_l3_hierarchy(3), warm_workload, 2000)
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc

@@ -1,0 +1,121 @@
+"""Property-based tests for the Light NUCA invariants.
+
+These drive the cycle-level model with random request streams and check the
+invariants the design relies on:
+
+* content exclusion — a block never lives in two tiles (or a tile and the
+  r-tile) at once;
+* liveness — every issued request eventually completes, and the model fully
+  drains;
+* capacity — the number of resident blocks never exceeds the fabric's
+  capacity;
+* determinism — the same request stream produces the same timing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.request import AccessType
+
+from .conftest import make_small_lnuca
+
+# Addresses are drawn from a small pool so that the streams exercise reuse,
+# eviction, and in-flight races rather than only compulsory misses.
+address_pool = st.integers(min_value=0, max_value=300).map(lambda i: 0x10000 + i * 32)
+request_stream = st.lists(
+    st.tuples(address_pool, st.booleans(), st.integers(min_value=0, max_value=3)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def drive(lnuca, stream):
+    """Issue the stream (with per-request gaps) and drain the model."""
+    requests = []
+    cycle = 0
+    for addr, is_write, gap in stream:
+        access = AccessType.STORE if is_write else AccessType.LOAD
+        while not lnuca.can_accept(cycle, access):
+            lnuca.tick(cycle)
+            cycle += 1
+        requests.append(lnuca.issue(addr, access, cycle))
+        for _ in range(gap):
+            lnuca.tick(cycle)
+            cycle += 1
+    guard = cycle + 5000
+    while lnuca.busy() and cycle < guard:
+        lnuca.tick(cycle)
+        cycle += 1
+    return requests, cycle
+
+
+@settings(max_examples=25, deadline=None)
+@given(request_stream)
+def test_every_request_completes(stream):
+    lnuca = make_small_lnuca(3)
+    requests, _ = drive(lnuca, stream)
+    assert all(request.done for request in requests)
+
+
+@settings(max_examples=25, deadline=None)
+@given(request_stream)
+def test_model_drains_completely(stream):
+    lnuca = make_small_lnuca(3)
+    _, cycle = drive(lnuca, stream)
+    assert not lnuca.busy()
+
+
+@settings(max_examples=20, deadline=None)
+@given(request_stream)
+def test_content_exclusion_invariant(stream):
+    lnuca = make_small_lnuca(2)
+    drive(lnuca, stream)
+    seen = set()
+    blocks = [blk.block_addr for blk in lnuca.rtile.array.resident_blocks()]
+    for tile in lnuca.tiles.values():
+        blocks.extend(blk.block_addr for blk in tile.array.resident_blocks())
+    for block in blocks:
+        assert block not in seen, f"block 0x{block:x} resident twice"
+        seen.add(block)
+
+
+@settings(max_examples=20, deadline=None)
+@given(request_stream)
+def test_occupancy_never_exceeds_capacity(stream):
+    lnuca = make_small_lnuca(2)
+    drive(lnuca, stream)
+    capacity = (
+        lnuca.rtile.array.num_sets * lnuca.rtile.array.associativity
+        + sum(t.array.num_sets * t.array.associativity for t in lnuca.tiles.values())
+    )
+    assert lnuca.total_occupancy() <= capacity
+
+
+@settings(max_examples=20, deadline=None)
+@given(request_stream)
+def test_loads_complete_in_bounded_time(stream):
+    lnuca = make_small_lnuca(3)
+    requests, _ = drive(lnuca, stream)
+    # Worst case: search (levels) + backside L3 + memory + queueing slack.
+    bound = 600
+    for request in requests:
+        assert request.latency < bound
+
+
+@settings(max_examples=15, deadline=None)
+@given(request_stream)
+def test_deterministic_replay(stream):
+    first, _ = drive(make_small_lnuca(3, seed=5), stream)
+    second, _ = drive(make_small_lnuca(3, seed=5), stream)
+    assert [r.complete_cycle for r in first] == [r.complete_cycle for r in second]
+
+
+@settings(max_examples=15, deadline=None)
+@given(request_stream)
+def test_hits_by_level_account_for_all_loads(stream):
+    lnuca = make_small_lnuca(3)
+    requests, _ = drive(lnuca, stream)
+    loads = [r for r in requests if r.access is AccessType.LOAD]
+    levels = {r.service_level for r in loads}
+    allowed = {"L1-RT", "Le2", "Le3", "L3", "MEM"}
+    assert levels.issubset(allowed)

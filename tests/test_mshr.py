@@ -1,0 +1,127 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.common.errors import ConfigurationError
+
+
+class TestAllocation:
+    def test_starts_empty(self):
+        mshr = MSHRFile(4)
+        assert mshr.occupancy == 0
+        assert not mshr.is_full()
+
+    def test_allocate_tracks_block(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, cycle=5)
+        assert mshr.has_entry(0x100)
+        assert mshr.get(0x100).allocate_cycle == 5
+
+    def test_allocate_duplicate_rejected(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0)
+        with pytest.raises(ConfigurationError):
+            mshr.allocate(0x100, 1)
+
+    def test_fills_up(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, 0)
+        mshr.allocate(0x200, 0)
+        assert mshr.is_full()
+        with pytest.raises(ConfigurationError):
+            mshr.allocate(0x300, 0)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(0)
+
+
+class TestSecondaryMisses:
+    def test_merge_increments_secondary(self):
+        mshr = MSHRFile(2, max_secondary=2)
+        mshr.allocate(0x100, 0)
+        entry = mshr.merge(0x100, 1)
+        assert entry.secondary == 1
+
+    def test_merge_without_entry_rejected(self):
+        mshr = MSHRFile(2)
+        with pytest.raises(ConfigurationError):
+            mshr.merge(0x100, 0)
+
+    def test_merge_capacity_limit(self):
+        mshr = MSHRFile(2, max_secondary=1)
+        mshr.allocate(0x100, 0)
+        mshr.merge(0x100, 1)
+        assert not mshr.can_handle(0x100)
+        with pytest.raises(ConfigurationError):
+            mshr.merge(0x100, 2)
+
+    def test_can_handle_new_block_depends_on_capacity(self):
+        mshr = MSHRFile(1)
+        assert mshr.can_handle(0x100)
+        mshr.allocate(0x100, 0)
+        assert not mshr.can_handle(0x200)
+        assert mshr.can_handle(0x100)
+
+    def test_stats_track_primary_and_secondary(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0)
+        mshr.merge(0x100, 1)
+        assert mshr.stats["primary_misses"] == 1
+        assert mshr.stats["secondary_misses"] == 1
+
+
+class TestRelease:
+    def test_release_frees_entry(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(0x100, 0)
+        mshr.release(0x100)
+        assert not mshr.has_entry(0x100)
+        assert mshr.can_handle(0x200)
+
+    def test_release_unknown_rejected(self):
+        mshr = MSHRFile(1)
+        with pytest.raises(ConfigurationError):
+            mshr.release(0x100)
+
+    def test_release_ready_only_past_entries(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0)
+        mshr.allocate(0x200, 0)
+        mshr.set_ready(0x100, 10)
+        mshr.set_ready(0x200, 20)
+        released = mshr.release_ready(15)
+        assert [e.block_addr for e in released] == [0x100]
+        assert mshr.has_entry(0x200)
+
+    def test_release_ready_ignores_unknown_ready(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0)
+        assert mshr.release_ready(100) == []
+
+    def test_earliest_ready_cycle(self):
+        mshr = MSHRFile(4)
+        assert mshr.earliest_ready_cycle() is None
+        mshr.allocate(0x100, 0)
+        mshr.set_ready(0x100, 42)
+        mshr.allocate(0x200, 0)
+        mshr.set_ready(0x200, 17)
+        assert mshr.earliest_ready_cycle() == 17
+
+    def test_outstanding_blocks(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0)
+        mshr.allocate(0x300, 0)
+        assert sorted(mshr.outstanding_blocks()) == [0x100, 0x300]
+
+    def test_set_ready_unknown_rejected(self):
+        mshr = MSHRFile(4)
+        with pytest.raises(ConfigurationError):
+            mshr.set_ready(0x500, 3)
+
+    def test_reset_clears(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, 0)
+        mshr.reset()
+        assert mshr.occupancy == 0

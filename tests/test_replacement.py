@@ -1,0 +1,135 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestLRU:
+    def test_initial_victim_is_last_way(self):
+        lru = LRUPolicy(4)
+        assert lru.victim_way(0, [None] * 4) == 3
+
+    def test_access_moves_to_front(self):
+        lru = LRUPolicy(4)
+        lru.on_access(0, 3, cycle=1)
+        assert lru.victim_way(0, [None] * 4) == 2
+
+    def test_sequence_of_accesses(self):
+        lru = LRUPolicy(2)
+        lru.on_access(0, 0, 1)
+        lru.on_access(0, 1, 2)
+        assert lru.victim_way(0, [None, None]) == 0
+        lru.on_access(0, 0, 3)
+        assert lru.victim_way(0, [None, None]) == 1
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy(2)
+        lru.on_access(0, 1, 1)
+        assert lru.victim_way(1, [None, None]) == 1
+
+    def test_invalidate_moves_to_lru_position(self):
+        lru = LRUPolicy(4)
+        lru.on_access(0, 2, 1)
+        lru.on_invalidate(0, 2)
+        assert lru.victim_way(0, [None] * 4) == 2
+
+    def test_recency_order_tracks_mru(self):
+        lru = LRUPolicy(3)
+        lru.on_access(0, 1, 1)
+        lru.on_access(0, 2, 2)
+        assert lru.recency_order(0)[0] == 2
+
+
+class TestFIFO:
+    def test_initial_order(self):
+        fifo = FIFOPolicy(4)
+        assert fifo.victim_way(0, [None] * 4) == 0
+
+    def test_fill_moves_to_back(self):
+        fifo = FIFOPolicy(2)
+        fifo.on_fill(0, 0, 1)
+        assert fifo.victim_way(0, [None, None]) == 1
+
+    def test_access_does_not_change_order(self):
+        fifo = FIFOPolicy(2)
+        fifo.on_fill(0, 0, 1)
+        fifo.on_access(0, 1, 2)
+        assert fifo.victim_way(0, [None, None]) == 1
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        rnd = RandomPolicy(4, seed=1)
+        for _ in range(50):
+            assert 0 <= rnd.victim_way(0, [None] * 4) < 4
+
+    def test_deterministic_for_seed(self):
+        a = RandomPolicy(8, seed=3)
+        b = RandomPolicy(8, seed=3)
+        seq_a = [a.victim_way(0, [None] * 8) for _ in range(20)]
+        seq_b = [b.victim_way(0, [None] * 8) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_covers_multiple_ways(self):
+        rnd = RandomPolicy(4, seed=5)
+        seen = {rnd.victim_way(0, [None] * 4) for _ in range(200)}
+        assert len(seen) == 4
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            PLRUPolicy(3)
+
+    def test_single_way(self):
+        plru = PLRUPolicy(1)
+        assert plru.victim_way(0, [None]) == 0
+
+    def test_victim_avoids_recently_used(self):
+        plru = PLRUPolicy(4)
+        for way in range(4):
+            plru.on_access(0, way, way)
+        # After touching every way, the victim must be a valid way and must
+        # not be the most recently touched one.
+        victim = plru.victim_way(0, [None] * 4)
+        assert 0 <= victim < 4
+        assert victim != 3
+
+    def test_two_way_behaves_like_lru(self):
+        plru = PLRUPolicy(2)
+        lru = LRUPolicy(2)
+        pattern = [0, 1, 0, 0, 1, 1, 0]
+        for cycle, way in enumerate(pattern):
+            plru.on_access(0, way, cycle)
+            lru.on_access(0, way, cycle)
+        assert plru.victim_way(0, [None, None]) == lru.victim_way(0, [None, None])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy),
+        ("fifo", FIFOPolicy),
+        ("random", RandomPolicy),
+        ("plru", PLRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_make_policy_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 2), LRUPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("mru", 4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("lru", 0)

@@ -1,0 +1,154 @@
+"""Unit tests for statistics containers and means."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Histogram, Stats, geometric_mean, harmonic_mean, weighted_mean
+
+
+class TestStats:
+    def test_counters_start_at_zero(self):
+        stats = Stats("x")
+        assert stats.get("anything") == 0.0
+        assert stats["anything"] == 0.0
+
+    def test_incr_accumulates(self):
+        stats = Stats()
+        stats.incr("hits")
+        stats.incr("hits", 4)
+        assert stats["hits"] == 5
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.incr("x", 3)
+        stats.set("x", 1)
+        assert stats["x"] == 1
+
+    def test_contains_only_touched_keys(self):
+        stats = Stats()
+        stats.incr("a")
+        assert "a" in stats
+        assert "b" not in stats
+
+    def test_ratio(self):
+        stats = Stats()
+        stats.incr("hits", 30)
+        stats.incr("accesses", 40)
+        assert stats.ratio("hits", "accesses") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        stats = Stats()
+        stats.incr("hits", 30)
+        assert stats.ratio("hits", "accesses") == 0.0
+
+    def test_merge_with_prefix(self):
+        a = Stats("a")
+        b = Stats("b")
+        b.incr("hits", 2)
+        a.merge(b, prefix="L1.")
+        assert a["L1.hits"] == 2
+
+    def test_merge_adds_to_existing(self):
+        a = Stats()
+        a.incr("hits", 1)
+        b = Stats()
+        b.incr("hits", 2)
+        a.merge(b)
+        assert a["hits"] == 3
+
+    def test_as_dict_is_copy(self):
+        stats = Stats()
+        stats.incr("x")
+        snapshot = stats.as_dict()
+        snapshot["x"] = 99
+        assert stats["x"] == 1
+
+    def test_reset(self):
+        stats = Stats()
+        stats.incr("x", 5)
+        stats.reset()
+        assert stats["x"] == 0
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean() == 0.0
+        assert hist.minimum() == 0
+        assert hist.maximum() == 0
+        assert hist.total_samples == 0
+
+    def test_mean_min_max(self):
+        hist = Histogram()
+        hist.add(2)
+        hist.add(4)
+        hist.add(6)
+        assert hist.mean() == pytest.approx(4.0)
+        assert hist.minimum() == 2
+        assert hist.maximum() == 6
+
+    def test_weighted_add(self):
+        hist = Histogram()
+        hist.add(3, count=3)
+        hist.add(9, count=1)
+        assert hist.total_samples == 4
+        assert hist.mean() == pytest.approx(4.5)
+
+    def test_percentile(self):
+        hist = Histogram()
+        for value in range(1, 11):
+            hist.add(value)
+        assert hist.percentile(0.5) == 5
+        assert hist.percentile(1.0) == 10
+
+    def test_percentile_rejects_bad_fraction(self):
+        hist = Histogram()
+        hist.add(1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_as_dict(self):
+        hist = Histogram()
+        hist.add(7, 2)
+        assert hist.as_dict() == {7: 2}
+
+
+class TestMeans:
+    def test_harmonic_mean_simple(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_harmonic_mean_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+    def test_harmonic_mean_empty(self):
+        assert harmonic_mean([]) == 0.0
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_weighted_mean(self):
+        values = {"a": 1.0, "b": 3.0}
+        weights = {"a": 1.0, "b": 1.0}
+        assert weighted_mean(values, weights) == pytest.approx(2.0)
+
+    def test_weighted_mean_zero_weights(self):
+        assert weighted_mean({"a": 1.0}, {}) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_harmonic_le_geometric(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_harmonic_mean_bounded_by_extremes(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9

@@ -1,0 +1,175 @@
+"""Tests for the synthetic workload generator and trace container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.isa import Instruction, InstrClass
+from repro.cpu.trace import Trace
+from repro.cpu.workloads import (
+    WorkloadSpec,
+    fp_suite,
+    full_suite,
+    generate_trace,
+    integer_suite,
+    representative_suite,
+    workload_by_name,
+)
+
+
+class TestInstruction:
+    def test_memory_classification(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.INT_ALU.is_memory
+
+    def test_fp_classification(self):
+        assert InstrClass.FP_ALU.is_fp
+        assert not InstrClass.LOAD.is_fp
+
+    def test_producers_resolve_distances(self):
+        instr = Instruction(kind=InstrClass.INT_ALU, dep1=2, dep2=5)
+        assert instr.producers(10) == (8, 5)
+
+    def test_producers_ignore_out_of_range(self):
+        instr = Instruction(kind=InstrClass.INT_ALU, dep1=5)
+        assert instr.producers(3) == ()
+
+
+class TestTraceContainer:
+    def test_class_mix_sums_to_one(self, tiny_trace):
+        mix = tiny_trace.class_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_memory_instruction_count(self, tiny_trace):
+        expected = sum(1 for i in tiny_trace if i.kind.is_memory)
+        assert tiny_trace.memory_instructions() == expected
+
+    def test_footprint_positive(self, tiny_trace):
+        assert tiny_trace.footprint_bytes() > 0
+
+    def test_indexing_and_len(self, tiny_trace):
+        assert len(tiny_trace) == 800
+        assert isinstance(tiny_trace[0], Instruction)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self, tiny_workload):
+        a = generate_trace(tiny_workload, 500)
+        b = generate_trace(tiny_workload, 500)
+        assert [i.addr for i in a] == [i.addr for i in b]
+        assert [i.kind for i in a] == [i.kind for i in b]
+
+    def test_different_seeds_differ(self, tiny_workload):
+        a = generate_trace(tiny_workload, 500, seed=1)
+        b = generate_trace(tiny_workload, 500, seed=2)
+        assert [i.addr for i in a] != [i.addr for i in b]
+
+    def test_requested_length(self, tiny_workload):
+        assert len(generate_trace(tiny_workload, 123)) == 123
+
+    def test_rejects_empty_trace(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            generate_trace(tiny_workload, 0)
+
+    def test_class_fractions_roughly_respected(self, tiny_workload):
+        trace = generate_trace(tiny_workload, 8000)
+        mix = trace.class_mix()
+        assert mix["LOAD"] == pytest.approx(tiny_workload.load_fraction, abs=0.03)
+        assert mix["STORE"] == pytest.approx(tiny_workload.store_fraction, abs=0.03)
+        assert mix["BRANCH"] == pytest.approx(tiny_workload.branch_fraction, abs=0.03)
+
+    def test_memory_ops_have_addresses(self, tiny_trace):
+        for instr in tiny_trace:
+            if instr.kind.is_memory:
+                assert instr.addr > 0
+            else:
+                assert instr.addr == 0
+
+    def test_transient_flags_streaming_and_cold(self):
+        spec = WorkloadSpec(
+            name="streamy", category="fp", regions=((8.0, 0.5),),
+            stream_weight=0.3, cold_weight=0.2, seed=3,
+        )
+        trace = generate_trace(spec, 4000)
+        transients = [i for i in trace if i.kind.is_memory and i.transient]
+        residents = [i for i in trace if i.kind.is_memory and not i.transient]
+        assert transients and residents
+        # Resident accesses stay within the declared reuse region span.
+        for instr in residents:
+            assert instr.addr < 0x3000_0000
+
+    def test_pointer_chase_creates_load_load_deps(self):
+        spec = WorkloadSpec(
+            name="chasing", category="int", pointer_chase_fraction=0.9, seed=5,
+            load_fraction=0.4,
+        )
+        trace = generate_trace(spec, 3000)
+        chased = 0
+        for index, instr in enumerate(trace):
+            if instr.kind is InstrClass.LOAD and instr.dep1:
+                producer = trace[index - instr.dep1]
+                if producer.kind is InstrClass.LOAD:
+                    chased += 1
+        assert chased > 100
+
+    def test_fp_fraction_controls_fp_ops(self):
+        spec = WorkloadSpec(name="fp-heavy", category="fp", fp_fraction=0.9, seed=6)
+        trace = generate_trace(spec, 3000)
+        mix = trace.class_mix()
+        assert mix["FP_ALU"] > mix["INT_ALU"]
+
+    def test_mispredicted_branch_rate(self):
+        spec = WorkloadSpec(name="br", category="int", mispredict_rate=0.5,
+                            branch_fraction=0.3, seed=8)
+        trace = generate_trace(spec, 4000)
+        branches = [i for i in trace if i.kind is InstrClass.BRANCH]
+        mispredicted = [i for i in branches if i.mispredicted]
+        assert 0.3 < len(mispredicted) / len(branches) < 0.7
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_any_length_generates(self, length):
+        spec = WorkloadSpec(name="any", category="int", seed=9)
+        assert len(generate_trace(spec, length)) == length
+
+
+class TestSuites:
+    def test_suite_sizes(self):
+        assert len(integer_suite()) == 11
+        assert len(fp_suite()) == 10
+        assert len(full_suite()) == 21
+
+    def test_categories_consistent(self):
+        assert all(spec.category == "int" for spec in integer_suite())
+        assert all(spec.category == "fp" for spec in fp_suite())
+
+    def test_unique_names(self):
+        names = [spec.name for spec in full_suite()]
+        assert len(names) == len(set(names))
+
+    def test_workload_by_name(self):
+        assert workload_by_name("mcf-like").pointer_chase_fraction > 0
+        with pytest.raises(KeyError):
+            workload_by_name("does-not-exist")
+
+    def test_representative_suite_balance(self):
+        suite = representative_suite(3)
+        assert sum(1 for s in suite if s.category == "int") == 3
+        assert sum(1 for s in suite if s.category == "fp") == 3
+
+    def test_representative_suite_caps_at_full(self):
+        suite = representative_suite(100)
+        assert len(suite) == len(full_suite())
+
+    def test_fp_workloads_have_larger_warm_sets(self):
+        int_warm = [max(size for size, _ in spec.regions) for spec in integer_suite()]
+        fp_warm = [max(size for size, _ in spec.regions) for spec in fp_suite()]
+        assert sum(fp_warm) / len(fp_warm) > sum(int_warm) / len(int_warm)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", category="vector")
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", category="int", load_fraction=0.6, store_fraction=0.5)

@@ -1,0 +1,91 @@
+"""Unit tests for the write buffer."""
+
+import pytest
+
+from repro.cache.writebuffer import WriteBuffer
+from repro.common.errors import ConfigurationError
+
+
+class TestCapacity:
+    def test_empty_on_creation(self):
+        wb = WriteBuffer(4)
+        assert wb.is_empty()
+        assert wb.can_accept()
+
+    def test_fills_to_capacity(self):
+        wb = WriteBuffer(2)
+        wb.push(0x100, 0)
+        wb.push(0x200, 0)
+        assert not wb.can_accept()
+
+    def test_overflow_rejected(self):
+        wb = WriteBuffer(1)
+        wb.push(0x100, 0)
+        with pytest.raises(ConfigurationError):
+            wb.push(0x200, 0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(0)
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(4, drain_interval=0)
+
+    def test_peak_occupancy_stat(self):
+        wb = WriteBuffer(4)
+        wb.push(0x100, 0)
+        wb.push(0x200, 0)
+        wb.drain_one(1)
+        assert wb.stats["peak_occupancy"] == 2
+
+
+class TestCoalescing:
+    def test_coalesce_same_block(self):
+        wb = WriteBuffer(4)
+        wb.coalesce_or_push(0x100, 0)
+        merged = wb.coalesce_or_push(0x100, 1)
+        assert merged
+        assert wb.occupancy == 1
+
+    def test_no_coalesce_different_blocks(self):
+        wb = WriteBuffer(4)
+        wb.coalesce_or_push(0x100, 0)
+        merged = wb.coalesce_or_push(0x200, 1)
+        assert not merged
+        assert wb.occupancy == 2
+
+
+class TestDraining:
+    def test_fifo_order(self):
+        wb = WriteBuffer(4)
+        wb.push(0x100, 0)
+        wb.push(0x200, 0)
+        assert wb.drain_one(1).block_addr == 0x100
+        assert wb.drain_one(2).block_addr == 0x200
+
+    def test_drain_empty_returns_none(self):
+        wb = WriteBuffer(4)
+        assert wb.drain_one(0) is None
+
+    def test_drain_respects_interval(self):
+        wb = WriteBuffer(4, drain_interval=3)
+        wb.push(0x100, 0)
+        wb.push(0x200, 0)
+        assert wb.drain_one(0) is not None
+        assert wb.drain_one(1) is None
+        assert wb.drain_one(2) is None
+        assert wb.drain_one(3) is not None
+
+    def test_drain_frees_capacity(self):
+        wb = WriteBuffer(1)
+        wb.push(0x100, 0)
+        wb.drain_one(1)
+        assert wb.can_accept()
+
+    def test_reset(self):
+        wb = WriteBuffer(2, drain_interval=5)
+        wb.push(0x100, 0)
+        wb.drain_one(0)
+        wb.reset()
+        assert wb.is_empty()
+        wb.push(0x300, 0)
+        assert wb.drain_one(0) is not None
