@@ -31,7 +31,8 @@ def _small_lnuca():
 def test_micro_cache_array_fill_lookup(benchmark):
     """Throughput of set-associative array fills + lookups."""
     array = SetAssociativeArray(32 * 1024, 4, 32)
-    addresses = [random.Random(1).randrange(1 << 20) & ~31 for _ in range(2000)]
+    rng = random.Random(1)
+    addresses = [rng.randrange(1 << 20) & ~31 for _ in range(2000)]
 
     def body():
         hits = 0

@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Performance-trajectory harness: microbenchmarks + bench-sized Fig. 4 sweep.
+
+Runs the simulator-substrate microbenchmarks and the bench-sized Fig. 4
+configuration sweep in both scheduler modes (dense lock-step vs. the
+event-driven kernel), verifies the two modes produce bit-identical
+results, and writes the wall times / throughputs to ``BENCH_micro.json``
+at the repository root so future PRs have a performance trajectory to
+compare against.
+
+Usage::
+
+    python benchmarks/run_bench.py [--out PATH] [--repeat N] [--workers N]
+
+No pytest required; plain stdlib timing.  The stage set:
+
+* ``micro_*`` — throughput of the inner loops every experiment relies on
+  (array fill/lookup, a full L-NUCA miss search, trace generation);
+* ``fig4_sweep`` — the bench-sized Fig. 4 sweep (sizes from
+  ``benchmarks/conftest.py``) in dense and event mode, with a
+  bit-identical-stats assertion between the two;
+* ``memory_wall_stress`` — a cold pointer-chasing run against slow
+  memory: the idle-cycle-dominated regime the event kernel targets, where
+  the dense loop burns one Python call per component per stalled cycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.cache.array import SetAssociativeArray  # noqa: E402
+from repro.cache.cache import CacheConfig, TimedCache  # noqa: E402
+from repro.cache.hierarchy import ConventionalHierarchy  # noqa: E402
+from repro.cache.memory import MainMemory, MainMemoryConfig  # noqa: E402
+from repro.cache.request import AccessType  # noqa: E402
+from repro.core.config import LNUCAConfig  # noqa: E402
+from repro.core.lnuca import LightNUCA  # noqa: E402
+from repro.cpu.workloads import generate_trace, integer_suite, workload_by_name  # noqa: E402
+from repro.experiments.common import conventional_builders, select_workloads  # noqa: E402
+from repro.sim.configs import l1_config, l2_config, l3_config  # noqa: E402
+from repro.sim.runner import run_suite, run_workload  # noqa: E402
+
+#: Keep these in sync with benchmarks/conftest.py (not imported to avoid
+#: pulling pytest into a plain script).
+BENCH_INSTRUCTIONS = 5000
+BENCH_PER_CATEGORY = 2
+
+
+def _best_of(repeat, fn):
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# --------------------------------------------------------------------- micro
+def micro_array(repeat):
+    import random
+
+    rng = random.Random(1)
+    addresses = [rng.randrange(1 << 20) & ~31 for _ in range(4000)]
+
+    def body():
+        array = SetAssociativeArray(32 * 1024, 4, 32)
+        for cycle, addr in enumerate(addresses):
+            if array.lookup(addr, cycle=cycle) is None:
+                array.fill(addr, cycle=cycle)
+
+    wall, _ = _best_of(repeat, body)
+    return {"wall_s": wall, "ops_per_s": 2 * len(addresses) / wall}
+
+
+def _small_lnuca():
+    backside = ConventionalHierarchy(
+        [TimedCache(CacheConfig("L3", 64 * 1024, 8, 128, completion_cycles=10))],
+        MainMemory(MainMemoryConfig(first_chunk_cycles=60)),
+        name="bs",
+    )
+    return LightNUCA(LNUCAConfig(levels=3), backside)
+
+
+def micro_lnuca_search(repeat):
+    searches = 200
+
+    def body():
+        lnuca = _small_lnuca()
+        cycle, addr = 0, 0x100000
+        for _ in range(searches):
+            request = lnuca.issue(addr, AccessType.LOAD, cycle)
+            while not request.done or request.complete_cycle > cycle:
+                lnuca.tick(cycle)
+                cycle += 1
+            cycle += 1
+            addr += 32
+
+    wall, _ = _best_of(repeat, body)
+    return {"wall_s": wall, "searches_per_s": searches / wall}
+
+
+def micro_trace_gen(repeat):
+    spec = integer_suite()[0]
+    n = 5000
+    wall, _ = _best_of(repeat, lambda: generate_trace(spec, n))
+    return {"wall_s": wall, "instructions_per_s": n / wall}
+
+
+# --------------------------------------------------------------------- sweep
+def _results_identical(lhs, rhs):
+    return all(
+        a.system == b.system
+        and a.workload == b.workload
+        and a.cycles == b.cycles
+        and a.ipc == b.ipc
+        and a.activity == b.activity
+        and a.core_stats == b.core_stats
+        for a, b in zip(lhs, rhs)
+    )
+
+
+def fig4_sweep(repeat, workers):
+    specs = select_workloads(BENCH_PER_CATEGORY)
+    dense_wall, dense = _best_of(
+        repeat,
+        lambda: run_suite(conventional_builders(), specs, BENCH_INSTRUCTIONS, mode="dense"),
+    )
+    event_wall, event = _best_of(
+        repeat,
+        lambda: run_suite(conventional_builders(), specs, BENCH_INSTRUCTIONS, mode="event"),
+    )
+    if not _results_identical(dense, event):
+        raise AssertionError("dense and event sweeps diverged — kernel bug")
+    stage = {
+        "runs": len(dense),
+        "instructions_per_run": BENCH_INSTRUCTIONS,
+        "dense_wall_s": dense_wall,
+        "event_wall_s": event_wall,
+        "event_speedup_vs_dense": dense_wall / event_wall,
+        "bit_identical": True,
+    }
+    if workers and workers > 1 and hasattr(os, "fork"):
+        workers_wall, parallel = _best_of(
+            repeat,
+            lambda: run_suite(
+                conventional_builders(),
+                specs,
+                BENCH_INSTRUCTIONS,
+                mode="event",
+                workers=workers,
+            ),
+        )
+        stage["workers"] = workers
+        stage["workers_wall_s"] = workers_wall
+        stage["workers_identical"] = _results_identical(event, parallel)
+    return stage
+
+
+def memory_wall_stress(repeat):
+    """Cold pointer-chasing against slow memory: the idle-skip showcase."""
+
+    def slow_mem_hierarchy():
+        return ConventionalHierarchy(
+            [TimedCache(l1_config()), TimedCache(l2_config()), TimedCache(l3_config())],
+            MainMemory(MainMemoryConfig(first_chunk_cycles=800, inter_chunk_cycles=4)),
+            name="slow-mem",
+        )
+
+    spec = workload_by_name("mcf-like")
+    trace = generate_trace(spec, BENCH_INSTRUCTIONS)
+    run = lambda mode: run_workload(  # noqa: E731
+        slow_mem_hierarchy, spec, BENCH_INSTRUCTIONS, trace=trace, prewarm=False, mode=mode
+    )
+    dense_wall, dense = _best_of(repeat, lambda: run("dense"))
+    event_wall, event = _best_of(repeat, lambda: run("event"))
+    if dense.cycles != event.cycles or dense.activity != event.activity:
+        raise AssertionError("memory-wall stress diverged — kernel bug")
+    return {
+        "workload": spec.name,
+        "cycles": dense.cycles,
+        "dense_wall_s": dense_wall,
+        "event_wall_s": event_wall,
+        "event_speedup_vs_dense": dense_wall / event_wall,
+        "bit_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_micro.json"))
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also time the sweep with this many worker processes",
+    )
+    args = parser.parse_args(argv)
+
+    stages = {}
+    print("micro: set-associative array ...", flush=True)
+    stages["micro_array_ops"] = micro_array(args.repeat)
+    print("micro: L-NUCA miss search ...", flush=True)
+    stages["micro_lnuca_search"] = micro_lnuca_search(args.repeat)
+    print("micro: trace generation ...", flush=True)
+    stages["micro_trace_gen"] = micro_trace_gen(args.repeat)
+    print("fig4 sweep (dense vs event) ...", flush=True)
+    stages["fig4_sweep"] = fig4_sweep(args.repeat, args.workers)
+    print("memory-wall stress (dense vs event) ...", flush=True)
+    stages["memory_wall_stress"] = memory_wall_stress(args.repeat)
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "repeat": args.repeat,
+        },
+        "stages": stages,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    sweep = stages["fig4_sweep"]
+    stress = stages["memory_wall_stress"]
+    print(
+        f"fig4 sweep: dense {sweep['dense_wall_s']:.2f}s, "
+        f"event {sweep['event_wall_s']:.2f}s "
+        f"({sweep['event_speedup_vs_dense']:.2f}x, bit-identical)"
+    )
+    print(
+        f"memory-wall stress: dense {stress['dense_wall_s']:.2f}s, "
+        f"event {stress['event_wall_s']:.2f}s "
+        f"({stress['event_speedup_vs_dense']:.2f}x, bit-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,11 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.block import CacheBlock
-from repro.cache.replacement import ReplacementPolicy, make_policy
-from repro.common.addr import block_address, is_power_of_two, set_index, tag_bits
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy, make_policy
+from repro.common.addr import block_address, is_power_of_two
 from repro.common.errors import ConfigurationError
 
 
@@ -26,6 +26,20 @@ class SetAssociativeArray:
         block_size: block (line) size in bytes.
         policy: replacement policy name or instance (default LRU).
     """
+
+    __slots__ = (
+        "size_bytes",
+        "associativity",
+        "block_size",
+        "num_sets",
+        "policy",
+        "_sets",
+        "_tag_to_way",
+        "_block_shift",
+        "_set_mask",
+        "_set_shift",
+        "_lru_stamps",
+    )
 
     def __init__(
         self,
@@ -54,15 +68,41 @@ class SetAssociativeArray:
         self._sets: List[List[Optional[CacheBlock]]] = [
             [None] * associativity for _ in range(self.num_sets)
         ]
+        # Per-set tag -> way index, so lookups are a dict probe instead of a
+        # scan over the ways.  ``_sets`` stays the source of truth; the index
+        # is maintained by fill/invalidate.
+        self._tag_to_way: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
+        # Precomputed address math (block size is always a power of two; the
+        # set count usually is, in which case masking beats modulo).
+        self._block_shift = block_size.bit_length() - 1
+        if is_power_of_two(self.num_sets):
+            self._set_mask: Optional[int] = self.num_sets - 1
+            self._set_shift = self.num_sets.bit_length() - 1
+        else:
+            self._set_mask = None
+            self._set_shift = 0
+        # Direct handle on the LRU stamp table for the inlined touch path
+        # (None for every other policy, which goes through the interface).
+        self._lru_stamps = (
+            self.policy._stamps if type(self.policy) is LRUPolicy else None
+        )
 
     # -- address helpers -----------------------------------------------------------
+    def _index(self, addr: int) -> Tuple[int, int]:
+        """Return ``(set index, tag)`` for ``addr`` (hot-path helper)."""
+        line = addr >> self._block_shift
+        mask = self._set_mask
+        if mask is not None:
+            return line & mask, line >> self._set_shift
+        return line % self.num_sets, line // self.num_sets
+
     def set_of(self, addr: int) -> int:
         """Return the set index that ``addr`` maps to."""
-        return set_index(addr, self.block_size, self.num_sets)
+        return self._index(addr)[0]
 
     def tag_of(self, addr: int) -> int:
         """Return the tag of ``addr``."""
-        return tag_bits(addr, self.block_size, self.num_sets)
+        return self._index(addr)[1]
 
     def block_addr_of(self, addr: int) -> int:
         """Return the block-aligned address containing ``addr``."""
@@ -78,16 +118,38 @@ class SetAssociativeArray:
             update_lru: whether the access should update replacement state
                 (probes used for statistics or search snooping pass False).
         """
-        idx = self.set_of(addr)
-        tag = self.tag_of(addr)
-        ways = self._sets[idx]
-        for way, blk in enumerate(ways):
-            if blk is not None and blk.valid and blk.tag == tag:
-                if update_lru:
-                    blk.touch(cycle)
-                    self.policy.on_access(idx, way, cycle)
-                return blk
-        return None
+        # Inlined _index(): this is the hottest function in the simulator
+        # (every cache level, tile and bank funnels through it).
+        line = addr >> self._block_shift
+        mask = self._set_mask
+        if mask is not None:
+            idx = line & mask
+            tag = line >> self._set_shift
+        else:
+            idx = line % self.num_sets
+            tag = line // self.num_sets
+        way = self._tag_to_way[idx].get(tag)
+        if way is None:
+            return None
+        blk = self._sets[idx][way]
+        if blk is None or not blk.valid:
+            return None
+        if update_lru:
+            blk.last_touch = cycle
+            stamps = self._lru_stamps
+            if stamps is not None:
+                # Inlined LRUPolicy.on_access (the default policy); the rare
+                # fresh-set case defers to the policy so the initial-stamp
+                # scheme lives in exactly one place.
+                policy = self.policy
+                row = stamps.get(idx)
+                if row is None:
+                    row = policy._stamp_list(idx)
+                policy._clock += 1
+                row[way] = policy._clock
+            else:
+                self.policy.on_access(idx, way, cycle)
+        return blk
 
     def contains(self, addr: int) -> bool:
         """Return True if the block containing ``addr`` is resident."""
@@ -104,16 +166,18 @@ class SetAssociativeArray:
             :class:`CacheBlock` or ``None`` when an empty way was available
             (or the block was already resident, which only refreshes it).
         """
-        idx = self.set_of(addr)
-        tag = self.tag_of(addr)
+        idx, tag = self._index(addr)
         ways = self._sets[idx]
+        tags = self._tag_to_way[idx]
 
         # Re-fill of an already resident block just refreshes it.
-        for way, blk in enumerate(ways):
-            if blk is not None and blk.valid and blk.tag == tag:
-                blk.touch(cycle)
+        resident_way = tags.get(tag)
+        if resident_way is not None:
+            blk = ways[resident_way]
+            if blk is not None and blk.valid:
+                blk.last_touch = cycle
                 blk.dirty = blk.dirty or dirty
-                self.policy.on_access(idx, way, cycle)
+                self.policy.on_access(idx, resident_way, cycle)
                 return blk, None
 
         victim: Optional[CacheBlock] = None
@@ -125,6 +189,8 @@ class SetAssociativeArray:
         if target_way is None:
             target_way = self.policy.victim_way(idx, ways)
             victim = ways[target_way]
+            if victim is not None:
+                tags.pop(victim.tag, None)
 
         new_block = CacheBlock(
             tag=tag,
@@ -134,20 +200,24 @@ class SetAssociativeArray:
             fill_cycle=cycle,
         )
         ways[target_way] = new_block
+        tags[tag] = target_way
         self.policy.on_fill(idx, target_way, cycle)
         return new_block, victim
 
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
         """Remove the block containing ``addr`` and return it (or ``None``)."""
-        idx = self.set_of(addr)
-        tag = self.tag_of(addr)
-        ways = self._sets[idx]
-        for way, blk in enumerate(ways):
-            if blk is not None and blk.valid and blk.tag == tag:
-                ways[way] = None
-                self.policy.on_invalidate(idx, way)
-                return blk
-        return None
+        idx, tag = self._index(addr)
+        way = self._tag_to_way[idx].get(tag)
+        if way is None:
+            return None
+        blk = self._sets[idx][way]
+        if blk is None or not blk.valid:
+            del self._tag_to_way[idx][tag]
+            return None
+        self._sets[idx][way] = None
+        del self._tag_to_way[idx][tag]
+        self.policy.on_invalidate(idx, way)
+        return blk
 
     def set_is_full(self, addr: int) -> bool:
         """Return True when the set that ``addr`` maps to has no free way."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """Metadata of one cache block resident in a set-associative array.
 

@@ -87,6 +87,11 @@ class CacheConfig:
         return self.completion_cycles
 
 
+#: Pre-built stat keys: lookup() is hot and f-string keys showed in profiles.
+_READ_KEYS = ("read_accesses", "read_hits", "read_misses")
+_WRITE_KEYS = ("write_accesses", "write_hits", "write_misses")
+
+
 class TimedCache:
     """One cache level with port, MSHR and write-buffer timing."""
 
@@ -106,6 +111,8 @@ class TimedCache:
             config.write_buffer_entries, name=f"{config.name}.wb"
         )
         self._port_free_cycle: List[int] = [0] * config.ports
+        self._initiation_cycles = config.initiation_cycles
+        self._block_mask = ~(config.block_size - 1)
         self.stats = Stats(config.name)
 
     # -- timing ---------------------------------------------------------------
@@ -115,16 +122,25 @@ class TimedCache:
         Returns the cycle the access actually starts.  The chosen port is
         busy for the initiation interval.
         """
-        best_port = min(range(len(self._port_free_cycle)), key=self._port_free_cycle.__getitem__)
-        start = max(cycle, self._port_free_cycle[best_port])
-        self._port_free_cycle[best_port] = start + self.config.initiation_cycles
+        ports = self._port_free_cycle
+        if len(ports) == 1:
+            free = ports[0]
+            start = cycle if cycle >= free else free
+            ports[0] = start + self._initiation_cycles
+        else:
+            best_port = min(range(len(ports)), key=ports.__getitem__)
+            start = max(cycle, ports[best_port])
+            ports[best_port] = start + self._initiation_cycles
         if start > cycle:
             self.stats.incr("port_stall_cycles", start - cycle)
         return start
 
     def port_available(self, cycle: int) -> bool:
         """Return True if some port can start an access at ``cycle``."""
-        return any(free <= cycle for free in self._port_free_cycle)
+        ports = self._port_free_cycle
+        if len(ports) == 1:
+            return ports[0] <= cycle
+        return any(free <= cycle for free in ports)
 
     def next_port_free_cycle(self) -> int:
         """Return the earliest cycle at which any port frees up."""
@@ -138,14 +154,14 @@ class TimedCache:
     def lookup(self, addr: int, cycle: int, is_write: bool = False) -> Optional[CacheBlock]:
         """Perform a (timeless) lookup, updating replacement state and stats."""
         blk = self.array.lookup(addr, cycle=cycle, update_lru=True)
-        kind = "write" if is_write else "read"
-        self.stats.incr(f"{kind}_accesses")
+        accesses, hits, misses = _WRITE_KEYS if is_write else _READ_KEYS
+        self.stats.incr(accesses)
         if blk is not None:
-            self.stats.incr(f"{kind}_hits")
+            self.stats.incr(hits)
             if is_write:
                 blk.dirty = blk.dirty or self.config.write_policy == "copy_back"
         else:
-            self.stats.incr(f"{kind}_misses")
+            self.stats.incr(misses)
         return blk
 
     def fill(self, addr: int, cycle: int, dirty: bool = False) -> Optional[CacheBlock]:
@@ -168,7 +184,7 @@ class TimedCache:
         return self.config.tag_latency_cycles
 
     def block_addr(self, addr: int) -> int:
-        return self.array.block_addr_of(addr)
+        return addr & self._block_mask
 
     def reset(self) -> None:
         """Clear all timing state (contents are preserved)."""

@@ -142,12 +142,26 @@ class ConventionalHierarchy(MemorySystem):
     def busy(self) -> bool:
         return any(not level.write_buffer.is_empty() for level in self.levels)
 
-    def finalize(self, cycle: int) -> None:
-        """Flush every write buffer (used when a run ends)."""
-        guard = 0
-        while self.busy() and guard < 1_000_000:
-            self.tick(cycle + guard)
-            guard += 1
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which a write-buffer drain can proceed.
+
+        A drain at level ``i`` fires once the buffer's drain port frees; the
+        last level additionally waits for the memory channel.  MSHR releases
+        need no event of their own: they are re-applied lazily at the next
+        :meth:`issue` (which calls :meth:`_release_ready_mshrs` first), so
+        delaying them across skipped cycles is unobservable.
+        """
+        best: Optional[int] = None
+        for index, level in enumerate(self.levels):
+            buffer = level.write_buffer
+            if buffer.is_empty():
+                continue
+            when = max(cycle + 1, buffer.next_drain_cycle())
+            if index + 1 >= len(self.levels):
+                when = max(when, self.memory.next_free_cycle())
+            if best is None or when < best:
+                best = when
+        return best
 
     # ------------------------------------------------------------------ loads
     def _issue_load(self, request: MemoryRequest, cycle: int) -> None:

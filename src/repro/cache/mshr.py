@@ -47,6 +47,10 @@ class MSHRFile:
         self.max_secondary = max_secondary
         self.name = name
         self._entries: Dict[int, MSHREntry] = {}
+        #: Cached ``min`` over the known ready cycles, kept exact by
+        #: set_ready/release so the per-cycle release sweep is an integer
+        #: compare instead of a scan over the file.
+        self._earliest_ready: Optional[int] = None
         self.stats = Stats(name)
 
     # -- capacity -------------------------------------------------------------
@@ -108,7 +112,21 @@ class MSHRFile:
         entry = self._entries.get(block_addr)
         if entry is None:
             raise ConfigurationError(f"no MSHR entry for block 0x{block_addr:x}")
+        previous = entry.ready_cycle
         entry.ready_cycle = ready_cycle
+        if self._earliest_ready is None or ready_cycle < self._earliest_ready:
+            self._earliest_ready = ready_cycle
+        elif previous is not None and previous == self._earliest_ready:
+            # The entry defining the cached minimum moved later; re-derive.
+            self._recompute_earliest()
+
+    def _recompute_earliest(self) -> None:
+        earliest: Optional[int] = None
+        for entry in self._entries.values():
+            ready = entry.ready_cycle
+            if ready is not None and (earliest is None or ready < earliest):
+                earliest = ready
+        self._earliest_ready = earliest
 
     def release(self, block_addr: int) -> MSHREntry:
         """Free the entry for ``block_addr`` (fill completed)."""
@@ -116,10 +134,15 @@ class MSHRFile:
         if entry is None:
             raise ConfigurationError(f"no MSHR entry for block 0x{block_addr:x}")
         self.stats.incr("releases")
+        if entry.ready_cycle is not None and entry.ready_cycle == self._earliest_ready:
+            self._recompute_earliest()
         return entry
 
     def release_ready(self, cycle: int) -> List[MSHREntry]:
         """Release and return every entry whose fill has arrived by ``cycle``."""
+        earliest = self._earliest_ready
+        if earliest is None or earliest > cycle or not self._entries:
+            return []
         ready = [
             addr
             for addr, entry in self._entries.items()
@@ -129,8 +152,7 @@ class MSHRFile:
 
     def earliest_ready_cycle(self) -> Optional[int]:
         """Return the soonest cycle at which an entry will free, if known."""
-        cycles = [e.ready_cycle for e in self._entries.values() if e.ready_cycle is not None]
-        return min(cycles) if cycles else None
+        return self._earliest_ready
 
     def outstanding_blocks(self) -> List[int]:
         """Return the block addresses currently being fetched."""
@@ -138,6 +160,7 @@ class MSHRFile:
 
     def reset(self) -> None:
         self._entries.clear()
+        self._earliest_ready = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MSHRFile({self.name}, {self.occupancy}/{self.num_entries})"

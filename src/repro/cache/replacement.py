@@ -50,35 +50,57 @@ class ReplacementPolicy(ABC):
 class LRUPolicy(ReplacementPolicy):
     """True least-recently-used replacement.
 
-    Maintains a recency stack per set: the first entry is the most recently
-    used way and the last entry is the LRU victim candidate.
+    Tracks a per-way recency stamp per set (larger = more recent) instead
+    of an explicit stack: an access is then an O(1) store rather than a
+    list remove/insert, which matters because every cache lookup in the
+    simulator funnels through :meth:`on_access`.  Stamps are unique, so
+    the induced order is exactly the classic recency stack: fresh sets
+    rank way 0 most recent and the last way as the victim, and
+    invalidated ways sink below everything (later invalidations sinking
+    deepest), which reproduces the old move-to-back behaviour.
     """
 
     def __init__(self, associativity: int) -> None:
         super().__init__(associativity)
-        self._stacks: Dict[int, List[int]] = {}
+        self._stamps: Dict[int, List[int]] = {}
+        self._clock = 0
+        self._invalid_clock = -associativity - 1
 
-    def _stack(self, set_index: int) -> List[int]:
-        if set_index not in self._stacks:
-            self._stacks[set_index] = list(range(self.associativity))
-        return self._stacks[set_index]
+    def _stamp_list(self, set_index: int) -> List[int]:
+        stamps = self._stamps.get(set_index)
+        if stamps is None:
+            stamps = [-(way + 1) for way in range(self.associativity)]
+            self._stamps[set_index] = stamps
+        return stamps
 
     def victim_way(self, set_index: int, ways: Sequence[Optional[CacheBlock]]) -> int:
-        return self._stack(set_index)[-1]
+        stamps = self._stamp_list(set_index)
+        victim = 0
+        oldest = stamps[0]
+        for way in range(1, self.associativity):
+            if stamps[way] < oldest:
+                oldest = stamps[way]
+                victim = way
+        return victim
 
     def on_access(self, set_index: int, way: int, cycle: int) -> None:
-        stack = self._stack(set_index)
-        stack.remove(way)
-        stack.insert(0, way)
+        self._clock += 1
+        self._stamp_list(set_index)[way] = self._clock
+
+    def on_fill(self, set_index: int, way: int, cycle: int) -> None:
+        # Same stamp update as an access, spelled out to skip the base
+        # class's extra dispatch in the fill path.
+        self._clock += 1
+        self._stamp_list(set_index)[way] = self._clock
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        stack = self._stack(set_index)
-        stack.remove(way)
-        stack.append(way)
+        self._invalid_clock -= 1
+        self._stamp_list(set_index)[way] = self._invalid_clock
 
     def recency_order(self, set_index: int) -> List[int]:
         """Return ways ordered from most to least recently used (for tests)."""
-        return list(self._stack(set_index))
+        stamps = self._stamp_list(set_index)
+        return sorted(range(self.associativity), key=lambda way: -stamps[way])
 
 
 class FIFOPolicy(ReplacementPolicy):

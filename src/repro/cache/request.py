@@ -22,7 +22,7 @@ class AccessType(enum.Enum):
         return self is AccessType.STORE
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single outstanding memory access.
 

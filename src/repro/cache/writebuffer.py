@@ -85,6 +85,15 @@ class WriteBuffer:
         self.push(block_addr, cycle)
         return False
 
+    def next_drain_cycle(self) -> int:
+        """Earliest cycle at which :meth:`drain_one` can succeed again.
+
+        Used by the event-driven kernel to skip the cycles in which the
+        drain port is still busy; an empty buffer trivially has nothing to
+        drain regardless of this value.
+        """
+        return self._next_drain_cycle
+
     def drain_one(self, cycle: int) -> Optional[PendingWrite]:
         """Drain the oldest write if the drain port is free at ``cycle``.
 

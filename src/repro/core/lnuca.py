@@ -26,6 +26,14 @@ The model follows Section II/III of the paper:
 * every fill into the r-tile may evict a victim, which "dominoes" outwards
   over the Replacement network during search-idle cycles; only the two
   upper-corner tiles evict to the backside.
+
+Under the event-driven kernel (see :mod:`repro.sim.memsys`), :meth:`tick`
+is only guaranteed to run on the cycles exposed through
+:meth:`LightNUCA.next_event_cycle`: search-wave steps and backside-fill
+arrivals carry explicit fire cycles, while the per-cycle queues (transport
+and replacement sweeps, eviction injection, backside drains) pin the next
+event to the following cycle whenever they are non-empty, so no sweep
+cycle is ever skipped.
 """
 
 from __future__ import annotations
@@ -115,6 +123,13 @@ class LightNUCA(MemorySystem):
         self._tiles_by_distance = sorted(
             self.geometry.tiles, key=self.geometry.manhattan_to_root
         )
+        # The delivery order over the root D buffers is fixed once the
+        # networks are wired; precompute it so the hot delivery loop does
+        # not re-sort the dict keys every cycle.
+        self._root_d_items = [
+            (source, self.root_d_buffers[source])
+            for source in sorted(self.root_d_buffers)
+        ]
 
     # ------------------------------------------------------------------ interface
     def can_accept(self, cycle: int, access: AccessType) -> bool:
@@ -140,17 +155,52 @@ class LightNUCA(MemorySystem):
             or self._transport_active
             or self._replacement_active
             or not self.rtile.write_buffer.is_empty()
-            or any(buffer for buffer in self.root_d_buffers.values())
+            or self._root_buffers_busy()
             or self.backside.busy()
         )
 
-    def finalize(self, cycle: int) -> None:
-        guard = cycle
-        limit = cycle + 1_000_000
-        while self.busy() and guard < limit:
-            self.tick(guard)
-            guard += 1
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which :meth:`tick` can make progress.
+
+        Per-cycle queues (transport/replacement sweeps, eviction injection,
+        backside drains, root-buffer deliveries) fire every cycle while
+        non-empty, so they pin the next event to ``cycle + 1``.  Search
+        waves and backside fills carry explicit fire cycles, and the write
+        buffer exposes its drain port — those are the spans the scheduler
+        can leap over.
+        """
+        best: Optional[int] = None
+        if (
+            self._rtile_evictions
+            or self._corner_evictions
+            or self._transport_active
+            or self._replacement_active
+            or self._root_buffers_busy()
+        ):
+            best = cycle + 1
+        else:
+            if self._waves:
+                when = max(cycle + 1, min(wave.next_cycle for wave in self._waves))
+                if best is None or when < best:
+                    best = when
+            if self._backside_fills:
+                when = max(cycle + 1, self._backside_fills[0][0])
+                if best is None or when < best:
+                    best = when
+            if not self.rtile.write_buffer.is_empty():
+                when = max(cycle + 1, self.rtile.write_buffer.next_drain_cycle())
+                if best is None or when < best:
+                    best = when
+        backside = self.backside.next_event_cycle(cycle)
+        if backside is not None and (best is None or backside < best):
+            best = backside
+        return best
+
+    def finalize(self, cycle: int) -> int:
+        """Drain all in-flight state, then let the backside finish draining."""
+        guard = super().finalize(cycle)
         self.backside.finalize(guard)
+        return guard
 
     # ------------------------------------------------------------------ stores
     def _issue_store(self, request: MemoryRequest, cycle: int) -> None:
@@ -250,22 +300,33 @@ class LightNUCA(MemorySystem):
             or self._corner_evictions
             or self._transport_active
             or self._replacement_active
-            or any(buffer for buffer in self.root_d_buffers.values())
+            or self._root_buffers_busy()
             or not self.rtile.write_buffer.is_empty()
         )
         if not idle:
-            searching = self._tiles_searching_at(cycle)
             self._deliver_to_rtile(cycle)
             self._advance_transport(cycle)
-            self._advance_replacement(cycle, searching)
+            if self._replacement_active:
+                # The search/replacement conflict set is only needed when a
+                # replacement sweep will actually run, and nothing before
+                # this point mutates the wave frontiers.
+                searching = self._tiles_searching_at(cycle) if self._waves else set()
+                self._advance_replacement(cycle, searching)
             self._advance_search(cycle)
             self._inject_rtile_evictions(cycle)
             self._drain_to_backside(cycle)
         self.backside.tick(cycle)
 
     # -- helpers -------------------------------------------------------------
+    def _root_buffers_busy(self) -> bool:
+        """Whether any root D buffer holds a message (hot, allocation-free)."""
+        for _, buffer in self._root_d_items:
+            if buffer._entries:
+                return True
+        return False
+
     def _tiles_searching_at(self, cycle: int) -> set:
-        searching = set()
+        searching: set = set()
         for wave in self._waves:
             if wave.next_cycle == cycle:
                 searching.update(wave.frontier)
@@ -276,10 +337,9 @@ class LightNUCA(MemorySystem):
         delivered = 0
         ports = self.config.rtile_fill_ports
         # Transport arrivals first (they are the latency-critical path).
-        for source in sorted(self.root_d_buffers):
+        for source, buffer in self._root_d_items:
             if delivered >= ports:
                 break
-            buffer = self.root_d_buffers[source]
             message = buffer.pop()
             if message is None:
                 continue
@@ -536,21 +596,30 @@ class LightNUCA(MemorySystem):
         exclusion.  The backside is pre-warmed with the same stream.
         """
         addresses = list(addresses)
+        # Content exclusion means a block lives in at most one place, so one
+        # location map replaces the per-address scan over every tile.
+        location: Dict[int, Coordinate] = {}
+        for resident in self.rtile.array.resident_blocks():
+            location[resident.block_addr] = ROOT
+        for coord, tile in self.tiles.items():
+            for resident in tile.array.resident_blocks():
+                location[resident.block_addr] = coord
         for addr in addresses:
             block = self.rtile.block_addr(addr)
             if self.rtile.array.lookup(block, update_lru=True) is not None:
                 continue
-            for tile in self.tiles.values():
-                if tile.contains(block):
-                    tile.array.invalidate(block)
-                    break
-            self._prewarm_fill(block)
+            holder = location.pop(block, None)
+            if holder is not None and holder != ROOT:
+                self.tiles[holder].array.invalidate(block)
+            self._prewarm_fill(block, location)
         self.backside.prewarm(addresses)
 
-    def _prewarm_fill(self, block_addr: int) -> None:
+    def _prewarm_fill(self, block_addr: int, location: Dict[int, Coordinate]) -> None:
         _, victim = self.rtile.array.fill(block_addr)
+        location[block_addr] = ROOT
         node: Coordinate = ROOT
         while victim is not None:
+            location.pop(victim.block_addr, None)
             outputs = self.geometry.replacement_outputs.get(node, [])
             if not outputs:
                 break
@@ -561,7 +630,9 @@ class LightNUCA(MemorySystem):
                 candidate = array.victim_for(victim.block_addr)
                 if candidate is not None:
                     displaced = array.invalidate(candidate.block_addr)
+                    location.pop(candidate.block_addr, None)
             array.fill(victim.block_addr, dirty=victim.dirty)
+            location[victim.block_addr] = node
             victim = displaced
 
     # ------------------------------------------------------------------ coherence

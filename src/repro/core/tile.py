@@ -99,10 +99,13 @@ class Tile:
     def lookup_u_buffers(self, block_addr: int) -> Optional[Tuple[Coordinate, Message]]:
         """Search the U buffers for a block in transit (avoids false misses)."""
         for source, buffer in self.u_in.items():
-            message = buffer.find_block(block_addr)
-            if message is not None:
-                self.stats.incr("u_buffer_hits")
-                return source, message
+            # Inlined FlowControlBuffer.find_block: this runs for every tile
+            # probed by every search wave and the buffers are almost always
+            # empty, so the per-buffer call dispatch was measurable.
+            for message in buffer._entries:
+                if message.block_addr == block_addr:
+                    self.stats.incr("u_buffer_hits")
+                    return source, message
         return None
 
     # ------------------------------------------------------------------ contents

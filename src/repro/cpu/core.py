@@ -13,6 +13,30 @@ interaction with the outside world is issuing loads and stores into a
 (producers wake their consumers when their completion time becomes known),
 which keeps the per-cycle work proportional to the activity rather than to
 the ROB size.
+
+Cycle semantics
+===============
+
+:meth:`OoOCore.tick` advances the core by exactly one cycle and may be
+driven in two ways:
+
+* **dense** — :meth:`OoOCore.run` (and the ``mode="dense"`` scheduler in
+  :mod:`repro.sim.runner`) calls ``tick`` for every cycle;
+* **event-driven** — the shared scheduler asks :meth:`OoOCore.next_wakeup`
+  for the earliest cycle at which ``tick`` could change state *or bump a
+  statistics counter*, skips straight to the minimum of that and the
+  memory system's ``next_event_cycle``, and calls
+  :meth:`OoOCore.note_skipped_cycles` so the per-cycle stall counters
+  (fetch/ROB/window/LSQ stalls) match what dense ticking would have
+  recorded for the skipped no-op span.
+
+``next_wakeup`` must never be later than a real event: it returns
+``cycle + 1`` whenever the front end could fetch, any store is waiting to
+enter the memory system, or a ready instruction is at the head of an issue
+window — skipping is only legal across provably inert spans (all in-flight
+completions in the future, fetch stalled or structurally blocked).  The
+two modes therefore produce bit-identical cycle counts, IPC and counters;
+``tests/test_event_kernel.py`` enforces this across all four hierarchies.
 """
 
 from __future__ import annotations
@@ -55,12 +79,18 @@ class CoreConfig:
     store_agen_latency: int = 1
 
 
-def _window_class(kind: InstrClass) -> str:
-    if kind is InstrClass.FP_ALU:
-        return _FP
-    if kind.is_memory:
-        return _MEM
-    return _INT
+#: Issue-window class per instruction class (precomputed: this runs twice
+#: per dispatched instruction and enum-property dispatch is measurably slow).
+_WINDOW_OF = {
+    InstrClass.INT_ALU: _INT,
+    InstrClass.FP_ALU: _FP,
+    InstrClass.LOAD: _MEM,
+    InstrClass.STORE: _MEM,
+    InstrClass.BRANCH: _INT,
+}
+
+#: Memory instruction classes, for hot-path membership tests.
+_MEMORY_KINDS = frozenset((InstrClass.LOAD, InstrClass.STORE))
 
 
 class OoOCore:
@@ -73,6 +103,7 @@ class OoOCore:
         config: Optional[CoreConfig] = None,
     ) -> None:
         self.trace = trace
+        self._instructions = trace.instructions
         self.memsys = memsys
         self.config = config or CoreConfig()
         self.stats = Stats(f"core[{trace.name}]")
@@ -98,19 +129,42 @@ class OoOCore:
         self._pending_stores: Deque[int] = deque()
         self._fetch_stall_until = 0
         self._unresolved_branch: Optional[int] = None
+        # Hot-loop bindings: these run per instruction, where the repeated
+        # config attribute chases are measurable.
+        cfg = self.config
+        self._trace_len = len(trace.instructions)
+        self._fetch_width = cfg.fetch_width
+        self._commit_width = cfg.commit_width
+        self._int_mem_issue_width = cfg.int_mem_issue_width
+        self._fp_issue_width = cfg.fp_issue_width
+        self._rob_size = cfg.rob_size
+        self._lsq_size = cfg.lsq_size
+        self._store_buffer_size = cfg.store_buffer_size
+        self._mispredict_penalty = cfg.branch_mispredict_penalty
+        self._int_latency = cfg.int_latency
+        self._fp_latency = cfg.fp_latency
+        self._branch_latency = cfg.branch_latency
+        self._store_agen_latency = cfg.store_agen_latency
 
     # ------------------------------------------------------------------ run loop
     def finished(self) -> bool:
         """True when every instruction has committed and all stores drained."""
         return (
-            self._next_fetch >= len(self.trace)
+            self._next_fetch >= self._trace_len
             and not self._rob
             and not self._pending_stores
             and not self._store_buffer
         )
 
     def run(self, max_cycles: Optional[int] = None) -> Dict[str, float]:
-        """Simulate until the trace completes and return summary statistics."""
+        """Simulate densely until the trace completes and return statistics.
+
+        This is the lock-step reference loop (one ``tick`` per cycle for
+        core and memory system); the experiment harness goes through
+        :func:`repro.sim.runner.simulate` instead, which can also skip idle
+        cycles via :meth:`next_wakeup` / ``memsys.next_event_cycle`` with
+        bit-identical results.
+        """
         limit = max_cycles or (len(self.trace) * 400 + 100_000)
         while not self.finished():
             self.tick(self.cycle)
@@ -142,45 +196,187 @@ class OoOCore:
 
     # ------------------------------------------------------------------ per-cycle
     def tick(self, cycle: int) -> None:
-        self._harvest_memory(cycle)
-        self._commit(cycle)
-        self._issue(cycle)
+        if self._outstanding_loads or self._store_buffer or self._pending_stores:
+            self._harvest_memory(cycle)
+        if self._rob:
+            self._commit(cycle)
+        ready = self._ready
+        if ready[_MEM] or ready[_INT] or ready[_FP]:
+            self._issue(cycle)
         self._fetch(cycle)
+
+    # ------------------------------------------------------------------ wakeup
+    def next_wakeup(self, cycle: int) -> Optional[int]:
+        """Earliest cycle after ``cycle`` at which :meth:`tick` can do work.
+
+        The result is the minimum over every timed event the core knows
+        about — ready-heap heads, completion cycles of outstanding loads
+        and buffered stores, the ROB head's commit time, and the end of a
+        fetch redirect — clamped to ``cycle + 1``.  Whenever the core could
+        make progress *every* cycle (fetch not blocked, stores waiting for
+        a memory-system port), it returns ``cycle + 1`` so the scheduler
+        degenerates to dense ticking.  Returns ``None`` when the core has
+        no timed event of its own and is entirely at the mercy of the
+        memory system (e.g. all in-flight loads still lack a completion
+        time).
+        """
+        stalled = (
+            self._unresolved_branch is not None or self._fetch_stall_until > cycle + 1
+        )
+        if (
+            not stalled
+            and self._next_fetch < self._trace_len
+            and not self._fetch_blocked()
+        ):
+            # Common case: the front end can fetch next cycle.
+            return cycle + 1
+        if self._pending_stores:
+            # Stores retry the memory-system port every cycle.
+            return cycle + 1
+        # Any event at or before cycle + 1 clamps the answer to cycle + 1,
+        # so each source short-circuits as soon as it proves that.
+        horizon = cycle + 1
+        best: Optional[int] = None
+        if self._fetch_stall_until > horizon and self._unresolved_branch is None:
+            # The redirect ends at a known cycle; until then every tick only
+            # increments the fetch-stall counter (handled by
+            # note_skipped_cycles), so the stall end is the next fetch event.
+            best = self._fetch_stall_until
+        if self._rob:
+            done = self._complete_cycle.get(self._rob[0])
+            if done is not None:
+                if done <= horizon:
+                    return horizon
+                if best is None or done < best:
+                    best = done
+        for heap in self._ready.values():
+            if heap:
+                head = heap[0][0]
+                if head <= horizon:
+                    return horizon
+                if best is None or head < best:
+                    best = head
+        for _, request in self._outstanding_loads:
+            done = request.complete_cycle
+            if done is not None:
+                if done <= horizon:
+                    return horizon
+                if best is None or done < best:
+                    best = done
+        for request in self._store_buffer:
+            done = request.complete_cycle
+            if done is not None:
+                if done <= horizon:
+                    return horizon
+                if best is None or done < best:
+                    best = done
+        return best
+
+    def incomplete_loads(self) -> List[MemoryRequest]:
+        """The in-flight load requests whose completion time is still unknown.
+
+        The event scheduler watches these while advancing the memory system
+        alone: a completing load is the only memory-side action that can
+        wake the core earlier than its own computed wakeup.
+        """
+        return [request for _, request in self._outstanding_loads if not request.done]
+
+    def _fetch_blocked(self) -> bool:
+        """Whether :meth:`_fetch` would stall without fetching anything.
+
+        Mirrors the structural checks at the top of the fetch loop; assumes
+        the caller already ruled out redirects and an exhausted trace.
+        """
+        if len(self._rob) >= self._rob_size:
+            return True
+        instruction = self._instructions[self._next_fetch]
+        kind = instruction.kind
+        if self._window_count[_WINDOW_OF[kind]] >= self._window_limit[_WINDOW_OF[kind]]:
+            return True
+        return kind in _MEMORY_KINDS and self._lsq_count >= self._lsq_size
+
+    def note_skipped_cycles(self, cycle: int, next_cycle: int) -> None:
+        """Account the stall statistics of the skipped span ``(cycle, next_cycle)``.
+
+        The scheduler only skips cycles in which :meth:`tick` would have
+        been a functional no-op, but a dense run still bumps exactly one
+        stall counter per such cycle while the front end is blocked.  The
+        blocking condition cannot change inside the span (no events fire
+        there, and :meth:`next_wakeup` never skips across the end of a
+        redirect), so one classification covers every skipped cycle.
+        """
+        count = next_cycle - cycle - 1
+        if count <= 0:
+            return
+        if cycle + 1 < self._fetch_stall_until or self._unresolved_branch is not None:
+            self.stats.incr("fetch_stall_cycles", count)
+            return
+        if self._next_fetch >= self._trace_len:
+            return
+        if len(self._rob) >= self._rob_size:
+            self.stats.incr("rob_full_stalls", count)
+            return
+        instruction = self._instructions[self._next_fetch]
+        window = _WINDOW_OF[instruction.kind]
+        if self._window_count[window] >= self._window_limit[window]:
+            self.stats.incr("window_full_stalls", count)
+            return
+        if instruction.kind in _MEMORY_KINDS and self._lsq_count >= self._lsq_size:
+            self.stats.incr("lsq_full_stalls", count)
 
     # -- memory responses -------------------------------------------------------
     def _harvest_memory(self, cycle: int) -> None:
-        if self._outstanding_loads:
-            still_waiting = []
-            for idx, request in self._outstanding_loads:
-                if request.done and request.complete_cycle <= cycle:
-                    self._announce_completion(idx, request.complete_cycle)
-                    self._lsq_count -= 1
-                else:
-                    still_waiting.append((idx, request))
-            self._outstanding_loads = still_waiting
-        if self._store_buffer:
-            self._store_buffer = [
-                request
-                for request in self._store_buffer
-                if not (request.done and request.complete_cycle <= cycle)
-            ]
+        outstanding = self._outstanding_loads
+        if outstanding:
+            harvest = False
+            for _, request in outstanding:
+                done = request.complete_cycle
+                if done is not None and done <= cycle:
+                    harvest = True
+                    break
+            if harvest:
+                still_waiting = []
+                for idx, request in outstanding:
+                    done = request.complete_cycle
+                    if done is not None and done <= cycle:
+                        self._announce_completion(idx, done)
+                        self._lsq_count -= 1
+                    else:
+                        still_waiting.append((idx, request))
+                self._outstanding_loads = still_waiting
+        buffered = self._store_buffer
+        if buffered:
+            for request in buffered:
+                done = request.complete_cycle
+                if done is not None and done <= cycle:
+                    self._store_buffer = [
+                        r
+                        for r in buffered
+                        if r.complete_cycle is None or r.complete_cycle > cycle
+                    ]
+                    break
         while self._pending_stores and self.memsys.can_accept(cycle, AccessType.STORE):
             idx = self._pending_stores.popleft()
-            request = self.memsys.issue(self.trace[idx].addr, AccessType.STORE, cycle)
+            request = self.memsys.issue(self._instructions[idx].addr, AccessType.STORE, cycle)
             self._store_buffer.append(request)
 
     # -- commit ----------------------------------------------------------------
     def _commit(self, cycle: int) -> None:
+        rob = self._rob
+        if not rob:
+            return
         committed = 0
-        while self._rob and committed < self.config.commit_width:
-            idx = self._rob[0]
-            done = self._complete_cycle.get(idx)
+        complete = self._complete_cycle
+        instructions = self._instructions
+        while rob and committed < self._commit_width:
+            idx = rob[0]
+            done = complete.get(idx)
             if done is None or done > cycle:
                 break
-            instruction = self.trace[idx]
+            instruction = instructions[idx]
             if instruction.kind is InstrClass.STORE:
                 in_flight = len(self._store_buffer) + len(self._pending_stores)
-                if in_flight >= self.config.store_buffer_size:
+                if in_flight >= self._store_buffer_size:
                     self.stats.incr("store_buffer_stall_cycles")
                     break
                 if self.memsys.can_accept(cycle, AccessType.STORE):
@@ -190,78 +386,96 @@ class OoOCore:
                     self._pending_stores.append(idx)
                 self._lsq_count -= 1
                 self.stats.incr("stores_committed")
-            self._rob.popleft()
+            rob.popleft()
             self.committed += 1
             committed += 1
 
     # -- issue -----------------------------------------------------------------
     def _issue(self, cycle: int) -> None:
-        int_mem_budget = self.config.int_mem_issue_width
-        fp_budget = self.config.fp_issue_width
+        ready = self._ready
+        int_mem_budget = self._int_mem_issue_width
         # Memory and integer operations share the same issue bandwidth.
-        int_mem_budget -= self._issue_from(_MEM, cycle, int_mem_budget)
-        int_mem_budget -= self._issue_from(_INT, cycle, int_mem_budget)
-        self._issue_from(_FP, cycle, fp_budget)
+        if ready[_MEM]:
+            int_mem_budget -= self._issue_from(_MEM, cycle, int_mem_budget)
+        if ready[_INT] and int_mem_budget > 0:
+            self._issue_from(_INT, cycle, int_mem_budget)
+        if ready[_FP]:
+            self._issue_from(_FP, cycle, self._fp_issue_width)
 
     def _issue_from(self, window: str, cycle: int, budget: int) -> int:
-        issued = 0
         heap = self._ready[window]
-        deferred: List[Tuple[int, int]] = []
+        if heap[0][0] > cycle:
+            return 0
+        issued = 0
+        deferred: Optional[List[Tuple[int, int]]] = None
+        instructions = self._instructions
+        memsys = self.memsys
+        stats = self.stats
         while heap and issued < budget:
             ready_cycle, idx = heap[0]
             if ready_cycle > cycle:
                 break
             heapq.heappop(heap)
-            instruction = self.trace[idx]
-            if instruction.kind is InstrClass.LOAD:
-                if not self.memsys.can_accept(cycle, AccessType.LOAD):
+            instruction = instructions[idx]
+            kind = instruction.kind
+            if kind is InstrClass.LOAD:
+                if not memsys.can_accept(cycle, AccessType.LOAD):
+                    if deferred is None:
+                        deferred = []
                     deferred.append((cycle + 1, idx))
-                    self.stats.incr("load_issue_retries")
+                    stats.incr("load_issue_retries")
                     continue
-                request = self.memsys.issue(instruction.addr, AccessType.LOAD, cycle)
-                self.stats.incr("loads_issued")
-                if request.done:
+                request = memsys.issue(instruction.addr, AccessType.LOAD, cycle)
+                stats.incr("loads_issued")
+                if request.complete_cycle is not None:
                     self._announce_completion(idx, request.complete_cycle)
                     self._lsq_count -= 1
                 else:
                     self._outstanding_loads.append((idx, request))
-            elif instruction.kind is InstrClass.STORE:
-                self._announce_completion(idx, cycle + self.config.store_agen_latency)
-            elif instruction.kind is InstrClass.BRANCH:
-                resolve = cycle + self.config.branch_latency
+            elif kind is InstrClass.STORE:
+                self._announce_completion(idx, cycle + self._store_agen_latency)
+            elif kind is InstrClass.BRANCH:
+                resolve = cycle + self._branch_latency
                 self._announce_completion(idx, resolve)
                 if instruction.mispredicted:
-                    self.stats.incr("branch_mispredictions")
-                    self._fetch_stall_until = max(
-                        self._fetch_stall_until,
-                        resolve + self.config.branch_mispredict_penalty,
-                    )
+                    stats.incr("branch_mispredictions")
+                    redirect = resolve + self._mispredict_penalty
+                    if redirect > self._fetch_stall_until:
+                        self._fetch_stall_until = redirect
                 if self._unresolved_branch == idx:
                     self._unresolved_branch = None
             else:
-                latency = (
-                    self.config.fp_latency
-                    if instruction.kind is InstrClass.FP_ALU
-                    else max(self.config.int_latency, instruction.latency)
-                )
+                if kind is InstrClass.FP_ALU:
+                    latency = self._fp_latency
+                else:
+                    latency = instruction.latency
+                    if latency < self._int_latency:
+                        latency = self._int_latency
                 self._announce_completion(idx, cycle + latency)
             self._window_count[window] -= 1
             issued += 1
-        for item in deferred:
-            heapq.heappush(heap, item)
+        if deferred:
+            for item in deferred:
+                heapq.heappush(heap, item)
         return issued
 
     def _announce_completion(self, idx: int, when: int) -> None:
         self._complete_cycle[idx] = when
-        for consumer in self._waiters.pop(idx, []):
-            self._pending_ready[consumer] = max(self._pending_ready[consumer], when)
-            self._unresolved[consumer] -= 1
-            if self._unresolved[consumer] == 0:
-                self._enqueue_ready(consumer)
-
-    def _enqueue_ready(self, idx: int) -> None:
-        window = _window_class(self.trace[idx].kind)
-        heapq.heappush(self._ready[window], (self._pending_ready[idx], idx))
+        consumers = self._waiters.pop(idx, None)
+        if not consumers:
+            return
+        pending = self._pending_ready
+        unresolved = self._unresolved
+        instructions = self._instructions
+        ready = self._ready
+        for consumer in consumers:
+            if when > pending[consumer]:
+                pending[consumer] = when
+            left = unresolved[consumer] - 1
+            unresolved[consumer] = left
+            if left == 0:
+                window = _WINDOW_OF[instructions[consumer].kind]
+                heapq.heappush(ready[window], (pending[consumer], consumer))
 
     # -- fetch / dispatch ---------------------------------------------------------
     def _fetch(self, cycle: int) -> None:
@@ -269,27 +483,35 @@ class OoOCore:
             self.stats.incr("fetch_stall_cycles")
             return
         fetched = 0
+        trace_len = self._trace_len
+        rob = self._rob
+        rob_size = self._rob_size
+        instructions = self._instructions
+        window_count = self._window_count
+        window_limit = self._window_limit
         while (
-            fetched < self.config.fetch_width
-            and self._next_fetch < len(self.trace)
-            and len(self._rob) < self.config.rob_size
+            fetched < self._fetch_width
+            and self._next_fetch < trace_len
+            and len(rob) < rob_size
         ):
             idx = self._next_fetch
-            instruction = self.trace[idx]
-            window = _window_class(instruction.kind)
-            if self._window_count[window] >= self._window_limit[window]:
+            instruction = instructions[idx]
+            kind = instruction.kind
+            window = _WINDOW_OF[kind]
+            if window_count[window] >= window_limit[window]:
                 self.stats.incr("window_full_stalls")
                 break
-            if instruction.kind.is_memory and self._lsq_count >= self.config.lsq_size:
+            is_memory = kind in _MEMORY_KINDS
+            if is_memory and self._lsq_count >= self._lsq_size:
                 self.stats.incr("lsq_full_stalls")
                 break
 
-            self._rob.append(idx)
-            self._window_count[window] += 1
-            if instruction.kind.is_memory:
+            rob.append(idx)
+            window_count[window] += 1
+            if is_memory:
                 self._lsq_count += 1
             self._dispatch_dependences(idx, instruction, cycle)
-            if instruction.kind is InstrClass.BRANCH and instruction.mispredicted:
+            if kind is InstrClass.BRANCH and instruction.mispredicted:
                 # Stop fetching down the wrong path until the branch resolves.
                 self._unresolved_branch = idx
                 self._next_fetch += 1
@@ -297,24 +519,40 @@ class OoOCore:
                 break
             self._next_fetch += 1
             fetched += 1
-        if self._next_fetch < len(self.trace) and len(self._rob) >= self.config.rob_size:
+        if self._next_fetch < trace_len and len(rob) >= rob_size:
             self.stats.incr("rob_full_stalls")
 
     def _dispatch_dependences(self, idx: int, instruction: Instruction, cycle: int) -> None:
         unresolved = 0
         ready = cycle + 1
-        for producer in instruction.producers(idx):
-            known = self._complete_cycle.get(producer)
-            if known is None and producer >= self._next_fetch:
-                # Producer outside the fetched stream (cannot happen with
-                # backwards distances) — treat as resolved.
-                continue
+        complete = self._complete_cycle
+        # Inlined Instruction.producers: this runs for every dispatched
+        # instruction and the tuple allocation showed up in profiles.
+        dep1, dep2 = instruction.dep1, instruction.dep2
+        next_fetch = self._next_fetch
+        if dep1 and idx - dep1 >= 0:
+            producer = idx - dep1
+            known = complete.get(producer)
             if known is not None:
-                ready = max(ready, known)
-            else:
+                if known > ready:
+                    ready = known
+            elif producer < next_fetch:
+                # A producer at or beyond the fetch point is outside the
+                # fetched stream (cannot happen with backwards distances)
+                # and is treated as resolved.
+                unresolved += 1
+                self._waiters[producer].append(idx)
+        if dep2 and idx - dep2 >= 0:
+            producer = idx - dep2
+            known = complete.get(producer)
+            if known is not None:
+                if known > ready:
+                    ready = known
+            elif producer < next_fetch:
                 unresolved += 1
                 self._waiters[producer].append(idx)
         self._pending_ready[idx] = ready
         self._unresolved[idx] = unresolved
         if unresolved == 0:
-            self._enqueue_ready(idx)
+            window = _WINDOW_OF[instruction.kind]
+            heapq.heappush(self._ready[window], (ready, idx))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.cpu.isa import Instruction, InstrClass
 
@@ -23,9 +23,36 @@ class Trace:
     name: str
     category: str
     instructions: List[Instruction] = field(default_factory=list)
+    #: Lazily computed by :meth:`resident_addresses`; excluded from
+    #: comparisons and repr because it is derived state.
+    _resident_cache: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def resident_addresses(self) -> List[int]:
+        """Addresses of the resident working set (cached after first call).
+
+        Streaming and cold accesses (``Instruction.transient``) are
+        excluded: they would also be absent from a warm cache at the start
+        of a SimPoint, so they take their compulsory misses during the
+        measured run — exactly as in the paper's methodology.  Traces are
+        immutable once generated and shared across every system of a
+        sweep, so the list is computed once.
+        """
+        cached = self._resident_cache
+        if cached is None:
+            load, store = InstrClass.LOAD, InstrClass.STORE
+            cached = [
+                instruction.addr
+                for instruction in self.instructions
+                if (instruction.kind is load or instruction.kind is store)
+                and not instruction.transient
+            ]
+            self._resident_cache = cached
+        return cached
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)

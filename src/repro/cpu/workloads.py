@@ -159,14 +159,15 @@ def generate_trace(
         else:
             kind = InstrClass.INT_ALU
 
-        addr, transient = pick_address() if kind.is_memory else (0, False)
+        is_memory = kind is InstrClass.LOAD or kind is InstrClass.STORE
+        addr, transient = pick_address() if is_memory else (0, False)
         dep1 = 0
         dep2 = 0
         if kind is InstrClass.LOAD and spec.pointer_chase_fraction and last_load_index is not None:
             if rng.random() < spec.pointer_chase_fraction:
                 dep1 = index - last_load_index
         if dep1 == 0 and index > 0 and rng.random() < spec.dep_density:
-            if kind.is_memory:
+            if is_memory:
                 # Loads and stores depend on address arithmetic (an earlier
                 # ALU op), not on other loads' data — array codes keep their
                 # memory-level parallelism unless pointer_chase says so.
@@ -177,7 +178,7 @@ def generate_trace(
                         break
             else:
                 dep1 = rng.randint(1, min(8, index))
-        if not kind.is_memory and index > 1 and rng.random() < spec.dep_density * 0.4:
+        if not is_memory and index > 1 and rng.random() < spec.dep_density * 0.4:
             dep2 = rng.randint(1, min(16, index))
         latency = 4 if kind is InstrClass.FP_ALU else 1
         mispredicted = kind is InstrClass.BRANCH and rng.random() < spec.mispredict_rate

@@ -92,11 +92,16 @@ class DNUCASystem(MemorySystem):
     def busy(self) -> bool:
         return self.l1 is not None and not self.l1.write_buffer.is_empty()
 
-    def finalize(self, cycle: int) -> None:
-        guard = cycle
-        while self.busy() and guard < cycle + 1_000_000:
-            self.tick(guard)
-            guard += 1
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which the L1 write buffer can drain.
+
+        The D-NUCA itself resolves all of its timing at :meth:`issue` time
+        (mesh transfers and bank reservations are occupancy-chained), so the
+        only per-cycle work is the front-side write-buffer drain.
+        """
+        if self.l1 is None or self.l1.write_buffer.is_empty():
+            return None
+        return max(cycle + 1, self.l1.write_buffer.next_drain_cycle())
 
     # ------------------------------------------------------------------ internals
     def _issue_with_l1(self, request: MemoryRequest, cycle: int) -> None:

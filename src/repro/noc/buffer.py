@@ -18,7 +18,15 @@ from repro.noc.message import Message
 
 
 class FlowControlBuffer:
-    """A bounded FIFO buffer attached to the receiving end of a link."""
+    """A bounded FIFO buffer attached to the receiving end of a link.
+
+    Note: the per-cycle hot loops in :mod:`repro.core.tile` and
+    :mod:`repro.core.lnuca` read the backing ``_entries`` deque directly
+    (emptiness checks and scans) to avoid call dispatch; keep it a deque of
+    :class:`Message` if the storage is ever reworked.
+    """
+
+    __slots__ = ("capacity", "name", "_entries", "total_enqueued", "total_occupancy_cycles")
 
     def __init__(self, capacity: int = 2, name: str = "buf") -> None:
         if capacity < 1:

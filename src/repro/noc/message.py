@@ -28,7 +28,7 @@ class MessageKind(enum.Enum):
     GENERIC = "generic"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single network message (one flit in the L-NUCA networks).
 

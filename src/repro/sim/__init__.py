@@ -26,6 +26,7 @@ __all__ = [
     "l2_config",
     "l3_config",
     "run_suite",
+    "simulate",
     "run_workload",
 ]
 
@@ -40,7 +41,7 @@ _LAZY_CONFIG_NAMES = {
     "l2_config",
     "l3_config",
 }
-_LAZY_RUNNER_NAMES = {"RunResult", "run_suite", "run_workload"}
+_LAZY_RUNNER_NAMES = {"RunResult", "run_suite", "run_workload", "simulate"}
 
 
 def __getattr__(name: str):

@@ -4,29 +4,61 @@ Every hierarchy the paper evaluates (conventional three-level, L-NUCA + L3,
 D-NUCA, L-NUCA + D-NUCA) implements this interface, so the out-of-order core
 and the experiment harness are completely agnostic of which hierarchy they
 drive.
+
+Cycle semantics
+===============
+
+The contract has a *dense* face and an *event-driven* face; both must
+describe the same machine.
+
+Dense face (what :meth:`tick` means):
+
+* the core calls :meth:`can_accept` and, if true, :meth:`issue` during its
+  execute stage;
+* the system simulates forward when :meth:`tick` is called once per cycle
+  (after the core's tick for that cycle);
+* a request is finished when its ``complete_cycle`` is set and is in the
+  past.
+
+Event-driven face (when :meth:`tick` may be skipped):
+
+* :meth:`next_event_cycle` returns the earliest cycle strictly after
+  ``cycle`` at which a call to :meth:`tick` could change any observable
+  state *or statistics counter*, or ``None`` when the hierarchy is
+  guaranteed to stay inert until the next :meth:`issue` / :meth:`post_write`
+  call;
+* the scheduler is then allowed to skip every cycle in
+  ``(cycle, next_event_cycle(cycle))`` exclusive — implementations must
+  guarantee that a dense simulation calling :meth:`tick` on those skipped
+  cycles would have been a pure no-op (no fills delivered, no buffers
+  drained, no messages moved, no counters incremented);
+* returning a cycle that is *earlier* than the next real event is always
+  safe (the extra tick is a no-op, exactly as in a dense run); returning a
+  cycle *later* than a real event is a correctness bug — the event-driven
+  run must be bit-identical to the dense run, not merely statistically
+  close;
+* after every :meth:`issue` / :meth:`post_write` / :meth:`tick`, the caller
+  must re-query :meth:`next_event_cycle`, because new work (search waves,
+  pending fills, buffered writes) may have created earlier events.
+
+The default implementation is maximally conservative: one cycle ahead
+whenever :meth:`busy` reports pending work.  Subclasses that model
+multi-cycle waits (memory channels, search waves, drain intervals) should
+override it to expose the true next event so the scheduler can leap over
+the idle span.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cache.request import AccessType, MemoryRequest
 from repro.sim.stats import Stats
 
 
 class MemorySystem(ABC):
-    """A cycle-level memory hierarchy the core can issue requests into.
-
-    The contract is:
-
-    * the core calls :meth:`can_accept` and, if true, :meth:`issue` during
-      its execute stage;
-    * the system simulates forward when :meth:`tick` is called once per
-      cycle (after the core's tick);
-    * a request is finished when its ``complete_cycle`` is set and is in the
-      past.
-    """
+    """A cycle-level memory hierarchy the core can issue requests into."""
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -47,14 +79,43 @@ class MemorySystem(ABC):
 
     @abstractmethod
     def tick(self, cycle: int) -> None:
-        """Advance internal state by one cycle."""
+        """Advance internal state by one cycle.
+
+        Under the event-driven kernel this is *not* called every cycle: the
+        scheduler only guarantees calls at the cycles exposed through
+        :meth:`next_event_cycle` (plus any extra cycles other components are
+        active on, which must be no-ops for this hierarchy).
+        """
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle ``> cycle`` at which :meth:`tick` can do work.
+
+        Returns ``None`` when the hierarchy is inert until the next request
+        enters it.  See the module docstring for the exact guarantee.  The
+        conservative default never skips while :meth:`busy`.
+        """
+        return cycle + 1 if self.busy() else None
 
     def busy(self) -> bool:
         """Return True while the hierarchy still has internal work pending."""
         return False
 
-    def finalize(self, cycle: int) -> None:
-        """Hook called once at the end of a run (drain buffers, flush stats)."""
+    def finalize(self, cycle: int) -> int:
+        """Drain pending work at the end of a run, skipping idle cycles.
+
+        Ticks only at the cycles :meth:`next_event_cycle` exposes, so
+        finalization costs one iteration per pending event rather than one
+        per idle cycle.  Returns the cycle the drain finished at so
+        subclasses can chain their own cleanup (e.g. a backside).  A
+        hierarchy that is not :meth:`busy` returns immediately.
+        """
+        guard = cycle
+        limit = cycle + 1_000_000
+        while self.busy() and guard < limit:
+            self.tick(guard)
+            nxt = self.next_event_cycle(guard)
+            guard = nxt if nxt is not None and nxt > guard else guard + 1
+        return guard
 
     def activity(self) -> Dict[str, float]:
         """Return the activity counters used by the energy accounting model."""

@@ -4,13 +4,45 @@ The experiment modules and benchmarks compose everything through
 :func:`run_workload` (a single simulation) and :func:`run_suite` (a sweep of
 workloads over a set of configurations), so they never have to repeat the
 core/memory-system wiring.
+
+Cycle semantics
+===============
+
+:func:`simulate` is the shared scheduler that drives one
+:class:`~repro.cpu.core.OoOCore` plus its memory system to completion.  It
+supports two modes that are guaranteed to produce **bit-identical**
+results (cycle counts, IPC, every activity counter):
+
+* ``mode="dense"`` — the classic lock-step loop: ``core.tick(c)`` then
+  ``memsys.tick(c)`` for every cycle ``c``.
+* ``mode="event"`` (the default) — after ticking at cycle ``c`` the
+  scheduler asks the core for its next wakeup
+  (:meth:`~repro.cpu.core.OoOCore.next_wakeup`) and the hierarchy for its
+  next event (:meth:`~repro.sim.memsys.MemorySystem.next_event_cycle`) and
+  jumps straight to the minimum of the two.  Every skipped cycle is
+  provably a no-op for both sides; the only dense-mode effect of such a
+  cycle — one stall-counter increment while the front end is blocked — is
+  re-applied in bulk through
+  :meth:`~repro.cpu.core.OoOCore.note_skipped_cycles`.
+
+Skipping is what makes big sweeps affordable: while the core sits on a
+60+-cycle memory miss and the hierarchy has nothing in flight, the dense
+loop burns one Python call per component per cycle, whereas the event
+kernel performs a single jump to the fill's completion cycle.
+
+:func:`run_suite` can additionally fan the (system, workload) pairs of a
+sweep out over worker processes (``workers=``); traces are generated once
+up front and shared with the forked workers, so every configuration still
+observes the identical instruction stream.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.common.errors import SimulationError
 from repro.cpu.core import CoreConfig, OoOCore
 from repro.cpu.trace import Trace
 from repro.cpu.workloads import WorkloadSpec, generate_trace
@@ -22,16 +54,10 @@ SystemBuilder = Callable[[], MemorySystem]
 def _resident_addresses(trace: Trace) -> List[int]:
     """Addresses of the trace that belong to the resident working set.
 
-    Streaming and cold accesses (``Instruction.transient``) are excluded:
-    they would also be absent from a warm cache at the start of a SimPoint,
-    so they take their compulsory misses during the measured run — exactly
-    as in the paper's methodology.
+    Delegates to :meth:`repro.cpu.trace.Trace.resident_addresses`, which
+    documents the warm-up methodology and caches the result.
     """
-    return [
-        instruction.addr
-        for instruction in trace
-        if instruction.kind.is_memory and not instruction.transient
-    ]
+    return trace.resident_addresses()
 
 
 @dataclass
@@ -51,6 +77,99 @@ class RunResult:
         return self.activity.get(key, 0.0)
 
 
+def simulate(
+    core: OoOCore,
+    mode: str = "event",
+    max_cycles: Optional[int] = None,
+) -> Dict[str, float]:
+    """Drive ``core`` and its memory system to completion.
+
+    This is the shared scheduler described in the module docstring; both
+    modes leave the core and hierarchy in identical final states.  Raises
+    :class:`~repro.common.errors.SimulationError` when the run exceeds
+    ``max_cycles`` (default: 400 cycles per instruction plus slack), which
+    catches deadlocks in either mode.
+    """
+    if mode not in ("dense", "event"):
+        raise ValueError(f"unknown simulation mode {mode!r}")
+    memsys = core.memsys
+    limit = max_cycles or (len(core.trace) * 400 + 100_000)
+
+    def check_limit(reached: int) -> None:
+        if reached > limit:
+            raise SimulationError(
+                f"core did not finish within {limit} cycles "
+                f"({core.committed}/{len(core.trace)} committed)"
+            )
+
+    core_tick = core.tick
+    mem_tick = memsys.tick
+    finished = core.finished
+
+    if mode == "dense":
+        while not finished():
+            cycle = core.cycle
+            core_tick(cycle)
+            mem_tick(cycle)
+            core.cycle = cycle + 1
+            check_limit(core.cycle)
+        memsys.finalize(core.cycle)
+        return core.summary()
+
+    next_wakeup = core.next_wakeup
+    next_event = memsys.next_event_cycle
+    while not finished():
+        cycle = core.cycle
+        core_tick(cycle)
+        mem_tick(cycle)
+        if finished():
+            # Mirror the dense loop exactly: the run ends one cycle after
+            # the tick that completed it, never at a later skipped-to event.
+            core.cycle = cycle + 1
+            break
+        wakeup = next_wakeup(cycle)
+        if wakeup == cycle + 1:
+            # The core makes progress next cycle regardless of the
+            # hierarchy; no point computing the memory system's event.
+            core.cycle = cycle + 1
+            check_limit(core.cycle)
+            continue
+        event = next_event(cycle)
+        if event is not None and (wakeup is None or event < wakeup):
+            # Memory-only span: the hierarchy has events strictly before the
+            # core's next wakeup, so advance it alone.  The core only needs
+            # to be woken early if one of its in-flight loads completes; a
+            # completing load is the only memory-side action that creates a
+            # new core event (stores complete at issue time).
+            watched = core.incomplete_loads()
+            cur = event
+            while True:
+                memsys.tick(cur)
+                check_limit(cur)
+                if any(request.done for request in watched):
+                    nxt = cur + 1
+                    break
+                event = next_event(cur)
+                if event is None:
+                    nxt = wakeup if wakeup is not None else cur + 1
+                    break
+                if wakeup is not None and event >= wakeup:
+                    nxt = wakeup
+                    break
+                cur = event
+        elif wakeup is not None:
+            nxt = wakeup
+        else:
+            nxt = cycle + 1
+        if nxt <= cycle:
+            nxt = cycle + 1
+        core.note_skipped_cycles(cycle, nxt)
+        core.cycle = nxt
+        check_limit(nxt)
+    memsys.finalize(core.cycle)
+    return core.summary()
+
+
 def run_workload(
     system_builder: SystemBuilder,
     spec: WorkloadSpec,
@@ -58,19 +177,22 @@ def run_workload(
     core_config: Optional[CoreConfig] = None,
     trace: Optional[Trace] = None,
     prewarm: bool = True,
+    mode: str = "event",
 ) -> RunResult:
     """Simulate ``spec`` (or a pre-generated ``trace``) on a fresh system.
 
     With ``prewarm`` (the default) the hierarchy's arrays are functionally
     warmed with the trace's own address stream before the timed run, the
-    stand-in for the paper's 200-million-instruction warm-up.
+    stand-in for the paper's 200-million-instruction warm-up.  ``mode``
+    selects the scheduler (``"event"`` skips idle cycles, ``"dense"`` ticks
+    every cycle); the results are bit-identical either way.
     """
     system = system_builder()
     trace = trace or generate_trace(spec, num_instructions)
     if prewarm:
         system.prewarm(_resident_addresses(trace))
     core = OoOCore(trace, system, config=core_config)
-    summary = core.run()
+    summary = simulate(core, mode=mode)
     return RunResult(
         system=system.name,
         workload=spec.name,
@@ -83,34 +205,92 @@ def run_workload(
     )
 
 
+#: State inherited by forked ``run_suite`` workers.  Using fork + a module
+#: global sidesteps pickling the system builders, which are usually lambdas.
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _run_suite_job(job) -> RunResult:
+    system_name, spec_index = job
+    state = _POOL_STATE
+    spec = state["specs"][spec_index]
+    result = run_workload(
+        state["builders"][system_name],
+        spec,
+        state["num_instructions"],
+        core_config=state["core_config"],
+        trace=state["traces"][spec.name],
+        prewarm=state["prewarm"],
+        mode=state["mode"],
+    )
+    result.system = system_name
+    return result
+
+
 def run_suite(
     system_builders: Dict[str, SystemBuilder],
     specs: Iterable[WorkloadSpec],
     num_instructions: int,
     core_config: Optional[CoreConfig] = None,
     prewarm: bool = True,
+    mode: str = "event",
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """Run every workload on every configuration.
 
     Traces are generated once per workload and reused across configurations
     so all systems see the identical instruction stream (as the paper's
     SimPoints guarantee).
+
+    Args:
+        mode: scheduler mode passed to every :func:`run_workload`.
+        workers: when > 1 (and the platform supports ``fork``), the
+            (system, workload) pairs are simulated in that many worker
+            processes.  Each pair is fully independent — systems are built
+            fresh per run and the shared traces are read-only — so the
+            result list is identical to a sequential run, in the same
+            order.
     """
     specs = list(specs)
     traces = {spec.name: generate_trace(spec, num_instructions) for spec in specs}
+    jobs = [
+        (system_name, index)
+        for system_name in system_builders
+        for index in range(len(specs))
+    ]
+
+    if workers is not None and workers > 1 and len(jobs) > 1 and hasattr(os, "fork"):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        _POOL_STATE.update(
+            builders=system_builders,
+            specs=specs,
+            traces=traces,
+            num_instructions=num_instructions,
+            core_config=core_config,
+            prewarm=prewarm,
+            mode=mode,
+        )
+        try:
+            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+                return pool.map(_run_suite_job, jobs)
+        finally:
+            _POOL_STATE.clear()
+
     results: List[RunResult] = []
-    for system_name, builder in system_builders.items():
-        for spec in specs:
-            result = run_workload(
-                builder,
-                spec,
-                num_instructions,
-                core_config=core_config,
-                trace=traces[spec.name],
-                prewarm=prewarm,
-            )
-            result.system = system_name
-            results.append(result)
+    for system_name, index in jobs:
+        result = run_workload(
+            system_builders[system_name],
+            specs[index],
+            num_instructions,
+            core_config=core_config,
+            trace=traces[specs[index].name],
+            prewarm=prewarm,
+            mode=mode,
+        )
+        result.system = system_name
+        results.append(result)
     return results
 
 

@@ -22,6 +22,8 @@ class Stats:
     exposed by simulators.
     """
 
+    __slots__ = ("name", "_counters")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._counters: Dict[str, float] = defaultdict(float)

@@ -7,9 +7,9 @@ import pytest
 from repro.cache.cache import CacheConfig, TimedCache
 from repro.cache.hierarchy import ConventionalHierarchy
 from repro.cache.memory import MainMemory, MainMemoryConfig
-from repro.core.config import LNUCAConfig
-from repro.core.lnuca import LightNUCA
 from repro.cpu.workloads import WorkloadSpec, generate_trace
+
+from helpers import make_small_lnuca
 
 
 @pytest.fixture
@@ -54,29 +54,8 @@ def small_hierarchy() -> ConventionalHierarchy:
     return ConventionalHierarchy([l1, l2], memory, name="tiny")
 
 
-def make_small_lnuca(levels: int = 3, **overrides) -> LightNUCA:
-    """An L-NUCA with a small backside, convenient for unit tests."""
-    backside_l3 = TimedCache(
-        CacheConfig(
-            name="L3",
-            size_bytes=64 * 1024,
-            associativity=8,
-            block_size=128,
-            completion_cycles=10,
-            initiation_cycles=5,
-        )
-    )
-    backside = ConventionalHierarchy(
-        [backside_l3],
-        MainMemory(MainMemoryConfig(first_chunk_cycles=60, inter_chunk_cycles=2)),
-        name="backside",
-    )
-    config = LNUCAConfig(levels=levels, **overrides)
-    return LightNUCA(config, backside)
-
-
 @pytest.fixture
-def small_lnuca() -> LightNUCA:
+def small_lnuca():
     return make_small_lnuca(3)
 
 

@@ -1,0 +1,36 @@
+"""Shared test helpers importable from any test module.
+
+``conftest.py`` holds the pytest fixtures; plain helper factories live here
+so test modules can import them directly (``from helpers import ...``)
+without relying on package-relative imports, which the test tree does not
+support (there is intentionally no ``tests/__init__.py``).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheConfig, TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.core.config import LNUCAConfig
+from repro.core.lnuca import LightNUCA
+
+
+def make_small_lnuca(levels: int = 3, **overrides) -> LightNUCA:
+    """An L-NUCA with a small backside, convenient for unit tests."""
+    backside_l3 = TimedCache(
+        CacheConfig(
+            name="L3",
+            size_bytes=64 * 1024,
+            associativity=8,
+            block_size=128,
+            completion_cycles=10,
+            initiation_cycles=5,
+        )
+    )
+    backside = ConventionalHierarchy(
+        [backside_l3],
+        MainMemory(MainMemoryConfig(first_chunk_cycles=60, inter_chunk_cycles=2)),
+        name="backside",
+    )
+    config = LNUCAConfig(levels=levels, **overrides)
+    return LightNUCA(config, backside)

@@ -8,7 +8,7 @@ from repro.cache.request import AccessType
 from repro.cli import build_parser, main
 from repro.experiments import report as report_module
 
-from .conftest import make_small_lnuca
+from helpers import make_small_lnuca
 
 
 class TestCLI:

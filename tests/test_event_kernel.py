@@ -1,0 +1,118 @@
+"""Dense vs. event-driven scheduler equivalence.
+
+The event-driven kernel (``repro.sim.runner.simulate`` with
+``mode="event"``) must be a pure speedup: for every hierarchy the paper
+evaluates it has to produce **bit-identical** results to the dense
+lock-step loop — same cycle counts, same IPC, same activity counters
+(which feed the energy model), and same core statistics (including the
+per-cycle stall counters re-applied in bulk for skipped spans).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.configs import (
+    build_conventional_hierarchy,
+    build_dnuca_hierarchy,
+    build_lnuca_dnuca_hierarchy,
+    build_lnuca_l3_hierarchy,
+)
+from repro.sim.runner import run_suite, run_workload
+from repro.cpu.workloads import workload_by_name
+
+_N = 2500
+
+#: One builder per hierarchy family of the paper (Fig. 1(a)-(d)).
+SYSTEMS = {
+    "conventional": build_conventional_hierarchy,
+    "lnuca+l3": lambda: build_lnuca_l3_hierarchy(3),
+    "dnuca": build_dnuca_hierarchy,
+    "lnuca+dnuca": lambda: build_lnuca_dnuca_hierarchy(2),
+}
+
+#: Workload mix: regular int, pointer-chasing (long serialized misses,
+#: exercising deep skips), and streaming fp (write/stream traffic).
+WORKLOADS = ["perlbench-like", "mcf-like", "bwaves-like"]
+
+
+def _assert_identical(dense, event, context: str) -> None:
+    assert dense.cycles == event.cycles, f"{context}: cycle count diverged"
+    assert dense.ipc == event.ipc, f"{context}: IPC diverged"
+    assert dense.instructions == event.instructions, context
+    assert dense.activity == event.activity, f"{context}: activity counters diverged"
+    assert dense.core_stats == event.core_stats, f"{context}: core stats diverged"
+
+
+class TestDenseEventEquivalence:
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_warm_runs_bit_identical(self, system, workload):
+        spec = workload_by_name(workload)
+        dense = run_workload(SYSTEMS[system], spec, _N, mode="dense")
+        event = run_workload(SYSTEMS[system], spec, _N, mode="event")
+        _assert_identical(dense, event, f"{system}/{workload} (warm)")
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    def test_cold_runs_bit_identical(self, system):
+        # Cold runs maximise long idle miss spans, the regime in which the
+        # event kernel skips the most cycles.
+        spec = workload_by_name("mcf-like")
+        dense = run_workload(SYSTEMS[system], spec, _N, prewarm=False, mode="dense")
+        event = run_workload(SYSTEMS[system], spec, _N, prewarm=False, mode="event")
+        _assert_identical(dense, event, f"{system}/mcf-like (cold)")
+
+    def test_event_mode_is_default(self):
+        spec = workload_by_name("perlbench-like")
+        default = run_workload(build_conventional_hierarchy, spec, _N)
+        dense = run_workload(build_conventional_hierarchy, spec, _N, mode="dense")
+        _assert_identical(dense, default, "default mode")
+
+    def test_unknown_mode_rejected(self):
+        spec = workload_by_name("perlbench-like")
+        with pytest.raises(ValueError):
+            run_workload(build_conventional_hierarchy, spec, 200, mode="turbo")
+
+
+class TestSuiteParallelism:
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+    def test_workers_match_sequential(self):
+        specs = [workload_by_name("perlbench-like"), workload_by_name("bwaves-like")]
+        builders = {
+            "conventional": build_conventional_hierarchy,
+            "lnuca+l3": lambda: build_lnuca_l3_hierarchy(2),
+        }
+        sequential = run_suite(builders, specs, 1200)
+        parallel = run_suite(builders, specs, 1200, workers=2)
+        assert len(sequential) == len(parallel)
+        for seq, par in zip(sequential, parallel):
+            assert seq.system == par.system and seq.workload == par.workload
+            _assert_identical(seq, par, f"workers {seq.system}/{seq.workload}")
+
+
+class TestNextEventContract:
+    def test_idle_hierarchy_reports_no_event(self):
+        system = build_conventional_hierarchy()
+        assert system.next_event_cycle(0) is None
+
+    def test_busy_hierarchy_reports_future_event(self):
+        from repro.cache.request import AccessType
+
+        system = build_conventional_hierarchy()
+        system.issue(0x1000, AccessType.STORE, 0)  # write-through L1 -> buffered
+        event = system.next_event_cycle(0)
+        assert event is not None and event >= 1
+
+    def test_lnuca_wave_pins_event(self):
+        from helpers import make_small_lnuca
+        from repro.cache.request import AccessType
+
+        lnuca = make_small_lnuca(3)
+        lnuca.issue(0x8000, AccessType.LOAD, 0)  # r-tile miss -> search wave
+        event = lnuca.next_event_cycle(0)
+        assert event is not None
+        # The wave probes one level per cycle; its first step must not be
+        # skipped past.
+        assert event <= min(wave.next_cycle for wave in lnuca._waves)

@@ -5,7 +5,7 @@ import pytest
 from repro.cache.request import AccessType
 from repro.core.geometry import ROOT
 
-from .conftest import make_small_lnuca
+from helpers import make_small_lnuca
 
 
 def run_until_done(lnuca, request, start_cycle, limit=2000):

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 
 from repro.cache.request import AccessType
 
-from .conftest import make_small_lnuca
+from helpers import make_small_lnuca
 
 # Addresses are drawn from a small pool so that the streams exercise reuse,
 # eviction, and in-flight races rather than only compulsory misses.
