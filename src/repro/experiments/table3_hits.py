@@ -35,12 +35,14 @@ def run(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
     """Regenerate Table III.
 
     Returns ``{configuration: {category: row}}`` where each row holds the
     per-level hit percentages (``le2_pct`` ...), the all-levels total, and
-    the average-to-minimum transport latency ratio.
+    the average-to-minimum transport latency ratio.  When a run produced no
+    transport deliveries at all the ratio is ``None`` ("no data"), never
+    ``0.0`` — a real average-to-minimum ratio is always >= 1.
     """
     builders = conventional_builders()
     if results is None:
@@ -58,7 +60,7 @@ def run(
             base_cat = [r for r in baseline_results if r.category == category]
             sys_cat = [r for r in system_results if r.category == category]
             l2_hits = _sum_activity(base_cat, "L2.read_hits")
-            row: Dict[str, float] = {}
+            row: Dict[str, Optional[float]] = {}
             total_pct = 0.0
             for level in (2, 3, 4):
                 hits = _sum_activity(sys_cat, f"read_hits_Le{level}")
@@ -68,7 +70,7 @@ def run(
             row["all_levels_pct"] = round(total_pct, 1)
             actual = _sum_activity(sys_cat, "transport_actual_cycles")
             minimum = _sum_activity(sys_cat, "transport_min_cycles")
-            row["avg_min_transport_ratio"] = round(actual / minimum, 3) if minimum else 0.0
+            row["avg_min_transport_ratio"] = round(actual / minimum, 3) if minimum else None
             table[system][category] = row
     return table
 
@@ -85,10 +87,12 @@ def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAU
     print("  " + header)
     for system, categories in table.items():
         for category, row in categories.items():
+            ratio = row["avg_min_transport_ratio"]
+            ratio_text = f"{ratio:.3f}" if ratio is not None else "n/a"
             print(
                 f"  {system:<12} {category:<4} {row['le2_pct']:>9.1f} {row['le3_pct']:>9.1f} "
                 f"{row['le4_pct']:>9.1f} {row['all_levels_pct']:>9.1f} "
-                f"{row['avg_min_transport_ratio']:>8.3f}"
+                f"{ratio_text:>8}"
             )
 
 
