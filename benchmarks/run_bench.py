@@ -15,7 +15,9 @@ Usage::
 No pytest required; plain stdlib timing.  The stage set:
 
 * ``micro_*`` — throughput of the inner loops every experiment relies on
-  (array fill/lookup, a full L-NUCA miss search, trace generation);
+  (array fill/lookup, a full L-NUCA miss search, trace generation, the
+  scenario engine's vectorized-vs-scalar-vs-legacy synthesis, and binary
+  trace capture/replay);
 * ``fig4_sweep`` — the bench-sized Fig. 4 sweep (sizes from
   ``benchmarks/conftest.py``) in dense and event mode, with a
   bit-identical-stats assertion between the two;
@@ -118,6 +120,78 @@ def micro_trace_gen(repeat):
     return {"wall_s": wall, "instructions_per_s": n / wall}
 
 
+def micro_scenario_gen(repeat):
+    """Trace synthesis: vectorized engine vs scalar reference vs legacy.
+
+    All three produce a comparable key-value-server-sized stream; the
+    vectorized and scalar paths synthesize the *same* scenario (their
+    traces are bit-identical), the legacy path is the historical
+    per-instruction generator.
+    """
+    from repro.scenarios import build_trace, scenario
+    from repro.scenarios.sampling import HAVE_NUMPY
+
+    n = 50_000
+    base = scenario("kv-zipf-hot")
+
+    def with_backend(vectorized):
+        return base.with_params(vectorized=vectorized)
+
+    scalar_wall, scalar_trace = _best_of(
+        repeat, lambda: build_trace(with_backend(False), n)
+    )
+    legacy_wall, _ = _best_of(
+        repeat, lambda: generate_trace(workload_by_name("mcf-like"), n)
+    )
+    stage = {
+        "instructions": n,
+        "scalar_wall_s": scalar_wall,
+        "scalar_instructions_per_s": n / scalar_wall,
+        "legacy_wall_s": legacy_wall,
+        "legacy_instructions_per_s": n / legacy_wall,
+        "have_numpy": HAVE_NUMPY,
+    }
+    if HAVE_NUMPY:
+        vec_wall, vec_trace = _best_of(
+            repeat, lambda: build_trace(with_backend(True), n)
+        )
+        if vec_trace.instructions != scalar_trace.instructions:
+            raise AssertionError("vectorized and scalar backends diverged — engine bug")
+        stage.update(
+            vectorized_wall_s=vec_wall,
+            vectorized_instructions_per_s=n / vec_wall,
+            vectorized_speedup_vs_scalar=scalar_wall / vec_wall,
+            vectorized_speedup_vs_legacy=legacy_wall / vec_wall,
+            backends_bit_identical=True,
+        )
+    return stage
+
+
+def micro_trace_file(repeat):
+    """Binary capture/replay: save + load throughput and round-trip check."""
+    import tempfile
+
+    from repro.scenarios import build_trace, load_trace, save_trace, scenario
+
+    n = 50_000
+    trace = build_trace(scenario("kv-zipf-hot"), n)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.lntr")
+        save_wall, size = _best_of(repeat, lambda: save_trace(trace, path))
+        load_wall, loaded = _best_of(repeat, lambda: load_trace(path))
+    if loaded.instructions != trace.instructions:
+        raise AssertionError("trace file round trip diverged — format bug")
+    return {
+        "instructions": n,
+        "file_bytes": size,
+        "save_wall_s": save_wall,
+        "save_instructions_per_s": n / save_wall,
+        "load_wall_s": load_wall,
+        "load_instructions_per_s": n / load_wall,
+        "round_trip_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- sweep
 def _results_identical(lhs, rhs):
     return all(
@@ -216,6 +290,10 @@ def main(argv=None):
     stages["micro_lnuca_search"] = micro_lnuca_search(args.repeat)
     print("micro: trace generation ...", flush=True)
     stages["micro_trace_gen"] = micro_trace_gen(args.repeat)
+    print("micro: scenario synthesis (vectorized vs scalar vs legacy) ...", flush=True)
+    stages["micro_scenario_gen"] = micro_scenario_gen(args.repeat)
+    print("micro: binary trace save/load ...", flush=True)
+    stages["micro_trace_file"] = micro_trace_file(args.repeat)
     print("fig4 sweep (dense vs event) ...", flush=True)
     stages["fig4_sweep"] = fig4_sweep(args.repeat, args.workers)
     print("memory-wall stress (dense vs event) ...", flush=True)
@@ -245,6 +323,13 @@ def main(argv=None):
         f"event {stress['event_wall_s']:.2f}s "
         f"({stress['event_speedup_vs_dense']:.2f}x, bit-identical)"
     )
+    gen = stages["micro_scenario_gen"]
+    if "vectorized_instructions_per_s" in gen:
+        print(
+            f"scenario synthesis: vectorized {gen['vectorized_instructions_per_s']:,.0f} instr/s "
+            f"({gen['vectorized_speedup_vs_scalar']:.2f}x vs scalar reference, "
+            f"{gen['vectorized_speedup_vs_legacy']:.2f}x vs legacy per-instruction)"
+        )
     return 0
 
 

@@ -3,19 +3,30 @@
 Examples::
 
     python -m repro.cli table2
-    python -m repro.cli fig4 --instructions 15000 --per-category 4
-    python -m repro.cli fig5
+    python -m repro.cli --instructions 15000 --per-category 4 fig4
+    python -m repro.cli --workers 4 fig5
     python -m repro.cli table3
     python -m repro.cli ablations --instructions 4000
     python -m repro.cli report --output results/
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios generate --out traces/ --tag new
+    python -m repro.cli --workers 4 scenarios run --traces-dir traces/
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional, Sequence
+import os
+from typing import List, Optional, Sequence
 
-from repro.experiments import ablations, fig4_conventional, fig5_dnuca, table2_area, table3_hits
+from repro.experiments import (
+    ablations,
+    fig4_conventional,
+    fig5_dnuca,
+    fig6_scenarios,
+    table2_area,
+    table3_hits,
+)
 from repro.experiments import report as report_module
 from repro.experiments.common import DEFAULT_INSTRUCTIONS, DEFAULT_PER_CATEGORY
 
@@ -38,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_PER_CATEGORY,
         help="workloads per category (integer / floating point)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sweeps out over N forked worker processes "
+        "(result-identical to sequential; needs a fork-capable OS)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table2", help="Table II: conventional and L-NUCA areas")
     sub.add_parser("table3", help="Table III: hits per level and transport latency ratio")
@@ -49,7 +67,174 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--with-ablations", action="store_true", help="include the ablation sweeps"
     )
+
+    scenarios = sub.add_parser(
+        "scenarios", help="Scenario engine: list, generate, and run workload scenarios"
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_list = scen_sub.add_parser(
+        "list", help="List generator families and catalog scenarios"
+    )
+    scen_list.add_argument("--tag", default=None, help="only scenarios with this tag")
+
+    scen_gen = scen_sub.add_parser(
+        "generate", help="Generate scenario traces into binary capture files"
+    )
+    scen_gen.add_argument("--out", required=True, help="output directory for .lntr files")
+    scen_gen.add_argument("--names", nargs="+", default=None, help="scenario names")
+    scen_gen.add_argument("--tag", default=None, help="select scenarios by tag")
+    scen_gen.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "scalar"),
+        default="auto",
+        help="synthesis backend (bit-identical either way)",
+    )
+
+    scen_run = scen_sub.add_parser(
+        "run", help="Sweep scenarios across the four hierarchy types"
+    )
+    scen_run.add_argument("--names", nargs="+", default=None, help="scenario names")
+    scen_run.add_argument("--tag", default=None, help="select scenarios by tag")
+    scen_run.add_argument(
+        "--traces-dir",
+        default=None,
+        help="binary trace cache: replay existing .lntr files, capture missing ones",
+    )
+    scen_run.add_argument("--csv", default=None, help="also write the IPC table as CSV")
     return parser
+
+
+def _select_scenarios(names: Optional[Sequence[str]], tag: Optional[str]) -> List:
+    from repro.common.errors import ConfigurationError
+    from repro.scenarios import default_sweep, scenario, scenarios
+
+    if names and tag:
+        raise ConfigurationError("--names and --tag are mutually exclusive")
+    if names:
+        return [scenario(name) for name in names]
+    if tag:
+        selected = scenarios(tag)
+        if not selected:
+            raise ConfigurationError(f"no scenarios carry the tag {tag!r}")
+        return selected
+    return default_sweep()
+
+
+def _scenarios_list(tag: Optional[str]) -> None:
+    from repro.scenarios import families, scenarios
+
+    print("generator families:")
+    for fam in families():
+        print(f"  {fam.name:<12} {fam.doc}")
+    print()
+    print("scenarios:")
+    for spec in scenarios(tag):
+        tags = ",".join(spec.tags)
+        print(f"  {spec.name:<18} {spec.family:<12} [{spec.category}] {spec.description}"
+              f"{'  (' + tags + ')' if tags else ''}")
+
+
+def _trace_path(directory: str, name: str, num_instructions: int) -> str:
+    return os.path.join(directory, f"{name}-{num_instructions}.lntr")
+
+
+def _capture_meta(spec) -> dict:
+    """Provenance recorded in a captured trace's header.
+
+    The ``vectorized`` backend override is excluded: both backends are
+    bit-identical by design, so a capture generated with either must
+    replay against the catalog spec without looking stale.
+    """
+    import json
+
+    params = {key: value for key, value in spec.params.items() if key != "vectorized"}
+    # JSON round trip canonicalises tuples to lists so the comparison in
+    # _cache_entry_current matches what read_meta returns.
+    return {
+        "family": spec.family,
+        "seed": spec.seed,
+        "params": json.loads(json.dumps(params)),
+    }
+
+
+def _cache_entry_current(path: str, spec, num_instructions: int) -> bool:
+    """True when a captured trace still matches the current scenario.
+
+    Guards the replay cache against stale files: the capture's header
+    records the generating family, seed, and params, so a scenario whose
+    catalog definition changed since the capture is regenerated instead
+    of being silently swept with old behaviour.
+    """
+    from repro.scenarios import TraceFormatError, read_meta
+
+    try:
+        meta = read_meta(path)
+    except (OSError, TraceFormatError):
+        return False
+    expected = _capture_meta(spec)
+    return (
+        all(meta.get(key) == value for key, value in expected.items())
+        and meta.get("instructions") == num_instructions
+    )
+
+
+def _scenarios_generate(
+    out: str,
+    names: Optional[Sequence[str]],
+    tag: Optional[str],
+    num_instructions: int,
+    backend: str,
+) -> None:
+    from repro.scenarios import build_trace, save_trace
+
+    vectorized = {"auto": None, "vectorized": True, "scalar": False}[backend]
+    os.makedirs(out, exist_ok=True)
+    for spec in _select_scenarios(names, tag):
+        # Every family accepts the override; the legacy spec2006 generator
+        # is per-instruction by definition and simply ignores it.
+        if vectorized is not None:
+            spec = spec.with_params(vectorized=vectorized)
+        trace = build_trace(spec, num_instructions)
+        path = _trace_path(out, spec.name, num_instructions)
+        size = save_trace(trace, path, extra_meta=_capture_meta(spec))
+        print(f"  {path}: {len(trace)} instructions, {size} bytes")
+
+
+def _scenarios_run(
+    names: Optional[Sequence[str]],
+    tag: Optional[str],
+    num_instructions: int,
+    workers: Optional[int],
+    traces_dir: Optional[str],
+    csv_path: Optional[str],
+) -> None:
+    from repro.scenarios import build_trace, load_trace, save_trace
+
+    specs = _select_scenarios(names, tag)
+    traces = None
+    if traces_dir:
+        os.makedirs(traces_dir, exist_ok=True)
+        traces = {}
+        for spec in specs:
+            path = _trace_path(traces_dir, spec.name, num_instructions)
+            if os.path.exists(path) and _cache_entry_current(path, spec, num_instructions):
+                traces[spec.name] = load_trace(path)
+            else:
+                if os.path.exists(path):
+                    print(f"  {path}: stale capture (scenario changed), regenerating")
+                trace = build_trace(spec, num_instructions)
+                save_trace(trace, path, extra_meta=_capture_meta(spec))
+                traces[spec.name] = trace
+    report = fig6_scenarios.run(
+        num_instructions=num_instructions, specs=specs, workers=workers, traces=traces
+    )
+    print("Scenario sweep — IPC across the four hierarchy types")
+    for line in fig6_scenarios.format_rows(report):
+        print("  " + line)
+    if csv_path:
+        fig6_scenarios.write_csv(report, csv_path)
+        print(f"csv written to {csv_path}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -58,21 +243,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "table2":
         table2_area.main()
     elif args.command == "table3":
-        table3_hits.main(num_instructions=args.instructions, per_category=args.per_category)
+        table3_hits.main(
+            num_instructions=args.instructions,
+            per_category=args.per_category,
+            workers=args.workers,
+        )
     elif args.command == "fig4":
-        fig4_conventional.main(num_instructions=args.instructions, per_category=args.per_category)
+        fig4_conventional.main(
+            num_instructions=args.instructions,
+            per_category=args.per_category,
+            workers=args.workers,
+        )
     elif args.command == "fig5":
-        fig5_dnuca.main(num_instructions=args.instructions, per_category=args.per_category)
+        fig5_dnuca.main(
+            num_instructions=args.instructions,
+            per_category=args.per_category,
+            workers=args.workers,
+        )
     elif args.command == "ablations":
-        ablations.main(num_instructions=args.instructions)
+        ablations.main(num_instructions=args.instructions, workers=args.workers)
     elif args.command == "report":
         path = report_module.write_report(
             args.output,
             num_instructions=args.instructions,
             per_category=args.per_category,
             include_ablations=args.with_ablations,
+            workers=args.workers,
         )
         print(f"report written to {path}")
+    elif args.command == "scenarios":
+        from repro.common.errors import ConfigurationError
+
+        try:
+            if args.scenarios_command == "list":
+                _scenarios_list(args.tag)
+            elif args.scenarios_command == "generate":
+                _scenarios_generate(
+                    args.out, args.names, args.tag, args.instructions, args.backend
+                )
+            elif args.scenarios_command == "run":
+                _scenarios_run(
+                    args.names,
+                    args.tag,
+                    args.instructions,
+                    args.workers,
+                    args.traces_dir,
+                    args.csv,
+                )
+        except ConfigurationError as exc:
+            # User input (names, tags, params) reaches the registry from
+            # here; fail with the message, not a traceback.
+            print(f"error: {exc}")
+            return 2
     return 0
 
 

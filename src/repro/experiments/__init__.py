@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401
     ablations,
     fig4_conventional,
     fig5_dnuca,
+    fig6_scenarios,
     table2_area,
     table3_hits,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ablations",
     "fig4_conventional",
     "fig5_dnuca",
+    "fig6_scenarios",
     "table2_area",
     "table3_hits",
 ]

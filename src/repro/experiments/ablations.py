@@ -36,6 +36,7 @@ def routing_ablation(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     specs: Optional[List[WorkloadSpec]] = None,
     levels: int = 3,
+    workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Random versus deterministic output selection in the buffered networks."""
     specs = specs or select_workloads(2)
@@ -43,7 +44,7 @@ def routing_ablation(
         "random": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="random"),
         "deterministic": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="deterministic"),
     }
-    results = run_suite(builders, specs, num_instructions)
+    results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     contention = {
         name: sum(
@@ -66,6 +67,7 @@ def buffer_depth_ablation(
     specs: Optional[List[WorkloadSpec]] = None,
     depths: tuple = (1, 2, 4),
     levels: int = 3,
+    workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """IPC as a function of the flow-control buffer depth."""
     specs = specs or select_workloads(2)
@@ -73,7 +75,7 @@ def buffer_depth_ablation(
         f"depth-{depth}": (lambda d=depth: build_lnuca_l3_hierarchy(levels, buffer_depth=d))
         for depth in depths
     }
-    results = run_suite(builders, specs, num_instructions)
+    results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     return {depth: round(_overall(ipc, f"depth-{depth}"), 4) for depth in depths}
 
@@ -83,6 +85,7 @@ def tile_size_ablation(
     specs: Optional[List[WorkloadSpec]] = None,
     sizes_kb: tuple = (2, 4, 8),
     levels: int = 3,
+    workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """IPC as a function of the tile size (2 to 8 KB, Section III-A)."""
     specs = specs or select_workloads(2)
@@ -92,7 +95,7 @@ def tile_size_ablation(
         builders[f"tile-{size_kb}KB"] = (
             lambda t=tile: build_lnuca_l3_hierarchy(levels, tile=t)
         )
-    results = run_suite(builders, specs, num_instructions)
+    results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     return {size_kb: round(_overall(ipc, f"tile-{size_kb}KB"), 4) for size_kb in sizes_kb}
 
@@ -101,31 +104,36 @@ def level_count_ablation(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     specs: Optional[List[WorkloadSpec]] = None,
     level_range: tuple = (2, 3, 4, 5),
+    workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """IPC as a function of the number of L-NUCA levels."""
     specs = specs or select_workloads(2)
     builders = {
         f"LN{levels}": (lambda n=levels: build_lnuca_l3_hierarchy(n)) for levels in level_range
     }
-    results = run_suite(builders, specs, num_instructions)
+    results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     return {levels: round(_overall(ipc, f"LN{levels}"), 4) for levels in level_range}
 
 
-def run(num_instructions: int = DEFAULT_INSTRUCTIONS) -> Dict[str, object]:
+def run(
+    num_instructions: int = DEFAULT_INSTRUCTIONS, workers: Optional[int] = None
+) -> Dict[str, object]:
     """Run every ablation with a reduced workload set."""
     specs = select_workloads(2)
     return {
-        "routing": routing_ablation(num_instructions, specs),
-        "buffer_depth": buffer_depth_ablation(num_instructions, specs),
-        "tile_size": tile_size_ablation(num_instructions, specs),
-        "levels": level_count_ablation(num_instructions, specs),
+        "routing": routing_ablation(num_instructions, specs, workers=workers),
+        "buffer_depth": buffer_depth_ablation(num_instructions, specs, workers=workers),
+        "tile_size": tile_size_ablation(num_instructions, specs, workers=workers),
+        "levels": level_count_ablation(num_instructions, specs, workers=workers),
     }
 
 
-def main(num_instructions: int = DEFAULT_INSTRUCTIONS) -> None:
+def main(
+    num_instructions: int = DEFAULT_INSTRUCTIONS, workers: Optional[int] = None
+) -> None:
     """Print every ablation."""
-    report = run(num_instructions)
+    report = run(num_instructions, workers=workers)
     print("Ablation — routing policy:", report["routing"])
     print("Ablation — buffer depth (IPC):", report["buffer_depth"])
     print("Ablation — tile size KB (IPC):", report["tile_size"])

@@ -30,6 +30,7 @@ def run(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Regenerate both panels of Fig. 4.
 
@@ -39,20 +40,29 @@ def run(
     * ``"energy"`` — ``{configuration: {group: fraction-of-baseline}}``
       (Fig. 4b);
     * ``"results"`` — the raw per-workload :class:`RunResult` list.
+
+    ``workers`` fans the (system, workload) sweep over that many forked
+    processes (result-identical to a sequential run).
     """
     builders = conventional_builders()
     if results is None:
         specs = select_workloads(per_category)
-        results = run_suite(builders, specs, num_instructions)
+        results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     totals = total_energy_by_system(results, builders)
     energy = normalised_energy(totals, BASELINE)
     return {"ipc": ipc, "energy": energy, "results": results}
 
 
-def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+def main(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    workers: Optional[int] = None,
+) -> None:
     """Print Fig. 4(a) and Fig. 4(b)."""
-    report = run(num_instructions=num_instructions, per_category=per_category)
+    report = run(
+        num_instructions=num_instructions, per_category=per_category, workers=workers
+    )
     print("Figure 4(a) — IPC harmonic mean (conventional vs L-NUCA)")
     for line in format_ipc_rows(report["ipc"], BASELINE):
         print("  " + line)

@@ -30,21 +30,28 @@ def run(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Regenerate both panels of Fig. 5 (see :func:`fig4_conventional.run`)."""
     builders = dnuca_builders()
     if results is None:
         specs = select_workloads(per_category)
-        results = run_suite(builders, specs, num_instructions)
+        results = run_suite(builders, specs, num_instructions, workers=workers)
     ipc = ipc_by_category(results)
     totals = total_energy_by_system(results, builders)
     energy = normalised_energy(totals, BASELINE)
     return {"ipc": ipc, "energy": energy, "results": results}
 
 
-def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+def main(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    workers: Optional[int] = None,
+) -> None:
     """Print Fig. 5(a) and Fig. 5(b)."""
-    report = run(num_instructions=num_instructions, per_category=per_category)
+    report = run(
+        num_instructions=num_instructions, per_category=per_category, workers=workers
+    )
     print("Figure 5(a) — IPC harmonic mean (D-NUCA vs L-NUCA + D-NUCA)")
     for line in format_ipc_rows(report["ipc"], BASELINE):
         print("  " + line)

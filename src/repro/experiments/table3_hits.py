@@ -35,6 +35,7 @@ def run(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
     """Regenerate Table III.
 
@@ -47,7 +48,7 @@ def run(
     builders = conventional_builders()
     if results is None:
         specs = select_workloads(per_category)
-        results = run_suite(builders, specs, num_instructions)
+        results = run_suite(builders, specs, num_instructions, workers=workers)
 
     baseline_results = results_for_system(results, BASELINE)
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -75,9 +76,15 @@ def run(
     return table
 
 
-def main(num_instructions: int = DEFAULT_INSTRUCTIONS, per_category: int = DEFAULT_PER_CATEGORY) -> None:
+def main(
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    workers: Optional[int] = None,
+) -> None:
     """Print Table III."""
-    table = run(num_instructions=num_instructions, per_category=per_category)
+    table = run(
+        num_instructions=num_instructions, per_category=per_category, workers=workers
+    )
     print("Table III — read hits per level relative to the baseline L2 and")
     print("            average-to-minimum Transport-network latency ratio")
     header = (

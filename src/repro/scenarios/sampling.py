@@ -1,0 +1,556 @@
+"""Vectorized batch trace synthesis.
+
+The scenario engine describes a workload *declaratively* — a
+:class:`TraceModel` is an instruction-class mix, a dependence model, and a
+weighted set of address :class:`Region` primitives — and this module turns
+that description into a :class:`~repro.cpu.trace.Trace`.
+
+Two backends synthesize the same model:
+
+* the **vectorized** backend samples whole arrays at a time with numpy
+  (class codes, region picks, addresses, dependence distances), replacing
+  the per-instruction ``random`` calls of the legacy generator;
+* the **scalar** backend is a numpy-free reference implementation that
+  loops over instructions.
+
+Both draw their uniforms from a single :class:`UniformSource`: the source
+is seeded through :class:`random.Random` and, on the vectorized path, its
+Mersenne-Twister state is transplanted into a legacy
+:class:`numpy.random.RandomState`, whose ``random_sample`` consumes the
+generator word-for-word like ``random.random`` does.  Every stochastic
+decision is a deterministic function of those uniforms, drawn in a fixed
+array order, so for a given model and seed the two backends produce
+**bit-identical traces** — enforced by ``tests/test_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.isa import Instruction, InstrClass
+from repro.cpu.trace import Trace
+
+try:  # numpy ships with the container toolchain but is not strictly required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Class codes used internally by the samplers (order of the thresholds).
+_CODE_TO_CLASS = (
+    int(InstrClass.LOAD),
+    int(InstrClass.STORE),
+    int(InstrClass.BRANCH),
+    int(InstrClass.FP_ALU),
+    int(InstrClass.INT_ALU),
+)
+_LOAD = int(InstrClass.LOAD)
+_STORE = int(InstrClass.STORE)
+_BRANCH = int(InstrClass.BRANCH)
+_FP = int(InstrClass.FP_ALU)
+_INSTR_CLASSES = {int(cls): cls for cls in InstrClass}
+
+
+class UniformSource:
+    """A stream of float64 uniforms in ``[0, 1)`` shared by both backends.
+
+    ``draw(count)`` returns the next ``count`` uniforms — as a numpy array
+    when ``vectorized`` (and numpy is available), as a plain list
+    otherwise.  The underlying Mersenne-Twister sequence is identical
+    either way, which is what makes the two synthesis backends
+    bit-identical.
+    """
+
+    def __init__(self, key: str, vectorized: bool) -> None:
+        self._rng = random.Random(key)
+        self._vectorized = vectorized and HAVE_NUMPY
+        if self._vectorized:
+            version, state, _ = self._rng.getstate()
+            if version != 3:  # pragma: no cover - CPython invariant
+                raise ConfigurationError("unexpected random.Random state version")
+            self._np_rng = _np.random.RandomState()
+            self._np_rng.set_state(
+                ("MT19937", _np.array(state[:-1], dtype=_np.uint32), state[-1])
+            )
+
+    def draw(self, count: int):
+        if self._vectorized:
+            return self._np_rng.random_sample(count)
+        rand = self._rng.random
+        return [rand() for _ in range(count)]
+
+
+# --------------------------------------------------------------------------- regions
+@dataclass(frozen=True, kw_only=True)
+class Region:
+    """One weighted component of a model's address distribution.
+
+    Attributes:
+        weight: relative probability that a memory access falls here.
+        transient: mark accesses as outside the resident working set
+            (excluded from functional warm-up, like the legacy generator's
+            streaming/cold accesses).
+    """
+
+    weight: float
+    transient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ConfigurationError("region weight must be positive")
+
+
+@dataclass(frozen=True, kw_only=True)
+class UniformRegion(Region):
+    """Uniform random accesses over ``span_bytes`` starting at ``base``."""
+
+    base: int
+    span_bytes: int
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.span_bytes < self.align or self.align < 1:
+            raise ConfigurationError("uniform region smaller than its alignment")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ZipfRegion(Region):
+    """Zipf-distributed picks over ``num_items`` records of ``item_bytes``.
+
+    Item ``k`` (0-based) is chosen with probability proportional to
+    ``1 / (k + 1) ** exponent`` — the classic key-popularity model of
+    key-value serving and power-law graph degrees.
+    """
+
+    base: int
+    num_items: int
+    item_bytes: int = 64
+    exponent: float = 0.99
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_items < 1 or self.item_bytes < 1:
+            raise ConfigurationError("zipf region needs at least one item")
+
+
+@dataclass(frozen=True, kw_only=True)
+class SequentialRegion(Region):
+    """A strided sequential walk (streaming) over ``span_bytes``."""
+
+    base: int
+    span_bytes: int
+    stride: int = 64
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.span_bytes < self.stride or self.stride < 1:
+            raise ConfigurationError("sequential region smaller than its stride")
+
+    @property
+    def slots(self) -> int:
+        return self.span_bytes // self.stride
+
+
+@dataclass(frozen=True, kw_only=True)
+class GridSweepRegion(Region):
+    """A row-major sweep over a 2-D grid with stencil tap offsets.
+
+    The n-th access to the region visits cell ``n % (rows * cols)`` and
+    adds one *tap* — an offset in elements, e.g. ``±1`` (east/west) or
+    ``±cols`` (north/south) — chosen by the taps' relative weights.
+    """
+
+    base: int
+    rows: int
+    cols: int
+    elem_bytes: int = 8
+    taps: Tuple[Tuple[int, float], ...] = ((0, 1.0),)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows < 1 or self.cols < 1 or self.elem_bytes < 1:
+            raise ConfigurationError("grid region needs positive dimensions")
+        if not self.taps or any(weight <= 0.0 for _, weight in self.taps):
+            raise ConfigurationError("grid taps need positive weights")
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf(num_items: int, exponent: float) -> Tuple[float, ...]:
+    """Cumulative Zipf distribution; cached because it is O(num_items)."""
+    total = 0.0
+    weights = []
+    for k in range(num_items):
+        w = 1.0 / float(k + 1) ** exponent
+        weights.append(w)
+        total += w
+    running = 0.0
+    cdf = []
+    for w in weights:
+        running += w / total
+        cdf.append(running)
+    cdf[-1] = 1.0
+    return tuple(cdf)
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf_array(num_items: int, exponent: float):
+    """ndarray form of :func:`_zipf_cdf`, cached separately so the
+    vectorized backend does not re-convert a large tuple per build."""
+    return _np.asarray(_zipf_cdf(num_items, exponent))
+
+
+@lru_cache(maxsize=64)
+def _tap_tables(taps: Tuple[Tuple[int, float], ...]) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    total = sum(weight for _, weight in taps)
+    running = 0.0
+    cdf = []
+    offsets = []
+    for offset, weight in taps:
+        running += weight / total
+        cdf.append(running)
+        offsets.append(offset)
+    cdf[-1] = 1.0
+    return tuple(cdf), tuple(offsets)
+
+
+# --------------------------------------------------------------------------- model
+@dataclass(frozen=True, kw_only=True)
+class TraceModel:
+    """Declarative description of a synthetic workload.
+
+    The class mix and dependence knobs mirror the legacy
+    :class:`~repro.cpu.workloads.WorkloadSpec` semantics; the address
+    behaviour is the weighted :attr:`regions` mixture.  Two knobs are new:
+
+    * ``pointer_chase_fraction`` — loads that depend on the *previous
+      load* (serialised misses, low MLP);
+    * ``rmw_fraction`` — stores that write back to the previous load's
+      address and depend on it (read-modify-write pairs, GUPS style).
+    """
+
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.12
+    fp_fraction: float = 0.0
+    mispredict_rate: float = 0.05
+    dep_density: float = 0.80
+    pointer_chase_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    fp_latency: int = 4
+    regions: Tuple[Region, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.load_fraction + self.store_fraction + self.branch_fraction >= 1.0:
+            raise ConfigurationError("load+store+branch fractions must leave room for ALU ops")
+        if min(self.load_fraction, self.store_fraction, self.branch_fraction) < 0.0:
+            raise ConfigurationError("class fractions must be non-negative")
+        for name in ("fp_fraction", "mispredict_rate", "dep_density",
+                     "pointer_chase_fraction", "rmw_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1]")
+        if not self.regions:
+            raise ConfigurationError("a trace model needs at least one address region")
+
+    def region_cdf(self) -> Tuple[float, ...]:
+        total = sum(region.weight for region in self.regions)
+        running = 0.0
+        cdf = []
+        for region in self.regions:
+            running += region.weight / total
+            cdf.append(running)
+        cdf[-1] = 1.0
+        return tuple(cdf)
+
+
+# --------------------------------------------------------------------------- shared helpers
+def _class_thresholds(model: TraceModel) -> Tuple[float, float, float, float]:
+    c_load = model.load_fraction
+    c_store = c_load + model.store_fraction
+    c_branch = c_store + model.branch_fraction
+    c_fp = c_branch + (1.0 - c_branch) * model.fp_fraction
+    return c_load, c_store, c_branch, c_fp
+
+
+def _build_trace(
+    name: str,
+    category: str,
+    kinds: Sequence[int],
+    addrs: Sequence[int],
+    dep1: Sequence[int],
+    dep2: Sequence[int],
+    mispredicted: Sequence[bool],
+    transient: Sequence[bool],
+    fp_latency: int,
+) -> Trace:
+    classes = _INSTR_CLASSES
+    fp_code = _FP
+    # Positional construction: this loop is the hot path of trace
+    # synthesis once the sampling itself is vectorized.
+    instructions = [
+        Instruction(
+            classes[kind], addr, d1, d2,
+            fp_latency if kind == fp_code else 1, miss, trans,
+        )
+        for kind, addr, d1, d2, miss, trans in zip(
+            kinds, addrs, dep1, dep2, mispredicted, transient
+        )
+    ]
+    return Trace(name=name, category=category, instructions=instructions)
+
+
+# --------------------------------------------------------------------------- vectorized backend
+def _synthesize_numpy(model: TraceModel, n: int, source: UniformSource):
+    np = _np
+    c_load, c_store, c_branch, c_fp = _class_thresholds(model)
+    thresholds = np.array([c_load, c_store, c_branch, c_fp])
+    codes = np.searchsorted(thresholds, source.draw(n), side="right")
+    kinds = np.array(_CODE_TO_CLASS, dtype=np.int64)[codes]
+
+    mem_mask = (kinds == _LOAD) | (kinds == _STORE)
+    mem_idx = np.nonzero(mem_mask)[0]
+    num_mem = int(mem_idx.size)
+
+    u_region = np.asarray(source.draw(num_mem))
+    u_addr = np.asarray(source.draw(num_mem))
+    u_pair = np.asarray(source.draw(num_mem))
+
+    region_cdf = np.array(model.region_cdf())
+    picks = np.minimum(
+        np.searchsorted(region_cdf, u_region, side="right"), len(model.regions) - 1
+    )
+
+    addrs_mem = np.zeros(num_mem, dtype=np.int64)
+    transient_mem = np.zeros(num_mem, dtype=bool)
+    for index, region in enumerate(model.regions):
+        mask = picks == index
+        count = int(np.count_nonzero(mask))
+        if not count:
+            continue
+        u = u_addr[mask]
+        occurrence = np.arange(count, dtype=np.int64)
+        if isinstance(region, UniformRegion):
+            slots = region.span_bytes // region.align
+            offsets = (u * slots).astype(np.int64) * region.align
+        elif isinstance(region, ZipfRegion):
+            cdf = _zipf_cdf_array(region.num_items, region.exponent)
+            items = np.minimum(
+                np.searchsorted(cdf, u, side="right"), region.num_items - 1
+            )
+            offsets = items.astype(np.int64) * region.item_bytes
+        elif isinstance(region, SequentialRegion):
+            offsets = (occurrence * region.stride) % (region.slots * region.stride)
+        elif isinstance(region, GridSweepRegion):
+            tap_cdf, tap_offsets = _tap_tables(region.taps)
+            tap_idx = np.minimum(
+                np.searchsorted(np.asarray(tap_cdf), u, side="right"),
+                len(tap_offsets) - 1,
+            )
+            cells = (occurrence % region.cells) + np.asarray(tap_offsets, dtype=np.int64)[tap_idx]
+            offsets = (cells % region.cells) * region.elem_bytes
+        else:  # pragma: no cover - guarded by Region registration
+            raise ConfigurationError(f"unknown region type {type(region).__name__}")
+        addrs_mem[mask] = region.base + offsets
+        transient_mem[mask] = region.transient
+
+    # Previous-load tracking (strictly before each memory slot) for
+    # pointer chasing and read-modify-write pairing.
+    dep1_mem = np.zeros(num_mem, dtype=np.int64)
+    if num_mem:
+        is_load_mem = kinds[mem_idx] == _LOAD
+        slot_of_load = np.where(is_load_mem, np.arange(num_mem, dtype=np.int64), -1)
+        prev_load_slot = np.empty(num_mem, dtype=np.int64)
+        prev_load_slot[0] = -1
+        if num_mem > 1:
+            prev_load_slot[1:] = np.maximum.accumulate(slot_of_load)[:-1]
+        has_prev = prev_load_slot >= 0
+        safe_prev = np.maximum(prev_load_slot, 0)
+        prev_load_global = mem_idx[safe_prev]
+        if model.pointer_chase_fraction:
+            chase = is_load_mem & has_prev & (u_pair < model.pointer_chase_fraction)
+            dep1_mem[chase] = mem_idx[chase] - prev_load_global[chase]
+        if model.rmw_fraction:
+            rmw = (~is_load_mem) & has_prev & (u_pair < model.rmw_fraction)
+            addrs_mem[rmw] = addrs_mem[safe_prev][rmw]
+            transient_mem[rmw] = transient_mem[safe_prev][rmw]
+            dep1_mem[rmw] = mem_idx[rmw] - prev_load_global[rmw]
+
+    # Generic register dependences.
+    indices = np.arange(n, dtype=np.int64)
+    u_dep1 = np.asarray(source.draw(n))
+    dist1 = (np.asarray(source.draw(n)) * 8).astype(np.int64) + 1
+    u_dep2 = np.asarray(source.draw(n))
+    dist2 = (np.asarray(source.draw(n)) * 16).astype(np.int64) + 1
+
+    dep1 = np.zeros(n, dtype=np.int64)
+    dep1[mem_idx] = dep1_mem
+    generic1 = (dep1 == 0) & (u_dep1 < model.dep_density) & (dist1 <= indices)
+    dep1 = np.where(generic1, dist1, dep1)
+    dep2 = np.where(
+        (~mem_mask) & (u_dep2 < model.dep_density * 0.4) & (dist2 <= indices),
+        dist2,
+        0,
+    )
+
+    branch_idx = np.nonzero(kinds == _BRANCH)[0]
+    u_miss = np.asarray(source.draw(int(branch_idx.size)))
+    mispredicted = np.zeros(n, dtype=bool)
+    mispredicted[branch_idx] = u_miss < model.mispredict_rate
+
+    addrs = np.zeros(n, dtype=np.int64)
+    addrs[mem_idx] = addrs_mem
+    transient = np.zeros(n, dtype=bool)
+    transient[mem_idx] = transient_mem
+
+    return (
+        kinds.tolist(),
+        addrs.tolist(),
+        dep1.tolist(),
+        dep2.tolist(),
+        mispredicted.tolist(),
+        transient.tolist(),
+    )
+
+
+# --------------------------------------------------------------------------- scalar backend
+def _region_offset_scalar(region: Region, u: float, occurrence: int) -> int:
+    if isinstance(region, UniformRegion):
+        slots = region.span_bytes // region.align
+        return int(u * slots) * region.align
+    if isinstance(region, ZipfRegion):
+        cdf = _zipf_cdf(region.num_items, region.exponent)
+        item = min(bisect.bisect_right(cdf, u), region.num_items - 1)
+        return item * region.item_bytes
+    if isinstance(region, SequentialRegion):
+        return (occurrence * region.stride) % (region.slots * region.stride)
+    if isinstance(region, GridSweepRegion):
+        tap_cdf, tap_offsets = _tap_tables(region.taps)
+        tap = tap_offsets[min(bisect.bisect_right(tap_cdf, u), len(tap_offsets) - 1)]
+        cell = (occurrence % region.cells + tap) % region.cells
+        return cell * region.elem_bytes
+    raise ConfigurationError(f"unknown region type {type(region).__name__}")
+
+
+def _synthesize_scalar(model: TraceModel, n: int, source: UniformSource):
+    c_load, c_store, c_branch, c_fp = _class_thresholds(model)
+    kinds: List[int] = []
+    for u in source.draw(n):
+        # Strict < on every boundary, matching numpy's searchsorted
+        # (side="right") so the two backends agree even on exact ties.
+        if u < c_load:
+            kinds.append(_LOAD)
+        elif u < c_store:
+            kinds.append(_STORE)
+        elif u < c_branch:
+            kinds.append(_BRANCH)
+        elif u < c_fp:
+            kinds.append(_FP)
+        else:
+            kinds.append(int(InstrClass.INT_ALU))
+
+    mem_idx = [i for i, kind in enumerate(kinds) if kind == _LOAD or kind == _STORE]
+    num_mem = len(mem_idx)
+    u_region = source.draw(num_mem)
+    u_addr = source.draw(num_mem)
+    u_pair = source.draw(num_mem)
+
+    region_cdf = model.region_cdf()
+    last_region = len(model.regions) - 1
+    occurrences = [0] * len(model.regions)
+
+    addrs = [0] * n
+    transient = [False] * n
+    dep1 = [0] * n
+    prev_load_global = -1
+    prev_load_addr = 0
+    prev_load_transient = False
+    for slot, index in enumerate(mem_idx):
+        pick = min(bisect.bisect_right(region_cdf, u_region[slot]), last_region)
+        region = model.regions[pick]
+        addr = region.base + _region_offset_scalar(region, u_addr[slot], occurrences[pick])
+        occurrences[pick] += 1
+        trans = region.transient
+        is_load = kinds[index] == _LOAD
+        if prev_load_global >= 0:
+            if is_load and model.pointer_chase_fraction and u_pair[slot] < model.pointer_chase_fraction:
+                dep1[index] = index - prev_load_global
+            elif not is_load and model.rmw_fraction and u_pair[slot] < model.rmw_fraction:
+                addr = prev_load_addr
+                trans = prev_load_transient
+                dep1[index] = index - prev_load_global
+        addrs[index] = addr
+        transient[index] = trans
+        if is_load:
+            prev_load_global = index
+            prev_load_addr = addr
+            prev_load_transient = trans
+
+    u_dep1 = source.draw(n)
+    u_dist1 = source.draw(n)
+    u_dep2 = source.draw(n)
+    u_dist2 = source.draw(n)
+    dep2 = [0] * n
+    dep_density = model.dep_density
+    dep2_density = dep_density * 0.4
+    for index in range(n):
+        if dep1[index] == 0 and u_dep1[index] < dep_density:
+            dist = int(u_dist1[index] * 8) + 1
+            if dist <= index:
+                dep1[index] = dist
+        kind = kinds[index]
+        if kind != _LOAD and kind != _STORE and u_dep2[index] < dep2_density:
+            dist = int(u_dist2[index] * 16) + 1
+            if dist <= index:
+                dep2[index] = dist
+
+    branch_idx = [i for i, kind in enumerate(kinds) if kind == _BRANCH]
+    u_miss = source.draw(len(branch_idx))
+    mispredicted = [False] * n
+    for slot, index in enumerate(branch_idx):
+        mispredicted[index] = u_miss[slot] < model.mispredict_rate
+
+    return kinds, addrs, dep1, dep2, mispredicted, transient
+
+
+# --------------------------------------------------------------------------- entry point
+def synthesize_trace(
+    name: str,
+    category: str,
+    model: TraceModel,
+    num_instructions: int,
+    key: str,
+    vectorized: Optional[bool] = None,
+) -> Trace:
+    """Synthesize ``num_instructions`` of ``model`` into a :class:`Trace`.
+
+    ``key`` seeds the uniform stream (any string; the scenario registry
+    derives it from the spec seed, run seed, and length exactly like the
+    legacy generator).  ``vectorized`` selects the backend: ``None`` uses
+    numpy when available, ``True`` requires it, ``False`` forces the
+    scalar reference path.  Both backends are bit-identical.
+    """
+    if num_instructions < 1:
+        raise ConfigurationError("a trace needs at least one instruction")
+    if vectorized and not HAVE_NUMPY:
+        raise ConfigurationError("vectorized synthesis requires numpy")
+    use_numpy = HAVE_NUMPY if vectorized is None else bool(vectorized)
+    source = UniformSource(key, vectorized=use_numpy)
+    backend = _synthesize_numpy if use_numpy else _synthesize_scalar
+    kinds, addrs, dep1, dep2, mispredicted, transient = backend(
+        model, num_instructions, source
+    )
+    return _build_trace(
+        name, category, kinds, addrs, dep1, dep2, mispredicted, transient,
+        model.fp_latency,
+    )

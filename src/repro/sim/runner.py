@@ -235,6 +235,8 @@ def run_suite(
     prewarm: bool = True,
     mode: str = "event",
     workers: Optional[int] = None,
+    trace_factory: Optional[Callable] = None,
+    traces: Optional[Dict[str, Trace]] = None,
 ) -> List[RunResult]:
     """Run every workload on every configuration.
 
@@ -249,10 +251,25 @@ def run_suite(
             processes.  Each pair is fully independent — systems are built
             fresh per run and the shared traces are read-only — so the
             result list is identical to a sequential run, in the same
-            order.
+            order.  Dispatch relies on ``pool.map``'s built-in chunking
+            (~4 chunks per worker), so many-workload sweeps do not pay
+            one IPC round-trip per job.
+        trace_factory: ``(spec, num_instructions) -> Trace`` used to
+            generate each workload's trace; defaults to the legacy
+            :func:`generate_trace`.  The scenario engine passes
+            :func:`repro.scenarios.build_trace` here.  ``specs`` may be
+            any objects with ``name`` and ``category`` attributes that the
+            factory understands.
+        traces: pre-generated (e.g. replayed from binary capture) traces
+            keyed by workload name; missing entries are generated with the
+            factory.
     """
     specs = list(specs)
-    traces = {spec.name: generate_trace(spec, num_instructions) for spec in specs}
+    factory = trace_factory or generate_trace
+    traces = dict(traces or {})
+    for spec in specs:
+        if spec.name not in traces:
+            traces[spec.name] = factory(spec, num_instructions)
     jobs = [
         (system_name, index)
         for system_name in system_builders
@@ -263,6 +280,7 @@ def run_suite(
         import multiprocessing
 
         ctx = multiprocessing.get_context("fork")
+        processes = min(workers, len(jobs))
         _POOL_STATE.update(
             builders=system_builders,
             specs=specs,
@@ -273,7 +291,10 @@ def run_suite(
             mode=mode,
         )
         try:
-            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            with ctx.Pool(processes=processes) as pool:
+                # pool.map's default chunking (~4 chunks per worker) hands
+                # jobs out in batches, so many-workload sweeps do not pay
+                # one IPC round-trip per (system, workload) pair.
                 return pool.map(_run_suite_job, jobs)
         finally:
             _POOL_STATE.clear()
