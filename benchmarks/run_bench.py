@@ -11,8 +11,16 @@ compare against.
 Usage::
 
     python benchmarks/run_bench.py [--out PATH] [--repeat N] [--workers N]
+        [--instructions N] [--per-category N]
+        [--check-baseline PATH] [--max-slowdown X]
 
-No pytest required; plain stdlib timing.  The stage set:
+No pytest required; plain stdlib timing.  ``--instructions`` /
+``--per-category`` shrink the sweep stages for smoke runs (CI runs a tiny
+budget on every push); ``--check-baseline`` compares the fig4 sweep's
+event-mode *throughput* (instructions simulated per second, which is
+budget-size tolerant) against a previously committed ``BENCH_micro.json``
+and fails the run when it regressed by more than ``--max-slowdown``.  The
+stage set:
 
 * ``micro_*`` — throughput of the inner loops every experiment relies on
   (array fill/lookup, a full L-NUCA miss search, trace generation, the
@@ -205,24 +213,25 @@ def _results_identical(lhs, rhs):
     )
 
 
-def fig4_sweep(repeat, workers):
-    specs = select_workloads(BENCH_PER_CATEGORY)
+def fig4_sweep(repeat, workers, instructions=BENCH_INSTRUCTIONS, per_category=BENCH_PER_CATEGORY):
+    specs = select_workloads(per_category)
     dense_wall, dense = _best_of(
         repeat,
-        lambda: run_suite(conventional_builders(), specs, BENCH_INSTRUCTIONS, mode="dense"),
+        lambda: run_suite(conventional_builders(), specs, instructions, mode="dense"),
     )
     event_wall, event = _best_of(
         repeat,
-        lambda: run_suite(conventional_builders(), specs, BENCH_INSTRUCTIONS, mode="event"),
+        lambda: run_suite(conventional_builders(), specs, instructions, mode="event"),
     )
     if not _results_identical(dense, event):
         raise AssertionError("dense and event sweeps diverged — kernel bug")
     stage = {
         "runs": len(dense),
-        "instructions_per_run": BENCH_INSTRUCTIONS,
+        "instructions_per_run": instructions,
         "dense_wall_s": dense_wall,
         "event_wall_s": event_wall,
         "event_speedup_vs_dense": dense_wall / event_wall,
+        "event_instructions_per_s": len(dense) * instructions / event_wall,
         "bit_identical": True,
     }
     if workers and workers > 1 and hasattr(os, "fork"):
@@ -231,7 +240,7 @@ def fig4_sweep(repeat, workers):
             lambda: run_suite(
                 conventional_builders(),
                 specs,
-                BENCH_INSTRUCTIONS,
+                instructions,
                 mode="event",
                 workers=workers,
             ),
@@ -242,7 +251,7 @@ def fig4_sweep(repeat, workers):
     return stage
 
 
-def memory_wall_stress(repeat):
+def memory_wall_stress(repeat, instructions=BENCH_INSTRUCTIONS):
     """Cold pointer-chasing against slow memory: the idle-skip showcase."""
 
     def slow_mem_hierarchy():
@@ -253,9 +262,9 @@ def memory_wall_stress(repeat):
         )
 
     spec = workload_by_name("mcf-like")
-    trace = generate_trace(spec, BENCH_INSTRUCTIONS)
+    trace = generate_trace(spec, instructions)
     run = lambda mode: run_workload(  # noqa: E731
-        slow_mem_hierarchy, spec, BENCH_INSTRUCTIONS, trace=trace, prewarm=False, mode=mode
+        slow_mem_hierarchy, spec, instructions, trace=trace, prewarm=False, mode=mode
     )
     dense_wall, dense = _best_of(repeat, lambda: run("dense"))
     event_wall, event = _best_of(repeat, lambda: run("event"))
@@ -271,6 +280,35 @@ def memory_wall_stress(repeat):
     }
 
 
+def check_against_baseline(stages, baseline_path, max_slowdown):
+    """Fail when the fig4 event sweep regressed past ``max_slowdown``.
+
+    Compares event-mode *throughput* (simulated instructions per wall
+    second), not raw wall time, so a smoke run at a tiny ``--instructions``
+    budget can still be held against the committed full-budget baseline.
+    Tiny budgets amortise fixed per-run costs (trace generation, prewarm)
+    over fewer instructions and CI boxes differ from the box that produced
+    the baseline, which is why the threshold is a generous factor rather
+    than a tight percentage.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())["stages"]["fig4_sweep"]
+    base_tput = baseline.get("event_instructions_per_s") or (
+        baseline["runs"] * baseline["instructions_per_run"] / baseline["event_wall_s"]
+    )
+    new = stages["fig4_sweep"]
+    new_tput = new["event_instructions_per_s"]
+    ratio = base_tput / new_tput
+    print(
+        f"baseline check: event sweep {new_tput:,.0f} instr/s vs committed "
+        f"{base_tput:,.0f} instr/s ({ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+    )
+    if ratio > max_slowdown:
+        raise SystemExit(
+            f"fig4 event sweep regressed {ratio:.2f}x vs {baseline_path} "
+            f"(limit {max_slowdown:.2f}x)"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_micro.json"))
@@ -280,6 +318,30 @@ def main(argv=None):
         type=int,
         default=0,
         help="also time the sweep with this many worker processes",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=BENCH_INSTRUCTIONS,
+        help="instructions per run in the sweep stages (smoke runs shrink this)",
+    )
+    parser.add_argument(
+        "--per-category",
+        type=int,
+        default=BENCH_PER_CATEGORY,
+        help="workloads per category in the fig4 sweep",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="PATH",
+        help="compare the fig4 event sweep against this BENCH_micro.json",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="maximum tolerated throughput regression factor for --check-baseline",
     )
     args = parser.parse_args(argv)
 
@@ -295,9 +357,11 @@ def main(argv=None):
     print("micro: binary trace save/load ...", flush=True)
     stages["micro_trace_file"] = micro_trace_file(args.repeat)
     print("fig4 sweep (dense vs event) ...", flush=True)
-    stages["fig4_sweep"] = fig4_sweep(args.repeat, args.workers)
+    stages["fig4_sweep"] = fig4_sweep(
+        args.repeat, args.workers, args.instructions, args.per_category
+    )
     print("memory-wall stress (dense vs event) ...", flush=True)
-    stages["memory_wall_stress"] = memory_wall_stress(args.repeat)
+    stages["memory_wall_stress"] = memory_wall_stress(args.repeat, args.instructions)
 
     payload = {
         "meta": {
@@ -330,6 +394,8 @@ def main(argv=None):
             f"({gen['vectorized_speedup_vs_scalar']:.2f}x vs scalar reference, "
             f"{gen['vectorized_speedup_vs_legacy']:.2f}x vs legacy per-instruction)"
         )
+    if args.check_baseline:
+        check_against_baseline(stages, args.check_baseline, args.max_slowdown)
     return 0
 
 

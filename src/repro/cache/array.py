@@ -155,6 +155,41 @@ class SetAssociativeArray:
         """Return True if the block containing ``addr`` is resident."""
         return self.lookup(addr, update_lru=False) is not None
 
+    def touch_or_fill(self, addr: int, cycle: int = 0) -> None:
+        """LRU-touch the resident block for ``addr``, or fill it on a miss.
+
+        Bit-identical to ``lookup(addr, cycle, update_lru=True)`` followed
+        by ``fill(addr, cycle)`` on a miss, with the address decomposed
+        once.  This is the functional warm-up inner loop: prewarm replays
+        whole address streams through every level, so the fused form saves
+        one call and one index computation per touched address.
+        """
+        line = addr >> self._block_shift
+        mask = self._set_mask
+        if mask is not None:
+            idx = line & mask
+            tag = line >> self._set_shift
+        else:
+            idx = line % self.num_sets
+            tag = line // self.num_sets
+        way = self._tag_to_way[idx].get(tag)
+        if way is not None:
+            blk = self._sets[idx][way]
+            if blk is not None and blk.valid:
+                blk.last_touch = cycle
+                stamps = self._lru_stamps
+                if stamps is not None:
+                    policy = self.policy
+                    row = stamps.get(idx)
+                    if row is None:
+                        row = policy._stamp_list(idx)
+                    policy._clock += 1
+                    row[way] = policy._clock
+                else:
+                    self.policy.on_access(idx, way, cycle)
+                return
+        self.fill(addr, cycle=cycle)
+
     # -- fills and evictions ---------------------------------------------------------
     def fill(
         self, addr: int, cycle: int = 0, dirty: bool = False
@@ -166,7 +201,16 @@ class SetAssociativeArray:
             :class:`CacheBlock` or ``None`` when an empty way was available
             (or the block was already resident, which only refreshes it).
         """
-        idx, tag = self._index(addr)
+        # Inlined _index(): fills are the second-hottest array path (every
+        # prewarm touch and every runtime fill funnels through here).
+        line = addr >> self._block_shift
+        mask = self._set_mask
+        if mask is not None:
+            idx = line & mask
+            tag = line >> self._set_shift
+        else:
+            idx = line % self.num_sets
+            tag = line // self.num_sets
         ways = self._sets[idx]
         tags = self._tag_to_way[idx]
 

@@ -123,12 +123,22 @@ class TimedCache:
         busy for the initiation interval.
         """
         ports = self._port_free_cycle
-        if len(ports) == 1:
+        count = len(ports)
+        if count == 1:
             free = ports[0]
             start = cycle if cycle >= free else free
             ports[0] = start + self._initiation_cycles
+        elif count == 2:
+            # Dual-ported arrays (the L1s and the r-tile) are on the
+            # per-access hot path; pick the port with a compare instead of
+            # a keyed min over a range object.
+            free0, free1 = ports
+            best_port = 0 if free0 <= free1 else 1
+            free = ports[best_port]
+            start = cycle if cycle >= free else free
+            ports[best_port] = start + self._initiation_cycles
         else:
-            best_port = min(range(len(ports)), key=ports.__getitem__)
+            best_port = min(range(count), key=ports.__getitem__)
             start = max(cycle, ports[best_port])
             ports[best_port] = start + self._initiation_cycles
         if start > cycle:
@@ -138,8 +148,11 @@ class TimedCache:
     def port_available(self, cycle: int) -> bool:
         """Return True if some port can start an access at ``cycle``."""
         ports = self._port_free_cycle
-        if len(ports) == 1:
+        count = len(ports)
+        if count == 1:
             return ports[0] <= cycle
+        if count == 2:
+            return ports[0] <= cycle or ports[1] <= cycle
         return any(free <= cycle for free in ports)
 
     def next_port_free_cycle(self) -> int:
@@ -155,23 +168,27 @@ class TimedCache:
         """Perform a (timeless) lookup, updating replacement state and stats."""
         blk = self.array.lookup(addr, cycle=cycle, update_lru=True)
         accesses, hits, misses = _WRITE_KEYS if is_write else _READ_KEYS
-        self.stats.incr(accesses)
+        # Direct counter adds: this is the hottest stats site in the
+        # simulator and the method-call overhead was measurable.
+        counters = self.stats._counters
+        counters[accesses] += 1.0
         if blk is not None:
-            self.stats.incr(hits)
+            counters[hits] += 1.0
             if is_write:
                 blk.dirty = blk.dirty or self.config.write_policy == "copy_back"
         else:
-            self.stats.incr(misses)
+            counters[misses] += 1.0
         return blk
 
     def fill(self, addr: int, cycle: int, dirty: bool = False) -> Optional[CacheBlock]:
         """Fill a block and return the evicted victim (if any)."""
-        self.stats.incr("fills")
+        counters = self.stats._counters
+        counters["fills"] += 1.0
         _, victim = self.array.fill(addr, cycle=cycle, dirty=dirty)
         if victim is not None:
-            self.stats.incr("evictions")
+            counters["evictions"] += 1.0
             if victim.dirty:
-                self.stats.incr("dirty_evictions")
+                counters["dirty_evictions"] += 1.0
         return victim
 
     # -- convenience ------------------------------------------------------------

@@ -27,7 +27,7 @@ from repro.cache.cache import TimedCache
 from repro.cache.memory import MainMemory
 from repro.cache.request import AccessType, MemoryRequest
 from repro.common.errors import ConfigurationError
-from repro.sim.memsys import MemorySystem
+from repro.sim.memsys import FINALIZE_GUARD_CYCLES, MemorySystem
 
 
 class ConventionalHierarchy(MemorySystem):
@@ -56,6 +56,8 @@ class ConventionalHierarchy(MemorySystem):
         if bus_width_bytes < 1:
             raise ConfigurationError("bus width must be at least one byte")
         self.levels: List[TimedCache] = list(levels)
+        #: Bound once for the deferred-drain pump's empty-check fast path.
+        self._write_buffers = [level.write_buffer for level in self.levels]
         self.memory = memory
         #: One-way latency of the bus between adjacent levels (requests pay
         #: it on the way down, responses pay it plus data serialisation on
@@ -98,12 +100,18 @@ class ConventionalHierarchy(MemorySystem):
         wait for an entry, which shows up as extra latency — the same
         back-pressure a blocking MSHR file exerts on the core.
         """
+        self._pump(cycle)
         l1 = self.levels[0]
         if access.is_write:
             return l1.port_available(cycle) and l1.write_buffer.can_accept()
         return l1.port_available(cycle)
 
     def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        # No pump here, deliberately: every core-driven issue is preceded by
+        # a same-cycle can_accept (which pumps), while backside issues from
+        # an L-NUCA carry a *future* stamp and must observe pre-drain state,
+        # exactly as they would under dense intra-cycle call ordering
+        # (hierarchy drains run after the front side's issues each cycle).
         request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
         self._release_ready_mshrs(cycle)
         if access.is_write:
@@ -114,14 +122,39 @@ class ConventionalHierarchy(MemorySystem):
         return request
 
     def tick(self, cycle: int) -> None:
-        """Drain write buffers toward the next level / memory.
+        """Apply every write-buffer drain due by the end of ``cycle``.
 
         Drained writes update the target level without reserving one of its
         demand ports: write traffic is absorbed by the target's write
         buffers/banks and never competes with demand reads (it still shows
         up in the energy accounting through the write-access counters).
+
+        Under the event kernel this is rarely called: drains are *deferred*
+        — :meth:`next_event_cycle` does not request wakeups for them, and
+        :meth:`_pump` replays the missed span (at the exact per-entry fire
+        cycles a dense run would have used) before anything can observe the
+        hierarchy.  A dense run calls ``tick`` every cycle, in which case
+        the pump degenerates to the classic one-drain-per-buffer step.
         """
-        self._release_ready_mshrs(cycle)
+        self._pump(cycle + 1)
+
+    def _next_drain_event(self) -> Optional[int]:
+        """Earliest cycle at which any level's write buffer can drain."""
+        best: Optional[int] = None
+        for index, level in enumerate(self.levels):
+            when = level.write_buffer.next_fire_cycle()
+            if when is None:
+                continue
+            if index + 1 >= len(self.levels):
+                free = self.memory.next_free_cycle()
+                if free > when:
+                    when = free
+            if best is None or when < best:
+                best = when
+        return best
+
+    def _drain_cycle(self, cycle: int) -> None:
+        """One dense drain step: at most one entry per buffer at ``cycle``."""
         for index, level in enumerate(self.levels):
             buffer = level.write_buffer
             if buffer.is_empty():
@@ -139,29 +172,67 @@ class ConventionalHierarchy(MemorySystem):
                     continue
                 self.memory.access(cycle, level.config.block_size, is_write=True)
 
+    def _pump(self, limit: int) -> None:
+        """Replay all deferred drains with fire cycles strictly below ``limit``.
+
+        Drain cycles are fully determined by buffer contents, drain ports
+        and the memory channel, so the replay visits one *event* cycle per
+        iteration (never idle cycles) and runs the exact dense per-cycle
+        step there — preserving the cross-level ordering where a level's
+        drained victim can enter (and leave) the next level's buffer within
+        a single cycle.  Because every observation point pumps first, state
+        and statistics are bit-identical to a dense run at all observable
+        moments.
+        """
+        for buffer in self._write_buffers:
+            if buffer._queue:
+                break
+        else:
+            return  # nothing buffered anywhere — the overwhelmingly common case
+        while True:
+            when = self._next_drain_event()
+            if when is None or when >= limit:
+                return
+            self._drain_cycle(when)
+
     def busy(self) -> bool:
         return any(not level.write_buffer.is_empty() for level in self.levels)
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
-        """Earliest future cycle at which a write-buffer drain can proceed.
+        """Deferred-drain hierarchy: no tick wakeups are ever required.
 
-        A drain at level ``i`` fires once the buffer's drain port frees; the
-        last level additionally waits for the memory channel.  MSHR releases
-        need no event of their own: they are re-applied lazily at the next
-        :meth:`issue` (which calls :meth:`_release_ready_mshrs` first), so
-        delaying them across skipped cycles is unobservable.
+        Write-buffer drains are replayed by :meth:`_pump` at their exact
+        dense-mode fire cycles before any observation (issue, can_accept,
+        post_write, tick, finalize), and MSHR releases are re-applied
+        lazily at the next :meth:`issue`.  The occupancy-chain timing model
+        resolves everything else at issue time, so skipping every tick is
+        unobservable — the scheduler therefore never needs to wake for this
+        hierarchy.
         """
-        best: Optional[int] = None
-        for index, level in enumerate(self.levels):
-            buffer = level.write_buffer
-            if buffer.is_empty():
-                continue
-            when = max(cycle + 1, buffer.next_drain_cycle())
-            if index + 1 >= len(self.levels):
-                when = max(when, self.memory.next_free_cycle())
-            if best is None or when < best:
-                best = when
-        return best
+        return None
+
+    def finalize(self, cycle: int) -> int:
+        """Burst-drain every buffered write at the end of a run."""
+        guard = cycle + FINALIZE_GUARD_CYCLES
+        reached = cycle
+        while self.busy():
+            when = self._next_drain_event()
+            if when is None or when >= guard:
+                break
+            self._drain_cycle(when)
+            if when + 1 > reached:
+                reached = when + 1
+        if self.busy():
+            raise self.wedged_error(cycle)
+        return reached
+
+    def pending_work(self) -> str:
+        pending = [
+            f"{level.name}.wb:{level.write_buffer.occupancy}"
+            for level in self.levels
+            if not level.write_buffer.is_empty()
+        ]
+        return "buffered writes " + ", ".join(pending) if pending else "none"
 
     # ------------------------------------------------------------------ loads
     def _issue_load(self, request: MemoryRequest, cycle: int) -> None:
@@ -285,7 +356,12 @@ class ConventionalHierarchy(MemorySystem):
     # ------------------------------------------------------------------ helpers
     def _release_ready_mshrs(self, cycle: int) -> None:
         for level in self.levels:
-            level.mshr.release_ready(cycle)
+            mshr = level.mshr
+            # Inlined release_ready early-exit: this runs per issue and the
+            # MSHR files are idle most of the time.
+            earliest = mshr._earliest_ready
+            if earliest is not None and earliest <= cycle:
+                mshr.release_ready(cycle)
 
     def _level_name(self, index: int) -> str:
         if index >= len(self.levels):
@@ -301,15 +377,22 @@ class ConventionalHierarchy(MemorySystem):
 
     def post_write(self, block_addr: int, cycle: int) -> None:
         """Accept a posted write into the first level without using a port."""
+        self._pump(cycle)
         self.stats.incr("posted_writes")
         self._write_into_level(0, block_addr, cycle)
 
     def prewarm(self, addresses) -> None:
-        """Functionally replay an address stream through every level's array."""
-        for addr in addresses:
-            for level in self.levels:
-                if level.array.lookup(addr, update_lru=True) is None:
-                    level.array.fill(addr)
+        """Functionally replay an address stream through every level's array.
+
+        Levels are independent during functional warm-up, so the replay
+        runs one level at a time with the array methods bound once — the
+        per-level end state (contents and LRU order) is identical to the
+        per-address interleaving.
+        """
+        for level in self.levels:
+            touch = level.array.touch_or_fill
+            for addr in addresses:
+                touch(addr)
 
     def activity(self) -> Dict[str, float]:
         merged = dict(self.stats.as_dict())

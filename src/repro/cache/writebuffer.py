@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.sim.stats import Stats
@@ -93,6 +93,57 @@ class WriteBuffer:
         drain regardless of this value.
         """
         return self._next_drain_cycle
+
+    def next_fire_cycle(self) -> Optional[int]:
+        """Cycle at which the next drain would fire under dense ticking.
+
+        A dense loop calls :meth:`drain_one` every cycle, so the oldest
+        entry retires at the first cycle that is both past its enqueue
+        cycle and past the drain port's busy window.  Returns ``None``
+        when the buffer is empty.
+        """
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        fire = self._next_drain_cycle
+        return fire if fire > head.enqueue_cycle else head.enqueue_cycle
+
+    def drain_until(self, limit: int) -> List[Tuple[PendingWrite, int]]:
+        """Burst-drain every entry whose drain tick falls strictly before ``limit``.
+
+        This is the batch equivalent of calling :meth:`drain_one` once per
+        cycle for every cycle below ``limit``: entry fire cycles are
+        computed arithmetically (the oldest entry retires at
+        :meth:`next_fire_cycle`, each subsequent one ``drain_interval``
+        cycles later, never before its own enqueue cycle), so a span of
+        ``span`` idle cycles retires ``floor(span / drain_interval)``
+        entries in one call.  Statistics (``writes_drained`` and
+        ``total_queue_cycles``) are bit-identical to the per-cycle loop.
+
+        Returns the drained ``(entry, fire_cycle)`` pairs in drain order so
+        the caller can apply each write's downstream effect at its exact
+        cycle.  Callers that interleave other per-cycle work with drains
+        must instead call :meth:`drain_one` at each fire cycle themselves.
+        """
+        drained: List[Tuple[PendingWrite, int]] = []
+        queue = self._queue
+        stats = self.stats
+        interval = self.drain_interval
+        fire = self._next_drain_cycle
+        while queue:
+            head = queue[0]
+            if fire < head.enqueue_cycle:
+                fire = head.enqueue_cycle
+            if fire >= limit:
+                break
+            queue.popleft()
+            stats.incr("writes_drained")
+            stats.incr("total_queue_cycles", fire - head.enqueue_cycle)
+            drained.append((head, fire))
+            fire += interval
+        if drained:
+            self._next_drain_cycle = fire
+        return drained
 
     def drain_one(self, cycle: int) -> Optional[PendingWrite]:
         """Drain the oldest write if the drain port is free at ``cycle``.

@@ -31,9 +31,13 @@ Under the event-driven kernel (see :mod:`repro.sim.memsys`), :meth:`tick`
 is only guaranteed to run on the cycles exposed through
 :meth:`LightNUCA.next_event_cycle`: search-wave steps and backside-fill
 arrivals carry explicit fire cycles, while the per-cycle queues (transport
-and replacement sweeps, eviction injection, backside drains) pin the next
-event to the following cycle whenever they are non-empty, so no sweep
-cycle is ever skipped.
+and replacement sweeps, eviction injection, root-buffer deliveries) pin
+the next event to the following cycle whenever they are non-empty, so no
+sweep cycle is ever skipped.  Backside drain traffic — r-tile write-buffer
+drains and corner-eviction pops — is *deferred* under the module's
+deferred-drain exemption: it requests no wakeups, and
+:meth:`LightNUCA._pump_drains` burst-replays the missed span at the exact
+dense-mode cycles before anything can observe the fabric.
 """
 
 from __future__ import annotations
@@ -54,7 +58,7 @@ from repro.core.networks import ReplacementNetwork, SearchNetwork, TransportNetw
 from repro.core.tile import Tile
 from repro.noc.buffer import FlowControlBuffer
 from repro.noc.message import Message, MessageKind
-from repro.sim.memsys import MemorySystem
+from repro.sim.memsys import FINALIZE_GUARD_CYCLES, MemorySystem
 
 _wave_ids = itertools.count()
 
@@ -97,6 +101,9 @@ class LightNUCA(MemorySystem):
         self.rng = random.Random(config.seed)
 
         self.rtile = TimedCache(config.rtile)
+        #: Bound once: the deferred-drain guards probe this queue on every
+        #: can_accept/issue/tick, so the attribute chain is pre-resolved.
+        self._rtile_wb = self.rtile.write_buffer
         self.tiles: Dict[Coordinate, Tile] = {
             coord: Tile(coord, config.tile, config.buffer_depth)
             for coord in self.geometry.tiles
@@ -115,7 +122,13 @@ class LightNUCA(MemorySystem):
         self._backside_fills: List[Tuple[int, int, int, str]] = []  # heap
         self._fill_seq = itertools.count()
         self._rtile_evictions: Deque[Tuple[int, bool]] = deque()
-        self._corner_evictions: Deque[Tuple[int, bool]] = deque()
+        #: Corner-tile victims waiting to leave for the backside, stamped
+        #: with their arrival cycle.  Dense mode pops one per cycle; the
+        #: event kernel defers the pops and replays them bit-identically
+        #: (see :meth:`_pump_drains`), so the last-pop cycle is tracked to
+        #: reproduce the one-per-cycle cadence across deferred spans.
+        self._corner_evictions: Deque[Tuple[int, bool, int]] = deque()
+        self._corner_last_pop = -1
         self._transport_active: set = set()
         self._replacement_active: set = set()
 
@@ -133,17 +146,22 @@ class LightNUCA(MemorySystem):
 
     # ------------------------------------------------------------------ interface
     def can_accept(self, cycle: int, access: AccessType) -> bool:
+        if self._corner_evictions or self._rtile_wb._queue:
+            self._pump_drains(cycle)
         if access.is_write:
             return self.rtile.port_available(cycle) and self.rtile.write_buffer.can_accept()
         return self.rtile.port_available(cycle) and not self.rtile.mshr.is_full()
 
     def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        if self._corner_evictions or self._rtile_wb._queue:
+            self._pump_drains(cycle)
         request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
         if access.is_write:
             self._issue_store(request, cycle)
+            self.stats._counters["writes"] += 1.0
         else:
             self._issue_load(request, cycle)
-        self.stats.incr("writes" if access.is_write else "reads")
+            self.stats._counters["reads"] += 1.0
         return request
 
     def busy(self) -> bool:
@@ -163,16 +181,19 @@ class LightNUCA(MemorySystem):
         """Earliest future cycle at which :meth:`tick` can make progress.
 
         Per-cycle queues (transport/replacement sweeps, eviction injection,
-        backside drains, root-buffer deliveries) fire every cycle while
-        non-empty, so they pin the next event to ``cycle + 1``.  Search
-        waves and backside fills carry explicit fire cycles, and the write
-        buffer exposes its drain port — those are the spans the scheduler
-        can leap over.
+        root-buffer deliveries) fire every cycle while non-empty, so they
+        pin the next event to ``cycle + 1``.  Search waves and backside
+        fills carry explicit fire cycles — those are the spans the
+        scheduler can leap over.  Write-buffer drains and corner-eviction
+        pops request no wakeups at all: they are *deferred* and replayed at
+        their exact dense-mode cycles by :meth:`_pump_drains` before
+        anything can observe the fabric, so a hierarchy with only backside
+        drain traffic left reports ``None`` and the scheduler skips it
+        entirely.
         """
         best: Optional[int] = None
         if (
             self._rtile_evictions
-            or self._corner_evictions
             or self._transport_active
             or self._replacement_active
             or self._root_buffers_busy()
@@ -180,15 +201,16 @@ class LightNUCA(MemorySystem):
             best = cycle + 1
         else:
             if self._waves:
-                when = max(cycle + 1, min(wave.next_cycle for wave in self._waves))
+                when = self._waves[0].next_cycle
+                for wave in self._waves:
+                    if wave.next_cycle < when:
+                        when = wave.next_cycle
+                if when <= cycle:
+                    when = cycle + 1
                 if best is None or when < best:
                     best = when
             if self._backside_fills:
                 when = max(cycle + 1, self._backside_fills[0][0])
-                if best is None or when < best:
-                    best = when
-            if not self.rtile.write_buffer.is_empty():
-                when = max(cycle + 1, self.rtile.write_buffer.next_drain_cycle())
                 if best is None or when < best:
                     best = when
         backside = self.backside.next_event_cycle(cycle)
@@ -196,11 +218,60 @@ class LightNUCA(MemorySystem):
             best = backside
         return best
 
+    def _fine_grained_busy(self) -> bool:
+        """Pending work that genuinely needs per-event ticks to retire."""
+        return bool(
+            self._waves
+            or self._backside_fills
+            or self._rtile_evictions
+            or self._transport_active
+            or self._replacement_active
+            or self._root_buffers_busy()
+        )
+
     def finalize(self, cycle: int) -> int:
-        """Drain all in-flight state, then let the backside finish draining."""
-        guard = super().finalize(cycle)
+        """Drain all in-flight state, then let the backside finish draining.
+
+        Fine-grained work (waves, fills, network sweeps) drains through the
+        normal event loop; once only deferred backside drains remain, the
+        tail is burst-replayed in one :meth:`_pump_drains` call instead of
+        crawling one cycle per iteration through drain-only spans.
+        """
+        guard = cycle
+        limit = cycle + FINALIZE_GUARD_CYCLES
+        while self._fine_grained_busy() and guard < limit:
+            self.tick(guard)
+            nxt = self.next_event_cycle(guard)
+            guard = nxt if nxt is not None and nxt > guard else guard + 1
+        reached = self._pump_drains(limit)
+        if reached > guard:
+            guard = reached
+        if self._fine_grained_busy() or self._corner_evictions or self._rtile_wb._queue:
+            raise self.wedged_error(cycle)
         self.backside.finalize(guard)
         return guard
+
+    def pending_work(self) -> str:
+        parts = []
+        if self._waves:
+            parts.append(f"{len(self._waves)} search wave(s)")
+        if self._backside_fills:
+            parts.append(f"{len(self._backside_fills)} backside fill(s)")
+        if self._rtile_evictions:
+            parts.append(f"{len(self._rtile_evictions)} r-tile eviction(s)")
+        if self._corner_evictions:
+            parts.append(f"{len(self._corner_evictions)} corner eviction(s)")
+        if self._transport_active:
+            parts.append(f"transport active at {len(self._transport_active)} tile(s)")
+        if self._replacement_active:
+            parts.append(f"replacement active at {len(self._replacement_active)} tile(s)")
+        if not self.rtile.write_buffer.is_empty():
+            parts.append(f"r-tile wb:{self.rtile.write_buffer.occupancy}")
+        if self._root_buffers_busy():
+            parts.append("root D buffers occupied")
+        if self.backside.busy():
+            parts.append(f"backside: {self.backside.pending_work()}")
+        return "; ".join(parts) if parts else "none"
 
     # ------------------------------------------------------------------ stores
     def _issue_store(self, request: MemoryRequest, cycle: int) -> None:
@@ -293,17 +364,17 @@ class LightNUCA(MemorySystem):
 
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> None:
-        idle = not (
+        pending_drains = bool(self._corner_evictions or self._rtile_wb._queue)
+        if pending_drains:
+            self._pump_drains(cycle)  # replay drains deferred across skipped cycles
+        if (
             self._waves
             or self._backside_fills
             or self._rtile_evictions
-            or self._corner_evictions
             or self._transport_active
             or self._replacement_active
             or self._root_buffers_busy()
-            or not self.rtile.write_buffer.is_empty()
-        )
-        if not idle:
+        ):
             self._deliver_to_rtile(cycle)
             self._advance_transport(cycle)
             if self._replacement_active:
@@ -314,7 +385,8 @@ class LightNUCA(MemorySystem):
                 self._advance_replacement(cycle, searching)
             self._advance_search(cycle)
             self._inject_rtile_evictions(cycle)
-            self._drain_to_backside(cycle)
+        if pending_drains or self._corner_evictions or self._rtile_wb._queue:
+            self._pump_drains(cycle + 1)  # this cycle's write-buffer/corner drains
         self.backside.tick(cycle)
 
     # -- helpers -------------------------------------------------------------
@@ -453,14 +525,14 @@ class LightNUCA(MemorySystem):
 
     def _push_victim(self, coord: Coordinate, block_addr: int, dirty: bool, cycle: int) -> None:
         if coord in self.geometry.corner_tiles or not self.geometry.replacement_outputs.get(coord):
-            self._corner_evictions.append((block_addr, dirty))
+            self._corner_evictions.append((block_addr, dirty, cycle))
             self.stats.incr("corner_evictions")
             return
         options = self.replacement_net.open_outputs(coord, cycle)
         if not options:
             # The victim was already read out; fall back to evicting it to
             # the backside rather than dropping it (rare, counted).
-            self._corner_evictions.append((block_addr, dirty))
+            self._corner_evictions.append((block_addr, dirty, cycle))
             self.stats.incr("replacement_overflow_evictions")
             return
         destination = self.replacement_net.choose_output(options)
@@ -495,18 +567,22 @@ class LightNUCA(MemorySystem):
     # -- step 4: search network -----------------------------------------------
     def _advance_search(self, cycle: int) -> None:
         finished: List[SearchWave] = []
+        tiles = self.tiles
+        children_of = self.search_net.children_of
         for wave in self._waves:
             if wave.next_cycle != cycle:
                 continue
             next_frontier: List[Coordinate] = []
+            extend_frontier = next_frontier.extend
+            block_addr = wave.block_addr
             for coord in wave.frontier:
-                tile = self.tiles[coord]
-                block = tile.lookup(wave.block_addr, cycle)
+                tile = tiles[coord]
+                block = tile.lookup(block_addr, cycle)
                 in_flight = None
                 if block is None:
-                    in_flight = tile.lookup_u_buffers(wave.block_addr)
+                    in_flight = tile.lookup_u_buffers(block_addr)
                 if block is None and in_flight is None:
-                    next_frontier.extend(self.search_net.children_of(coord))
+                    extend_frontier(children_of(coord))
                     continue
                 if wave.hit:
                     raise SimulationError(
@@ -560,7 +636,7 @@ class LightNUCA(MemorySystem):
             if self.rtile.write_buffer.can_accept():
                 self.rtile.write_buffer.coalesce_or_push(wave.block_addr, cycle)
             else:
-                self._corner_evictions.append((wave.block_addr, True))
+                self._corner_evictions.append((wave.block_addr, True, cycle))
             return
         self._forward_to_backside(wave.block_addr, cycle + 1)
 
@@ -573,18 +649,56 @@ class LightNUCA(MemorySystem):
         )
 
     # -- step 5: backside traffic ------------------------------------------------
-    def _drain_to_backside(self, cycle: int) -> None:
-        if not self.rtile.write_buffer.is_empty():
-            entry = self.rtile.write_buffer.drain_one(cycle)
-            if entry is not None:
-                self.backside.post_write(entry.block_addr, cycle)
-        if self._corner_evictions:
-            block_addr, dirty = self._corner_evictions.popleft()
+    def _pump_drains(self, limit: int) -> int:
+        """Replay deferred backside drains firing strictly below ``limit``.
+
+        Dense mode ends every cycle by draining at most one write-buffer
+        entry (when its port is free) and popping at most one corner
+        eviction.  Both schedules are fully determined by the queue
+        contents — write-buffer fires follow the port interval, corner pops
+        happen every cycle while the queue is non-empty — so the event
+        kernel defers them entirely and this method burst-replays the
+        missed span, posting each write to the backside at the exact cycle
+        a dense run would have used.  Within a cycle the write-buffer entry
+        drains before the corner pop, preserving dense ordering.
+
+        Returns the cycle after the latest drain applied (0 when nothing
+        drained), so :meth:`finalize` can report how far the tail reached.
+        """
+        reached = 0
+        wb = self.rtile.write_buffer
+        corner = self._corner_evictions
+        if not corner and not wb._queue:
+            return reached
+        backside = self.backside
+        while corner:
+            corner_fire = corner[0][2]
+            floor = self._corner_last_pop + 1
+            if corner_fire < floor:
+                corner_fire = floor
+            wb_fire = wb.next_fire_cycle()
+            if wb_fire is not None and wb_fire <= corner_fire:
+                if wb_fire >= limit:
+                    return reached
+                entry = wb.drain_one(wb_fire)
+                backside.post_write(entry.block_addr, wb_fire)
+                reached = wb_fire + 1
+                if wb_fire < corner_fire:
+                    continue
+            if corner_fire >= limit:
+                return reached
+            block_addr, dirty, _ = corner.popleft()
+            self._corner_last_pop = corner_fire
+            reached = corner_fire + 1
             if dirty:
-                self.backside.post_write(block_addr, cycle)
+                backside.post_write(block_addr, corner_fire)
                 self.stats.incr("corner_writebacks")
             else:
                 self.stats.incr("corner_clean_drops")
+        for entry, fire in wb.drain_until(limit):
+            backside.post_write(entry.block_addr, fire)
+            reached = fire + 1
+        return reached
 
     # ------------------------------------------------------------------ warm-up
     def prewarm(self, addresses) -> None:
@@ -604,14 +718,19 @@ class LightNUCA(MemorySystem):
         for coord, tile in self.tiles.items():
             for resident in tile.array.resident_blocks():
                 location[resident.block_addr] = coord
+        block_of = self.rtile.block_addr
+        rtile_lookup = self.rtile.array.lookup
+        location_pop = location.pop
+        tiles = self.tiles
+        prewarm_fill = self._prewarm_fill
         for addr in addresses:
-            block = self.rtile.block_addr(addr)
-            if self.rtile.array.lookup(block, update_lru=True) is not None:
+            block = block_of(addr)
+            if rtile_lookup(block, update_lru=True) is not None:
                 continue
-            holder = location.pop(block, None)
+            holder = location_pop(block, None)
             if holder is not None and holder != ROOT:
-                self.tiles[holder].array.invalidate(block)
-            self._prewarm_fill(block, location)
+                tiles[holder].array.invalidate(block)
+            prewarm_fill(block, location)
         self.backside.prewarm(addresses)
 
     def _prewarm_fill(self, block_addr: int, location: Dict[int, Coordinate]) -> None:
@@ -653,8 +772,8 @@ class LightNUCA(MemorySystem):
             if tile.array.invalidate(block_addr) is not None:
                 found = True
         for queue in (self._rtile_evictions, self._corner_evictions):
-            for index, (addr, _) in enumerate(list(queue)):
-                if addr == block_addr:
+            for index, entry in enumerate(queue):
+                if entry[0] == block_addr:
                     del queue[index]
                     found = True
                     break

@@ -49,6 +49,7 @@ class Tile:
         # Input buffers, keyed by the upstream tile the link comes from.
         self.d_in: Dict[Coordinate, FlowControlBuffer] = {}
         self.u_in: Dict[Coordinate, FlowControlBuffer] = {}
+        self._u_in_items: Optional[list] = None  # lazy items() cache
         self.buffer_depth = buffer_depth
         self.ma_register: Optional[SearchProbe] = None
         # A hit whose transport injection was blocked (all output D channels
@@ -90,15 +91,21 @@ class Tile:
 
     def lookup(self, block_addr: int, cycle: int) -> Optional[CacheBlock]:
         """Search the tag array for ``block_addr`` (one search per cycle)."""
-        self.stats.incr("search_lookups")
+        counters = self.stats._counters  # hot: one probe per searched tile
+        counters["search_lookups"] += 1.0
         block = self.array.lookup(block_addr, cycle=cycle, update_lru=True)
         if block is not None:
-            self.stats.incr("hits")
+            counters["hits"] += 1.0
         return block
 
     def lookup_u_buffers(self, block_addr: int) -> Optional[Tuple[Coordinate, Message]]:
         """Search the U buffers for a block in transit (avoids false misses)."""
-        for source, buffer in self.u_in.items():
+        items = self._u_in_items
+        if items is None or len(items) != len(self.u_in):
+            # Cached after wiring: u_in is stable once the networks are
+            # wired, and items() allocation per probed tile was measurable.
+            items = self._u_in_items = list(self.u_in.items())
+        for source, buffer in items:
             # Inlined FlowControlBuffer.find_block: this runs for every tile
             # probed by every search wave and the buffers are almost always
             # empty, so the per-buffer call dispatch was measurable.

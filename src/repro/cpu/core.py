@@ -36,26 +36,45 @@ enter the memory system, or a ready instruction is at the head of an issue
 window — skipping is only legal across provably inert spans (all in-flight
 completions in the future, fetch stalled or structurally blocked).  The
 two modes therefore produce bit-identical cycle counts, IPC and counters;
-``tests/test_event_kernel.py`` enforces this across all four hierarchies.
+``tests/test_event_kernel.py`` and the differential fuzz suite in
+``tests/test_event_kernel_fuzz.py`` enforce this across all four
+hierarchies.
+
+Instruction-bound spans — runs of cycles in which the core does work every
+cycle — are not skipped but *batched*: :meth:`OoOCore.run_batch` executes
+the whole busy span in one Python-level pass (stage methods bound once,
+the memory system ticked only at its declared events, the trace decoded
+into flat arrays up front) instead of paying one scheduler round-trip per
+cycle.  Batching is dense-equivalent by construction: it runs real ticks,
+so it never has to predict the span length to stay bit-identical.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import defaultdict, deque
+from collections import deque
+from heapq import heappop, heappush
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.cache.request import AccessType, MemoryRequest
 from repro.common.errors import SimulationError
-from repro.cpu.isa import Instruction, InstrClass
+from repro.cpu.isa import InstrClass
 from repro.cpu.trace import Trace
 from repro.sim.memsys import MemorySystem
 from repro.sim.stats import Stats
 
-_INT = "int"
-_FP = "fp"
-_MEM = "mem"
+#: Issue-window indices (integer / floating-point / memory).  Windows are
+#: plain list indices so the per-instruction window bookkeeping is a list
+#: probe rather than a string-keyed dict lookup.
+_INT = 0
+_FP = 1
+_MEM = 2
+
+#: InstrClass enum values, inlined for hot-path integer comparisons.
+_KIND_FP = int(InstrClass.FP_ALU)
+_KIND_LOAD = int(InstrClass.LOAD)
+_KIND_STORE = int(InstrClass.STORE)
+_KIND_BRANCH = int(InstrClass.BRANCH)
 
 
 @dataclass
@@ -79,18 +98,6 @@ class CoreConfig:
     store_agen_latency: int = 1
 
 
-#: Issue-window class per instruction class (precomputed: this runs twice
-#: per dispatched instruction and enum-property dispatch is measurably slow).
-_WINDOW_OF = {
-    InstrClass.INT_ALU: _INT,
-    InstrClass.FP_ALU: _FP,
-    InstrClass.LOAD: _MEM,
-    InstrClass.STORE: _MEM,
-    InstrClass.BRANCH: _INT,
-}
-
-#: Memory instruction classes, for hot-path membership tests.
-_MEMORY_KINDS = frozenset((InstrClass.LOAD, InstrClass.STORE))
 
 
 class OoOCore:
@@ -103,26 +110,48 @@ class OoOCore:
         config: Optional[CoreConfig] = None,
     ) -> None:
         self.trace = trace
-        self._instructions = trace.instructions
         self.memsys = memsys
         self.config = config or CoreConfig()
         self.stats = Stats(f"core[{trace.name}]")
+
+        # Column-oriented decode of the trace (cached on the trace and
+        # shared across the runs of a sweep): every hot-path instruction
+        # probe is a plain list index instead of attribute + enum dispatch.
+        decoded = trace.decoded()
+        self._kinds = decoded.kind
+        self._addrs = decoded.addr
+        self._dep1s = decoded.dep1
+        self._dep2s = decoded.dep2
+        self._latencies = decoded.latency
+        self._mispredicted = decoded.mispredicted
+        self._windows = decoded.window
+        self._is_mem = decoded.is_mem
 
         self.cycle = 0
         self.committed = 0
         self._next_fetch = 0
         self._rob: Deque[int] = deque()
-        self._complete_cycle: Dict[int, int] = {}
-        self._unresolved: Dict[int, int] = {}
-        self._pending_ready: Dict[int, int] = {}
-        self._waiters: Dict[int, List[int]] = defaultdict(list)
-        self._ready: Dict[str, List[Tuple[int, int]]] = {_INT: [], _FP: [], _MEM: []}
-        self._window_count: Dict[str, int] = {_INT: 0, _FP: 0, _MEM: 0}
-        self._window_limit: Dict[str, int] = {
-            _INT: self.config.int_window,
-            _FP: self.config.fp_window,
-            _MEM: self.config.mem_window,
-        }
+        # Per-instruction scheduling state, indexed by dynamic instruction
+        # number (flat lists: the keys are dense 0..n-1, so list probes beat
+        # dict hashing in the per-instruction hot paths).
+        trace_len = len(trace.instructions)
+        self._complete_cycle: List[Optional[int]] = [None] * trace_len
+        self._unresolved: List[int] = [0] * trace_len
+        self._pending_ready: List[int] = [0] * trace_len
+        self._waiters: List[Optional[List[int]]] = [None] * trace_len
+        self._ready: List[List[Tuple[int, int]]] = [[], [], []]
+        self._window_count: List[int] = [0, 0, 0]
+        self._window_limit: List[int] = [
+            self.config.int_window,
+            self.config.fp_window,
+            self.config.mem_window,
+        ]
+        #: Flags maintained by the per-cycle stages for run_batch: whether
+        #: the last tick changed any state ("progress") and whether it
+        #: issued into the memory system ("touched", which invalidates the
+        #: cached next-event cycle).
+        self._progress = False
+        self._mem_touched = False
         self._lsq_count = 0
         self._outstanding_loads: List[Tuple[int, MemoryRequest]] = []
         self._store_buffer: List[MemoryRequest] = []
@@ -167,16 +196,26 @@ class OoOCore:
         """
         limit = max_cycles or (len(self.trace) * 400 + 100_000)
         while not self.finished():
+            if self.cycle > limit:
+                raise self.limit_exceeded(limit)
             self.tick(self.cycle)
             self.memsys.tick(self.cycle)
             self.cycle += 1
-            if self.cycle > limit:
-                raise SimulationError(
-                    f"core did not finish within {limit} cycles "
-                    f"({self.committed}/{len(self.trace)} committed)"
-                )
         self.memsys.finalize(self.cycle)
         return self.summary()
+
+    def limit_exceeded(self, limit: int) -> SimulationError:
+        """The deadlock-guard error, shared verbatim by every scheduler mode.
+
+        Both the dense and the event-driven loop in
+        :func:`repro.sim.runner.simulate` (and :meth:`run`) raise exactly
+        this error when the run would simulate a cycle beyond ``limit``, so
+        a wedged run aborts identically no matter which mode exposed it.
+        """
+        return SimulationError(
+            f"core did not finish within {limit} cycles "
+            f"({self.committed}/{len(self.trace)} committed)"
+        )
 
     def summary(self) -> Dict[str, float]:
         """Return IPC and the main activity counters of the finished run."""
@@ -204,6 +243,81 @@ class OoOCore:
         if ready[_MEM] or ready[_INT] or ready[_FP]:
             self._issue(cycle)
         self._fetch(cycle)
+
+    # ------------------------------------------------------------------ batching
+    def run_batch(self, cycle: int, limit: int) -> int:
+        """Run dense-equivalent ticks from ``cycle`` while the core progresses.
+
+        This is the event scheduler's instruction-bound fast path: instead
+        of paying one scheduler round-trip (tick dispatch, wakeup
+        recomputation, unconditional memory-system tick) per cycle, the
+        whole busy span runs in one Python-level pass with the stage
+        methods bound once.  Two refinements over plain dense stepping:
+
+        * the memory system is only ticked on cycles it declares through
+          :meth:`~repro.sim.memsys.MemorySystem.next_event_cycle` (or after
+          this core issued into it, which can create new events) — skipped
+          ticks are provable no-ops under the event contract;
+        * the batch ends after the first tick that made no progress (no
+          fetch, commit, issue or completion), handing control back to the
+          scheduler, which computes the real skip via :meth:`next_wakeup`.
+          A no-progress tick is still dense-correct — it bumps exactly the
+          stall counters a dense run would — so batching never has to
+          predict span lengths in advance to stay bit-identical.
+
+        Ticks the cycles ``[cycle, last]``, leaves ``self.cycle`` at
+        ``last + 1`` (dense semantics) and returns ``last``.  Raises the
+        shared :meth:`limit_exceeded` error before simulating any cycle
+        beyond ``limit``.
+        """
+        memsys = self.memsys
+        mem_tick = memsys.tick
+        mem_next_of = memsys.next_event_cycle
+        mem_next = mem_next_of(cycle - 1)
+        harvest = self._harvest_memory
+        commit = self._commit
+        issue_from = self._issue_from
+        fetch = self._fetch
+        ready = self._ready
+        ready_int, ready_fp, ready_mem = ready
+        rob = self._rob
+        pending_stores = self._pending_stores
+        trace_len = self._trace_len
+        int_mem_width = self._int_mem_issue_width
+        fp_width = self._fp_issue_width
+        while True:
+            if cycle > limit:
+                self.cycle = cycle
+                raise self.limit_exceeded(limit)
+            self._progress = False
+            self._mem_touched = False
+            # Inlined tick(cycle), including _issue's bandwidth split:
+            if self._outstanding_loads or self._store_buffer or pending_stores:
+                harvest(cycle)
+            if rob:
+                commit(cycle)
+            if ready_mem or ready_int or ready_fp:
+                int_mem_budget = int_mem_width
+                if ready_mem:
+                    int_mem_budget -= issue_from(_MEM, cycle, int_mem_budget)
+                if ready_int and int_mem_budget > 0:
+                    issue_from(_INT, cycle, int_mem_budget)
+                if ready_fp:
+                    issue_from(_FP, cycle, fp_width)
+            fetch(cycle)
+            if self._mem_touched or (mem_next is not None and mem_next <= cycle):
+                mem_tick(cycle)
+                mem_next = mem_next_of(cycle)
+            if not self._progress or (
+                self._next_fetch >= trace_len
+                and not rob
+                and not pending_stores
+                and not self._store_buffer
+            ):
+                break
+            cycle += 1
+        self.cycle = cycle + 1
+        return cycle
 
     # ------------------------------------------------------------------ wakeup
     def next_wakeup(self, cycle: int) -> Optional[int]:
@@ -243,13 +357,13 @@ class OoOCore:
             # note_skipped_cycles), so the stall end is the next fetch event.
             best = self._fetch_stall_until
         if self._rob:
-            done = self._complete_cycle.get(self._rob[0])
+            done = self._complete_cycle[self._rob[0]]
             if done is not None:
                 if done <= horizon:
                     return horizon
                 if best is None or done < best:
                     best = done
-        for heap in self._ready.values():
+        for heap in self._ready:
             if heap:
                 head = heap[0][0]
                 if head <= horizon:
@@ -289,11 +403,11 @@ class OoOCore:
         """
         if len(self._rob) >= self._rob_size:
             return True
-        instruction = self._instructions[self._next_fetch]
-        kind = instruction.kind
-        if self._window_count[_WINDOW_OF[kind]] >= self._window_limit[_WINDOW_OF[kind]]:
+        idx = self._next_fetch
+        window = self._windows[idx]
+        if self._window_count[window] >= self._window_limit[window]:
             return True
-        return kind in _MEMORY_KINDS and self._lsq_count >= self._lsq_size
+        return self._is_mem[idx] and self._lsq_count >= self._lsq_size
 
     def note_skipped_cycles(self, cycle: int, next_cycle: int) -> None:
         """Account the stall statistics of the skipped span ``(cycle, next_cycle)``.
@@ -316,12 +430,12 @@ class OoOCore:
         if len(self._rob) >= self._rob_size:
             self.stats.incr("rob_full_stalls", count)
             return
-        instruction = self._instructions[self._next_fetch]
-        window = _WINDOW_OF[instruction.kind]
+        idx = self._next_fetch
+        window = self._windows[idx]
         if self._window_count[window] >= self._window_limit[window]:
             self.stats.incr("window_full_stalls", count)
             return
-        if instruction.kind in _MEMORY_KINDS and self._lsq_count >= self._lsq_size:
+        if self._is_mem[idx] and self._lsq_count >= self._lsq_size:
             self.stats.incr("lsq_full_stalls", count)
 
     # -- memory responses -------------------------------------------------------
@@ -335,6 +449,7 @@ class OoOCore:
                     harvest = True
                     break
             if harvest:
+                self._progress = True
                 still_waiting = []
                 for idx, request in outstanding:
                     done = request.complete_cycle
@@ -354,11 +469,14 @@ class OoOCore:
                         for r in buffered
                         if r.complete_cycle is None or r.complete_cycle > cycle
                     ]
+                    self._progress = True
                     break
         while self._pending_stores and self.memsys.can_accept(cycle, AccessType.STORE):
             idx = self._pending_stores.popleft()
-            request = self.memsys.issue(self._instructions[idx].addr, AccessType.STORE, cycle)
+            request = self.memsys.issue(self._addrs[idx], AccessType.STORE, cycle)
             self._store_buffer.append(request)
+            self._progress = True
+            self._mem_touched = True
 
     # -- commit ----------------------------------------------------------------
     def _commit(self, cycle: int) -> None:
@@ -367,28 +485,31 @@ class OoOCore:
             return
         committed = 0
         complete = self._complete_cycle
-        instructions = self._instructions
+        kinds = self._kinds
+        popleft = rob.popleft
         while rob and committed < self._commit_width:
             idx = rob[0]
-            done = complete.get(idx)
+            done = complete[idx]
             if done is None or done > cycle:
                 break
-            instruction = instructions[idx]
-            if instruction.kind is InstrClass.STORE:
+            if kinds[idx] == _KIND_STORE:
                 in_flight = len(self._store_buffer) + len(self._pending_stores)
                 if in_flight >= self._store_buffer_size:
                     self.stats.incr("store_buffer_stall_cycles")
                     break
                 if self.memsys.can_accept(cycle, AccessType.STORE):
-                    request = self.memsys.issue(instruction.addr, AccessType.STORE, cycle)
+                    request = self.memsys.issue(self._addrs[idx], AccessType.STORE, cycle)
                     self._store_buffer.append(request)
+                    self._mem_touched = True
                 else:
                     self._pending_stores.append(idx)
                 self._lsq_count -= 1
-                self.stats.incr("stores_committed")
-            rob.popleft()
+                self.stats._counters["stores_committed"] += 1.0
+            popleft()
             self.committed += 1
             committed += 1
+        if committed:
+            self._progress = True
 
     # -- issue -----------------------------------------------------------------
     def _issue(self, cycle: int) -> None:
@@ -402,71 +523,96 @@ class OoOCore:
         if ready[_FP]:
             self._issue_from(_FP, cycle, self._fp_issue_width)
 
-    def _issue_from(self, window: str, cycle: int, budget: int) -> int:
+    def _issue_from(self, window: int, cycle: int, budget: int) -> int:
         heap = self._ready[window]
         if heap[0][0] > cycle:
             return 0
         issued = 0
         deferred: Optional[List[Tuple[int, int]]] = None
-        instructions = self._instructions
+        kinds = self._kinds
         memsys = self.memsys
         stats = self.stats
+        # Direct counter access: one dict add beats a method call in the
+        # per-issued-instruction path (bit-identical counters either way).
+        counters = stats._counters
+        complete = self._complete_cycle
+        waiters = self._waiters
         while heap and issued < budget:
             ready_cycle, idx = heap[0]
             if ready_cycle > cycle:
                 break
-            heapq.heappop(heap)
-            instruction = instructions[idx]
-            kind = instruction.kind
-            if kind is InstrClass.LOAD:
+            heappop(heap)
+            kind = kinds[idx]
+            if kind == _KIND_LOAD:
                 if not memsys.can_accept(cycle, AccessType.LOAD):
                     if deferred is None:
                         deferred = []
                     deferred.append((cycle + 1, idx))
-                    stats.incr("load_issue_retries")
+                    counters["load_issue_retries"] += 1.0
                     continue
-                request = memsys.issue(instruction.addr, AccessType.LOAD, cycle)
-                stats.incr("loads_issued")
-                if request.complete_cycle is not None:
-                    self._announce_completion(idx, request.complete_cycle)
+                request = memsys.issue(self._addrs[idx], AccessType.LOAD, cycle)
+                self._mem_touched = True
+                counters["loads_issued"] += 1.0
+                done = request.complete_cycle
+                if done is not None:
+                    # Announce fast path: no consumer waits on this load.
+                    if waiters[idx] is None:
+                        complete[idx] = done
+                    else:
+                        self._announce_completion(idx, done)
                     self._lsq_count -= 1
                 else:
                     self._outstanding_loads.append((idx, request))
-            elif kind is InstrClass.STORE:
-                self._announce_completion(idx, cycle + self._store_agen_latency)
-            elif kind is InstrClass.BRANCH:
+            elif kind == _KIND_STORE:
+                when = cycle + self._store_agen_latency
+                if waiters[idx] is None:
+                    complete[idx] = when
+                else:
+                    self._announce_completion(idx, when)
+            elif kind == _KIND_BRANCH:
                 resolve = cycle + self._branch_latency
-                self._announce_completion(idx, resolve)
-                if instruction.mispredicted:
-                    stats.incr("branch_mispredictions")
+                if waiters[idx] is None:
+                    complete[idx] = resolve
+                else:
+                    self._announce_completion(idx, resolve)
+                if self._mispredicted[idx]:
+                    counters["branch_mispredictions"] += 1.0
                     redirect = resolve + self._mispredict_penalty
                     if redirect > self._fetch_stall_until:
                         self._fetch_stall_until = redirect
                 if self._unresolved_branch == idx:
                     self._unresolved_branch = None
             else:
-                if kind is InstrClass.FP_ALU:
+                if kind == _KIND_FP:
                     latency = self._fp_latency
                 else:
-                    latency = instruction.latency
+                    latency = self._latencies[idx]
                     if latency < self._int_latency:
                         latency = self._int_latency
-                self._announce_completion(idx, cycle + latency)
+                when = cycle + latency
+                if waiters[idx] is None:
+                    complete[idx] = when
+                else:
+                    self._announce_completion(idx, when)
             self._window_count[window] -= 1
             issued += 1
+        if issued:
+            self._progress = True
         if deferred:
             for item in deferred:
-                heapq.heappush(heap, item)
+                heappush(heap, item)
         return issued
 
     def _announce_completion(self, idx: int, when: int) -> None:
         self._complete_cycle[idx] = when
-        consumers = self._waiters.pop(idx, None)
+        waiters = self._waiters
+        consumers = waiters[idx]
         if not consumers:
             return
+        waiters[idx] = None
         pending = self._pending_ready
         unresolved = self._unresolved
-        instructions = self._instructions
+        windows = self._windows
         ready = self._ready
         for consumer in consumers:
             if when > pending[consumer]:
@@ -474,34 +620,42 @@ class OoOCore:
             left = unresolved[consumer] - 1
             unresolved[consumer] = left
             if left == 0:
-                window = _WINDOW_OF[instructions[consumer].kind]
-                heapq.heappush(ready[window], (pending[consumer], consumer))
+                heappush(ready[windows[consumer]], (pending[consumer], consumer))
 
     # -- fetch / dispatch ---------------------------------------------------------
     def _fetch(self, cycle: int) -> None:
         if cycle < self._fetch_stall_until or self._unresolved_branch is not None:
-            self.stats.incr("fetch_stall_cycles")
+            self.stats._counters["fetch_stall_cycles"] += 1.0
             return
-        fetched = 0
         trace_len = self._trace_len
+        if self._next_fetch >= trace_len:
+            return  # drained tail: nothing to fetch, no stall to account
+        fetched = 0
         rob = self._rob
         rob_size = self._rob_size
-        instructions = self._instructions
+        kinds = self._kinds
+        windows = self._windows
+        is_mem = self._is_mem
         window_count = self._window_count
         window_limit = self._window_limit
+        dep1s = self._dep1s
+        dep2s = self._dep2s
+        complete = self._complete_cycle
+        waiters = self._waiters
+        pending_ready = self._pending_ready
+        unresolved_of = self._unresolved
+        ready_heaps = self._ready
         while (
             fetched < self._fetch_width
             and self._next_fetch < trace_len
             and len(rob) < rob_size
         ):
             idx = self._next_fetch
-            instruction = instructions[idx]
-            kind = instruction.kind
-            window = _WINDOW_OF[kind]
+            window = windows[idx]
             if window_count[window] >= window_limit[window]:
                 self.stats.incr("window_full_stalls")
                 break
-            is_memory = kind in _MEMORY_KINDS
+            is_memory = is_mem[idx]
             if is_memory and self._lsq_count >= self._lsq_size:
                 self.stats.incr("lsq_full_stalls")
                 break
@@ -510,8 +664,45 @@ class OoOCore:
             window_count[window] += 1
             if is_memory:
                 self._lsq_count += 1
-            self._dispatch_dependences(idx, instruction, cycle)
-            if kind is InstrClass.BRANCH and instruction.mispredicted:
+            # Dependence dispatch, inlined (one call per fetched instruction
+            # was measurable).  Backwards distances, 0 means "no dependence";
+            # a producer at or beyond the fetch point cannot happen with
+            # backwards distances and would be treated as resolved.
+            unresolved = 0
+            ready = cycle + 1
+            dep = dep1s[idx]
+            if dep and idx - dep >= 0:
+                producer = idx - dep
+                known = complete[producer]
+                if known is not None:
+                    if known > ready:
+                        ready = known
+                else:
+                    unresolved += 1
+                    consumers = waiters[producer]
+                    if consumers is None:
+                        waiters[producer] = [idx]
+                    else:
+                        consumers.append(idx)
+            dep = dep2s[idx]
+            if dep and idx - dep >= 0:
+                producer = idx - dep
+                known = complete[producer]
+                if known is not None:
+                    if known > ready:
+                        ready = known
+                else:
+                    unresolved += 1
+                    consumers = waiters[producer]
+                    if consumers is None:
+                        waiters[producer] = [idx]
+                    else:
+                        consumers.append(idx)
+            pending_ready[idx] = ready
+            unresolved_of[idx] = unresolved
+            if unresolved == 0:
+                heappush(ready_heaps[window], (ready, idx))
+            if kinds[idx] == _KIND_BRANCH and self._mispredicted[idx]:
                 # Stop fetching down the wrong path until the branch resolves.
                 self._unresolved_branch = idx
                 self._next_fetch += 1
@@ -519,40 +710,8 @@ class OoOCore:
                 break
             self._next_fetch += 1
             fetched += 1
+        if fetched:
+            self._progress = True
         if self._next_fetch < trace_len and len(rob) >= rob_size:
             self.stats.incr("rob_full_stalls")
 
-    def _dispatch_dependences(self, idx: int, instruction: Instruction, cycle: int) -> None:
-        unresolved = 0
-        ready = cycle + 1
-        complete = self._complete_cycle
-        # Inlined Instruction.producers: this runs for every dispatched
-        # instruction and the tuple allocation showed up in profiles.
-        dep1, dep2 = instruction.dep1, instruction.dep2
-        next_fetch = self._next_fetch
-        if dep1 and idx - dep1 >= 0:
-            producer = idx - dep1
-            known = complete.get(producer)
-            if known is not None:
-                if known > ready:
-                    ready = known
-            elif producer < next_fetch:
-                # A producer at or beyond the fetch point is outside the
-                # fetched stream (cannot happen with backwards distances)
-                # and is treated as resolved.
-                unresolved += 1
-                self._waiters[producer].append(idx)
-        if dep2 and idx - dep2 >= 0:
-            producer = idx - dep2
-            known = complete.get(producer)
-            if known is not None:
-                if known > ready:
-                    ready = known
-            elif producer < next_fetch:
-                unresolved += 1
-                self._waiters[producer].append(idx)
-        self._pending_ready[idx] = ready
-        self._unresolved[idx] = unresolved
-        if unresolved == 0:
-            window = _WINDOW_OF[instruction.kind]
-            heapq.heappush(self._ready[window], (ready, idx))

@@ -7,6 +7,67 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.cpu.isa import Instruction, InstrClass
 
+#: Issue-window index per instruction class: 0 = integer window, 1 =
+#: floating-point window, 2 = memory window.  Branches issue through the
+#: integer window.  ``_WINDOW_INDEX`` is the same mapping flattened into a
+#: tuple indexed by the IntEnum value (derived, not hardcoded, so a new or
+#: reordered ``InstrClass`` member fails loudly here instead of silently
+#: misclassifying every instruction).
+_WINDOW_OF_CLASS = {
+    InstrClass.INT_ALU: 0,
+    InstrClass.FP_ALU: 1,
+    InstrClass.LOAD: 2,
+    InstrClass.STORE: 2,
+    InstrClass.BRANCH: 0,
+}
+_WINDOW_INDEX = tuple(
+    _WINDOW_OF_CLASS[cls] for cls in sorted(InstrClass, key=int)
+)
+_MEMORY_CODES = frozenset((int(InstrClass.LOAD), int(InstrClass.STORE)))
+
+
+class DecodedTrace:
+    """Column-oriented view of a trace, for the core's per-cycle hot loops.
+
+    The core touches several :class:`~repro.cpu.isa.Instruction` attributes
+    per fetched/issued/committed instruction; attribute access plus enum
+    dispatch dominates instruction-bound runs.  Decoding once into parallel
+    plain lists (enum values as ints, the issue-window index precomputed)
+    turns every hot-path probe into a list index.  The decode is cached on
+    the trace and shared by every run of a sweep.
+    """
+
+    __slots__ = ("kind", "addr", "dep1", "dep2", "latency", "mispredicted", "window", "is_mem")
+
+    def __init__(self, instructions: List[Instruction]) -> None:
+        self.kind: List[int] = []
+        self.addr: List[int] = []
+        self.dep1: List[int] = []
+        self.dep2: List[int] = []
+        self.latency: List[int] = []
+        self.mispredicted: List[bool] = []
+        self.window: List[int] = []
+        self.is_mem: List[bool] = []
+        kind_append = self.kind.append
+        addr_append = self.addr.append
+        dep1_append = self.dep1.append
+        dep2_append = self.dep2.append
+        latency_append = self.latency.append
+        mispredicted_append = self.mispredicted.append
+        window_append = self.window.append
+        is_mem_append = self.is_mem.append
+        memory_codes = _MEMORY_CODES
+        for instruction in instructions:
+            code = int(instruction.kind)
+            kind_append(code)
+            addr_append(instruction.addr)
+            dep1_append(instruction.dep1)
+            dep2_append(instruction.dep2)
+            latency_append(instruction.latency)
+            mispredicted_append(instruction.mispredicted)
+            window_append(_WINDOW_INDEX[code])
+            is_mem_append(code in memory_codes)
+
 
 @dataclass
 class Trace:
@@ -28,9 +89,26 @@ class Trace:
     _resident_cache: Optional[List[int]] = field(
         default=None, repr=False, compare=False
     )
+    #: Lazily computed by :meth:`decoded`; derived state like the above.
+    _decoded_cache: Optional[DecodedTrace] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def decoded(self) -> DecodedTrace:
+        """Column-oriented decode of the trace (cached after first call).
+
+        Traces are immutable once generated and shared across every system
+        of a sweep, so the decode — like :meth:`resident_addresses` — is
+        computed once and reused.
+        """
+        cached = self._decoded_cache
+        if cached is None:
+            cached = DecodedTrace(self.instructions)
+            self._decoded_cache = cached
+        return cached
 
     def resident_addresses(self) -> List[int]:
         """Addresses of the resident working set (cached after first call).

@@ -19,7 +19,7 @@ from repro.cache.cache import TimedCache
 from repro.cache.memory import MainMemory
 from repro.cache.request import AccessType, MemoryRequest
 from repro.dnuca.dnuca import DNUCACache, DNUCAConfig
-from repro.sim.memsys import MemorySystem
+from repro.sim.memsys import FINALIZE_GUARD_CYCLES, MemorySystem
 
 
 class DNUCASystem(MemorySystem):
@@ -39,6 +39,7 @@ class DNUCASystem(MemorySystem):
 
     # ------------------------------------------------------------------ interface
     def can_accept(self, cycle: int, access: AccessType) -> bool:
+        self._pump(cycle)
         if self.l1 is None:
             return True
         if access.is_write:
@@ -46,6 +47,10 @@ class DNUCASystem(MemorySystem):
         return self.l1.port_available(cycle)
 
     def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        # No pump here: mirrors ConventionalHierarchy.issue — core-driven
+        # issues pump via their same-cycle can_accept, and future-stamped
+        # backside issues from an L-NUCA must observe pre-drain state to
+        # match dense intra-cycle call ordering.
         request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
         self.stats.incr("writes" if access.is_write else "reads")
         if self.l1 is not None:
@@ -55,11 +60,35 @@ class DNUCASystem(MemorySystem):
         return request
 
     def tick(self, cycle: int) -> None:
-        if self.l1 is None or self.l1.write_buffer.is_empty():
-            return
-        entry = self.l1.write_buffer.drain_one(cycle)
-        if entry is not None:
-            self.post_write(entry.block_addr, cycle)
+        """Apply every front-side write-buffer drain due by the end of ``cycle``.
+
+        Like the conventional hierarchy, drains are deferred: the event
+        scheduler never wakes this system (see :meth:`next_event_cycle`),
+        and :meth:`_pump` burst-replays the missed span bit-identically
+        before any observation.  Dense runs call this every cycle, in which
+        case at most one entry fires per call — the classic schedule.
+        """
+        self._pump(cycle + 1)
+
+    def _pump(self, limit: int) -> int:
+        """Replay deferred L1 write-buffer drains firing strictly below ``limit``.
+
+        Uses :meth:`~repro.cache.writebuffer.WriteBuffer.drain_until` to
+        retire the whole span in one call and applies each posted write at
+        its exact dense-mode fire cycle, so D-NUCA bank state, memory-channel
+        reservations and statistics match a per-cycle drain loop.  Returns
+        the cycle after the latest applied drain (0 when nothing drained).
+        """
+        if self.l1 is None:
+            return 0
+        buffer = self.l1.write_buffer
+        if buffer.is_empty():
+            return 0
+        reached = 0
+        for entry, fire in buffer.drain_until(limit):
+            self._apply_posted_write(entry.block_addr, fire)
+            reached = fire + 1
+        return reached
 
     def post_write(self, block_addr: int, cycle: int) -> None:
         """Posted write into the D-NUCA (no demand-port contention).
@@ -70,6 +99,10 @@ class DNUCASystem(MemorySystem):
         not occupy bank ports or mesh links that demand reads are waiting
         for.
         """
+        self._pump(cycle)
+        self._apply_posted_write(block_addr, cycle)
+
+    def _apply_posted_write(self, block_addr: int, cycle: int) -> None:
         cfg = self.dnuca.config
         block = self.dnuca.block_addr(block_addr)
         self.stats.incr("posted_writes")
@@ -93,15 +126,27 @@ class DNUCASystem(MemorySystem):
         return self.l1 is not None and not self.l1.write_buffer.is_empty()
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
-        """Earliest future cycle at which the L1 write buffer can drain.
+        """Deferred-drain hierarchy: no tick wakeups are ever required.
 
         The D-NUCA itself resolves all of its timing at :meth:`issue` time
-        (mesh transfers and bank reservations are occupancy-chained), so the
-        only per-cycle work is the front-side write-buffer drain.
+        (mesh transfers and bank reservations are occupancy-chained), and
+        the only per-cycle work — the front-side write-buffer drain — is
+        deferred and burst-replayed by :meth:`_pump` before any
+        observation, so the scheduler never needs to wake this system.
         """
-        if self.l1 is None or self.l1.write_buffer.is_empty():
-            return None
-        return max(cycle + 1, self.l1.write_buffer.next_drain_cycle())
+        return None
+
+    def finalize(self, cycle: int) -> int:
+        """Burst-drain the front-side write buffer at the end of a run."""
+        reached = self._pump(cycle + FINALIZE_GUARD_CYCLES)
+        if self.busy():
+            raise self.wedged_error(cycle)
+        return reached if reached > cycle else cycle
+
+    def pending_work(self) -> str:
+        if self.l1 is not None and not self.l1.write_buffer.is_empty():
+            return f"{self.l1.name}.wb:{self.l1.write_buffer.occupancy} buffered writes"
+        return "none"
 
     # ------------------------------------------------------------------ internals
     def _issue_with_l1(self, request: MemoryRequest, cycle: int) -> None:
@@ -175,9 +220,10 @@ class DNUCASystem(MemorySystem):
         """
         cfg = self.dnuca.config
         tail_row = cfg.rows - 1 if cfg.insertion_row == "tail" else 0
+        l1_touch = self.l1.array.touch_or_fill if self.l1 is not None else None
         for addr in addresses:
-            if self.l1 is not None and self.l1.array.lookup(addr) is None:
-                self.l1.array.fill(addr)
+            if l1_touch is not None:
+                l1_touch(addr)
             block = self.dnuca.block_addr(addr)
             if self.dnuca.promote_functional(block) is None:
                 column = self.dnuca.bankset_of(block)

@@ -23,29 +23,52 @@ Dense face (what :meth:`tick` means):
 Event-driven face (when :meth:`tick` may be skipped):
 
 * :meth:`next_event_cycle` returns the earliest cycle strictly after
-  ``cycle`` at which a call to :meth:`tick` could change any observable
-  state *or statistics counter*, or ``None`` when the hierarchy is
-  guaranteed to stay inert until the next :meth:`issue` / :meth:`post_write`
-  call;
+  ``cycle`` at which a call to :meth:`tick` could change any state *or
+  statistics counter* that the rest of the simulation can observe, or
+  ``None`` when no tick wakeup is required;
 * the scheduler is then allowed to skip every cycle in
   ``(cycle, next_event_cycle(cycle))`` exclusive — implementations must
   guarantee that a dense simulation calling :meth:`tick` on those skipped
-  cycles would have been a pure no-op (no fills delivered, no buffers
-  drained, no messages moved, no counters incremented);
+  cycles would have been unobservable (no request completed, no
+  back-pressure changed, no divergent counter);
 * returning a cycle that is *earlier* than the next real event is always
-  safe (the extra tick is a no-op, exactly as in a dense run); returning a
-  cycle *later* than a real event is a correctness bug — the event-driven
-  run must be bit-identical to the dense run, not merely statistically
-  close;
+  safe (the extra tick is a no-op, exactly as in a dense run); suppressing
+  a wakeup is only legal under the **deferred-drain exemption** below —
+  anything else later than a real event is a correctness bug, because the
+  event-driven run must be bit-identical to the dense run, not merely
+  statistically close;
 * after every :meth:`issue` / :meth:`post_write` / :meth:`tick`, the caller
   must re-query :meth:`next_event_cycle`, because new work (search waves,
   pending fills, buffered writes) may have created earlier events.
 
-The default implementation is maximally conservative: one cycle ahead
-whenever :meth:`busy` reports pending work.  Subclasses that model
+Deferred-drain exemption (burst drains)
+=======================================
+
+Background work whose schedule is *fully determined* by already-committed
+state — write-buffer drains pacing a fixed port interval, corner-eviction
+pops, anything whose fire cycles can be computed arithmetically — may be
+**deferred** instead of woken for: the hierarchy omits it from
+:meth:`next_event_cycle` and instead burst-replays the missed span (for
+example via :meth:`~repro.cache.writebuffer.WriteBuffer.drain_until`),
+applying each action at the exact cycle a dense run would have used,
+*before* anything can observe the hierarchy.  "Before anything can
+observe" concretely means a catch-up runs at the top of
+:meth:`can_accept`, :meth:`post_write`, :meth:`tick` and :meth:`finalize`;
+:meth:`issue` deliberately does **not** catch up, because every
+core-driven issue is preceded by a same-cycle :meth:`can_accept` while
+backside issues from an L-NUCA carry a future stamp and must observe
+pre-drain state, exactly matching dense intra-cycle call order (front-side
+issues first, hierarchy drains after).  Under this exemption a hierarchy
+with only deterministic drain work left reports ``None`` and the scheduler
+skips it entirely; the results remain bit-identical because the replay
+uses the dense fire cycles and the dense ordering (within a cycle:
+buffer drain before corner pop, levels front to back).
+
+The default :meth:`next_event_cycle` is maximally conservative: one cycle
+ahead whenever :meth:`busy` reports pending work.  Subclasses that model
 multi-cycle waits (memory channels, search waves, drain intervals) should
-override it to expose the true next event so the scheduler can leap over
-the idle span.
+override it to expose the true next event — or defer the work outright
+under the exemption — so the scheduler can leap over the idle span.
 """
 
 from __future__ import annotations
@@ -54,7 +77,13 @@ from abc import ABC, abstractmethod
 from typing import Dict, Optional
 
 from repro.cache.request import AccessType, MemoryRequest
+from repro.common.errors import SimulationError
 from repro.sim.stats import Stats
+
+#: Finalize refuses to chase pending work further than this many cycles
+#: past the end of a run; a hierarchy that has not drained by then is
+#: wedged, and truncating its statistics would silently corrupt results.
+FINALIZE_GUARD_CYCLES = 1_000_000
 
 
 class MemorySystem(ABC):
@@ -108,14 +137,43 @@ class MemorySystem(ABC):
         per idle cycle.  Returns the cycle the drain finished at so
         subclasses can chain their own cleanup (e.g. a backside).  A
         hierarchy that is not :meth:`busy` returns immediately.
+
+        Raises:
+            SimulationError: when the hierarchy is still :meth:`busy` after
+                :data:`FINALIZE_GUARD_CYCLES` cycles.  A wedged hierarchy
+                must abort loudly — returning would hand the experiment
+                truncated-but-plausible statistics.
         """
         guard = cycle
-        limit = cycle + 1_000_000
+        limit = cycle + FINALIZE_GUARD_CYCLES
         while self.busy() and guard < limit:
             self.tick(guard)
             nxt = self.next_event_cycle(guard)
             guard = nxt if nxt is not None and nxt > guard else guard + 1
+        if self.busy():
+            raise self.wedged_error(cycle)
         return guard
+
+    def wedged_error(self, cycle: int) -> SimulationError:
+        """The wedged-finalize error, shared by every finalize override.
+
+        Building the error in one place keeps the message (and any future
+        fields) identical no matter which hierarchy's finalize detected the
+        wedge; it only runs on the error path.
+        """
+        return SimulationError(
+            f"memory system {self.name!r} failed to drain within "
+            f"{FINALIZE_GUARD_CYCLES} cycles of finalize "
+            f"(started at cycle {cycle}): {self.pending_work()}"
+        )
+
+    def pending_work(self) -> str:
+        """One-line description of why :meth:`busy` is still True.
+
+        Used by :meth:`finalize` to name the wedged work in its error;
+        subclasses override it to report their specific queues.
+        """
+        return "unspecified pending work (busy() is True)"
 
     def activity(self) -> Dict[str, float]:
         """Return the activity counters used by the energy accounting model."""

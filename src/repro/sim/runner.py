@@ -30,6 +30,17 @@ Skipping is what makes big sweeps affordable: while the core sits on a
 loop burns one Python call per component per cycle, whereas the event
 kernel performs a single jump to the fill's completion cycle.
 
+Busy spans are *batched* rather than skipped: the event loop hands each
+instruction-bound stretch to :meth:`~repro.cpu.core.OoOCore.run_batch`,
+which runs the dense-equivalent ticks in one pass and only ticks the
+memory system at the cycles it declares through ``next_event_cycle``
+(hierarchies with only deterministic drain work left declare none at all
+and burst-replay it on their next observation — see
+:mod:`repro.sim.memsys`).  Both modes enforce the ``max_cycles`` deadlock
+guard identically: no cycle beyond the limit is ever simulated, and the
+abort raises the same :class:`~repro.common.errors.SimulationError` from
+either loop.
+
 :func:`run_suite` can additionally fan the (system, workload) pairs of a
 sweep out over worker processes (``workers=``); traces are generated once
 up front and shared with the forked workers, so every configuration still
@@ -39,10 +50,10 @@ observes the identical instruction stream.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.common.errors import SimulationError
 from repro.cpu.core import CoreConfig, OoOCore
 from repro.cpu.trace import Trace
 from repro.cpu.workloads import WorkloadSpec, generate_trace
@@ -95,44 +106,39 @@ def simulate(
     memsys = core.memsys
     limit = max_cycles or (len(core.trace) * 400 + 100_000)
 
-    def check_limit(reached: int) -> None:
-        if reached > limit:
-            raise SimulationError(
-                f"core did not finish within {limit} cycles "
-                f"({core.committed}/{len(core.trace)} committed)"
-            )
-
-    core_tick = core.tick
-    mem_tick = memsys.tick
     finished = core.finished
 
     if mode == "dense":
+        core_tick = core.tick
+        mem_tick = memsys.tick
         while not finished():
             cycle = core.cycle
+            # The deadlock guard fires before any cycle past ``limit`` is
+            # simulated; the event loop below enforces the identical rule
+            # (and raises the identical error) at its own advancement
+            # points, so both modes abort at the same cycle.
+            if cycle > limit:
+                raise core.limit_exceeded(limit)
             core_tick(cycle)
             mem_tick(cycle)
             core.cycle = cycle + 1
-            check_limit(core.cycle)
         memsys.finalize(core.cycle)
         return core.summary()
 
     next_wakeup = core.next_wakeup
     next_event = memsys.next_event_cycle
+    run_batch = core.run_batch
     while not finished():
-        cycle = core.cycle
-        core_tick(cycle)
-        mem_tick(cycle)
+        # Batched dispatch: run the whole busy span (dense-equivalent, with
+        # memory-system ticks gated on its declared events) in one pass.
+        # run_batch raises the shared deadlock-guard error before ticking
+        # past ``limit`` and leaves core.cycle one past the last tick.
+        cycle = run_batch(core.cycle, limit)
         if finished():
-            # Mirror the dense loop exactly: the run ends one cycle after
-            # the tick that completed it, never at a later skipped-to event.
-            core.cycle = cycle + 1
             break
         wakeup = next_wakeup(cycle)
         if wakeup == cycle + 1:
-            # The core makes progress next cycle regardless of the
-            # hierarchy; no point computing the memory system's event.
-            core.cycle = cycle + 1
-            check_limit(core.cycle)
+            # An event lands next cycle; re-enter the batch directly.
             continue
         event = next_event(cycle)
         if event is not None and (wakeup is None or event < wakeup):
@@ -144,8 +150,11 @@ def simulate(
             watched = core.incomplete_loads()
             cur = event
             while True:
+                if cur > limit:
+                    # Same rule as dense mode: never simulate past the
+                    # guard, even while only the hierarchy is advancing.
+                    raise core.limit_exceeded(limit)
                 memsys.tick(cur)
-                check_limit(cur)
                 if any(request.done for request in watched):
                     nxt = cur + 1
                     break
@@ -163,9 +172,11 @@ def simulate(
             nxt = cycle + 1
         if nxt <= cycle:
             nxt = cycle + 1
+        if nxt > limit + 1:
+            # Dense mode would have died at the guard inside this span.
+            raise core.limit_exceeded(limit)
         core.note_skipped_cycles(cycle, nxt)
         core.cycle = nxt
-        check_limit(nxt)
     memsys.finalize(core.cycle)
     return core.summary()
 
@@ -320,10 +331,29 @@ def ipc_by_category(results: Iterable[RunResult]) -> Dict[str, Dict[str, float]]
 
     Returns ``{system: {"int": hmean, "fp": hmean}}`` — the quantity plotted
     in Figs. 4(a) and 5(a).
+
+    Runs with non-positive IPC (aborted or zero-committed runs) have no
+    harmonic mean; instead of letting one such run crash the aggregation of
+    a whole figure, they are excluded from their group's mean and reported
+    through a :class:`RuntimeWarning` naming each excluded run.  A group
+    whose every run was excluded aggregates to 0.0.
     """
     grouped: Dict[str, Dict[str, List[float]]] = {}
+    excluded: List[str] = []
     for result in results:
-        grouped.setdefault(result.system, {}).setdefault(result.category, []).append(result.ipc)
+        categories = grouped.setdefault(result.system, {})
+        values = categories.setdefault(result.category, [])
+        if result.ipc <= 0:
+            excluded.append(f"{result.system}/{result.workload}")
+            continue
+        values.append(result.ipc)
+    if excluded:
+        warnings.warn(
+            f"ipc_by_category: excluded {len(excluded)} zero-IPC run(s) from the "
+            f"harmonic mean: {', '.join(excluded)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return {
         system: {category: harmonic_mean(values) for category, values in categories.items()}
         for system, categories in grouped.items()

@@ -171,3 +171,48 @@ class TestCapacityInvariants:
             filled.add(array.block_addr_of(addr))
             if victim is not None:
                 assert not array.contains(victim.block_addr)
+
+
+class TestTouchOrFill:
+    """touch_or_fill must stay bit-identical to the lookup+fill pair.
+
+    The fused form duplicates lookup()'s inlined hit path for speed (it is
+    the functional-warm-up inner loop); this differential test is the
+    tripwire that keeps the two copies from drifting — it compares not
+    just contents but the replacement state, by checking that both arrays
+    subsequently evict the same victims in the same order.
+    """
+
+    def _mixed_stream(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        # Small array so the stream forces evictions and LRU churn.
+        stream = [rng.randrange(1 << 14) & ~31 for _ in range(600)]
+        return stream
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_matches_lookup_fill_pair(self, seed):
+        fused = SetAssociativeArray(2048, 4, 32)
+        reference = SetAssociativeArray(2048, 4, 32)
+        for cycle, addr in enumerate(self._mixed_stream(seed)):
+            fused.touch_or_fill(addr, cycle=cycle)
+            if reference.lookup(addr, cycle=cycle, update_lru=True) is None:
+                reference.fill(addr, cycle=cycle)
+
+        resident_fused = sorted(b.block_addr for b in fused.resident_blocks())
+        resident_ref = sorted(b.block_addr for b in reference.resident_blocks())
+        assert resident_fused == resident_ref
+
+        # Replacement state must match too: filling a fresh conflicting
+        # stream must evict the same victims in the same order.
+        import random
+
+        rng = random.Random(seed + 1)
+        probe = [rng.randrange(1 << 15) & ~31 for _ in range(200)]
+        for cycle, addr in enumerate(probe, start=10_000):
+            _, victim_fused = fused.fill(addr, cycle=cycle)
+            _, victim_ref = reference.fill(addr, cycle=cycle)
+            fused_addr = victim_fused.block_addr if victim_fused else None
+            ref_addr = victim_ref.block_addr if victim_ref else None
+            assert fused_addr == ref_addr

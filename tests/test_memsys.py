@@ -1,0 +1,74 @@
+"""Contract tests for the abstract MemorySystem base class.
+
+The important one: a hierarchy that never drains must make
+:meth:`~repro.sim.memsys.MemorySystem.finalize` abort loudly.  Before this
+regression test, the guard tripped and finalize silently *returned* while
+the hierarchy was still busy, so a wedged run yielded truncated-but-
+plausible statistics instead of an error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.request import AccessType, MemoryRequest
+from repro.common.errors import SimulationError
+from repro.sim.memsys import FINALIZE_GUARD_CYCLES, MemorySystem
+
+
+class NeverDrainingSystem(MemorySystem):
+    """A hierarchy stuck with pending work that no amount of ticking clears."""
+
+    def __init__(self) -> None:
+        super().__init__("wedged")
+        self.ticks = 0
+
+    def can_accept(self, cycle: int, access: AccessType) -> bool:
+        return True
+
+    def issue(self, addr: int, access: AccessType, cycle: int) -> MemoryRequest:
+        request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
+        request.complete(cycle + 1, self.name)
+        return request
+
+    def tick(self, cycle: int) -> None:
+        self.ticks += 1
+
+    def busy(self) -> bool:
+        return True
+
+    def next_event_cycle(self, cycle: int):
+        # Jump in large steps so the guard trips after a handful of
+        # iterations rather than a million no-op ticks.
+        return cycle + FINALIZE_GUARD_CYCLES // 8
+
+    def pending_work(self) -> str:
+        return "1 stub entry that never drains"
+
+
+class IdleSystem(NeverDrainingSystem):
+    def busy(self) -> bool:
+        return False
+
+
+class TestFinalizeGuard:
+    def test_wedged_hierarchy_raises_and_names_pending_work(self):
+        system = NeverDrainingSystem()
+        with pytest.raises(SimulationError) as excinfo:
+            system.finalize(123)
+        message = str(excinfo.value)
+        assert "wedged" in message
+        assert "failed to drain" in message
+        assert "1 stub entry that never drains" in message
+        assert "cycle 123" in message
+        # The guard must have actually tried to drain before giving up.
+        assert system.ticks > 0
+
+    def test_idle_hierarchy_finalizes_immediately(self):
+        system = IdleSystem()
+        assert system.finalize(50) == 50
+        assert system.ticks == 0
+
+    def test_default_pending_work_description(self):
+        system = IdleSystem()
+        assert "busy" in MemorySystem.pending_work(system)

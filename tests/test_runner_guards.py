@@ -1,0 +1,113 @@
+"""Scheduler guard rails: unified deadlock guard and zero-IPC aggregation.
+
+Two regression suites:
+
+* the ``max_cycles`` deadlock guard must abort a run at the same cycle
+  with the same error in both scheduler modes — the event kernel used to
+  check its hierarchy cursor instead of the simulated-cycle budget the
+  dense loop enforces, so the two modes could diverge on wedged runs;
+* one aborted / zero-committed run must not crash whole-figure
+  aggregation through ``harmonic_mean`` — it is excluded with a warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cache.cache import TimedCache
+from repro.cache.hierarchy import ConventionalHierarchy
+from repro.cache.memory import MainMemory, MainMemoryConfig
+from repro.common.errors import SimulationError
+from repro.cpu.core import OoOCore
+from repro.cpu.workloads import generate_trace, workload_by_name
+from repro.sim.configs import build_conventional_hierarchy, l1_config, l2_config, l3_config
+from repro.sim.runner import RunResult, ipc_by_category, simulate
+
+
+def _slow_memory_hierarchy() -> ConventionalHierarchy:
+    return ConventionalHierarchy(
+        [TimedCache(l1_config()), TimedCache(l2_config()), TimedCache(l3_config())],
+        MainMemory(MainMemoryConfig(first_chunk_cycles=800, inter_chunk_cycles=4)),
+        name="slow-mem",
+    )
+
+
+def _abort_message(builder, mode: str, max_cycles: int) -> str:
+    trace = generate_trace(workload_by_name("mcf-like"), 400)
+    system = builder()
+    core = OoOCore(trace, system)
+    with pytest.raises(SimulationError) as excinfo:
+        simulate(core, mode=mode, max_cycles=max_cycles)
+    return str(excinfo.value)
+
+
+class TestUnifiedDeadlockGuard:
+    @pytest.mark.parametrize("max_cycles", [40, 300])
+    def test_instruction_bound_abort_is_identical(self, max_cycles):
+        dense = _abort_message(build_conventional_hierarchy, "dense", max_cycles)
+        event = _abort_message(build_conventional_hierarchy, "event", max_cycles)
+        assert dense == event
+        assert f"within {max_cycles} cycles" in dense
+
+    @pytest.mark.parametrize("max_cycles", [100, 1000])
+    def test_memory_stalled_abort_is_identical(self, max_cycles):
+        # Cold pointer-chasing against 800-cycle memory: the guard trips in
+        # the middle of a long stall, exactly where the event kernel used
+        # to check the hierarchy cursor instead of the cycle budget.
+        dense = _abort_message(_slow_memory_hierarchy, "dense", max_cycles)
+        event = _abort_message(_slow_memory_hierarchy, "event", max_cycles)
+        assert dense == event
+
+    def test_completing_run_never_trips_the_guard(self):
+        trace = generate_trace(workload_by_name("perlbench-like"), 300)
+        dense_core = OoOCore(trace, build_conventional_hierarchy())
+        dense = simulate(dense_core, mode="dense")
+        event_core = OoOCore(trace, build_conventional_hierarchy())
+        # A budget of exactly the dense cycle count must suffice in both
+        # modes (the guard only fires for cycles *beyond* the limit).
+        limit = int(dense["cycles"])
+        event = simulate(event_core, mode="event", max_cycles=limit)
+        assert event == dense
+
+
+def _result(system: str, workload: str, category: str, ipc: float) -> RunResult:
+    return RunResult(
+        system=system,
+        workload=workload,
+        category=category,
+        ipc=ipc,
+        cycles=1000.0,
+        instructions=ipc * 1000.0,
+    )
+
+
+class TestZeroIPCAggregation:
+    def test_zero_ipc_run_is_excluded_with_warning(self):
+        results = [
+            _result("sys", "good-1", "int", 1.5),
+            _result("sys", "aborted", "int", 0.0),
+            _result("sys", "good-2", "int", 3.0),
+        ]
+        with pytest.warns(RuntimeWarning, match="sys/aborted"):
+            grouped = ipc_by_category(results)
+        # Harmonic mean of the two surviving runs only.
+        assert grouped["sys"]["int"] == pytest.approx(2 / (1 / 1.5 + 1 / 3.0))
+
+    def test_all_zero_group_aggregates_to_zero(self):
+        results = [
+            _result("sys", "aborted", "fp", 0.0),
+            _result("sys", "good", "int", 2.0),
+        ]
+        with pytest.warns(RuntimeWarning):
+            grouped = ipc_by_category(results)
+        assert grouped["sys"]["fp"] == 0.0
+        assert grouped["sys"]["int"] == 2.0
+
+    def test_clean_results_warn_nothing(self):
+        results = [_result("sys", "good", "int", 2.0)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            grouped = ipc_by_category(results)
+        assert grouped == {"sys": {"int": 2.0}}
