@@ -24,8 +24,9 @@ stage set:
 
 * ``micro_*`` — throughput of the inner loops every experiment relies on
   (array fill/lookup, a full L-NUCA miss search, trace generation, the
-  scenario engine's vectorized-vs-scalar-vs-legacy synthesis, and binary
-  trace capture/replay);
+  scenario engine's vectorized-vs-scalar-vs-legacy synthesis, binary
+  trace capture/replay, and the repeated-sweep micro comparing the plan
+  layer's snapshot+pool and warm-cache paths against the direct path);
 * ``fig4_sweep`` — the bench-sized Fig. 4 sweep (sizes from
   ``benchmarks/conftest.py``) in dense and event mode, with a
   bit-identical-stats assertion between the two;
@@ -200,6 +201,132 @@ def micro_trace_file(repeat):
     }
 
 
+def micro_sweep_cached(repeat, instructions=2000):
+    """Repeated-sweep micro: the plan layer's fast paths vs the direct path.
+
+    Models the sweep-service pattern the run-plan layer targets: the same
+    (system, workload) sweep executed repeatedly in one process.  Three
+    paths over the identical plan, all bit-identical by construction:
+
+    * ``direct`` — fresh build, per-job prewarm, per-job synthesis (the
+      historical per-sweep cost, the PR 3 baseline behaviour);
+    * ``plan`` — trace-pool replay plus prewarm-snapshot cloning (warm
+      pool/store, result cache off);
+    * ``cached`` — warm content-addressed result cache: zero simulation.
+
+    Besides the full-sweep walls, the stage isolates the *setup* phase the
+    fast paths actually replace (trace materialization plus producing a
+    prewarmed hierarchy per job, no simulation): the full-sweep delta is
+    bounded by the setup share of the sweep, which PR 1-3 already made
+    sim-dominated, so the setup comparison is the stable signal while the
+    full-sweep plan-vs-direct ratio sits near 1 within box noise.
+    """
+    import tempfile
+
+    from repro.sim import plan as plan_module
+
+    specs = select_workloads(1)
+    builders = conventional_builders()
+    compiled = lambda: plan_module.compile_sweep(builders, specs, instructions)  # noqa: E731
+
+    pinned = os.environ.get("REPRO_SIM_VERSION")
+    os.environ["REPRO_SIM_VERSION"] = "bench-local"
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            pool = plan_module.TracePool(os.path.join(tmp, "pool"))
+            cache = plan_module.ResultCache(os.path.join(tmp, "cache"))
+
+            direct = lambda: plan_module.execute(  # noqa: E731
+                compiled(), snapshots=False, trace_memo=False
+            ).results
+            fast = lambda: plan_module.execute(compiled(), pool=pool).results  # noqa: E731
+            cached = lambda: plan_module.execute(compiled(), pool=pool, cache=cache).results  # noqa: E731
+
+            baseline = direct()
+            plan_module._SNAPSHOT_BLOBS.clear()
+            fast()  # warm the pool and the snapshot store once
+            # The two paths differ by ~10% while this box's wall clock
+            # drifts by a comparable amount over seconds; interleaving the
+            # best-of rounds (A/B per round instead of all-A then all-B)
+            # cancels the drift out of the comparison.
+            direct_wall = plan_wall = None
+            plan_results = None
+            for _ in range(max(repeat, 5)):
+                wall, _ = _best_of(1, direct)
+                direct_wall = wall if direct_wall is None else min(direct_wall, wall)
+                wall, plan_results = _best_of(1, fast)
+                plan_wall = wall if plan_wall is None else min(plan_wall, wall)
+            cached()  # warm the result cache
+            cached_wall, cached_results = _best_of(max(repeat, 5), cached)
+
+            # Setup-only phase: what the snapshot store and trace memo
+            # replace, isolated from the (dominant) simulation time.
+            def direct_setup():
+                traces = {
+                    spec.name: compiled_plan.traces[spec.name].build() for spec in specs
+                }
+                for job in compiled_plan.jobs:
+                    system = builders[job.system].factory()
+                    system.prewarm(traces[job.trace].resident_addresses())
+
+            scratch = plan_module.ExecutionStats()
+
+            def plan_setup():
+                for job in compiled_plan.jobs:
+                    source = compiled_plan.traces[job.trace]
+                    memo_key = plan_module._memo_key(source)
+                    trace = plan_module._TRACE_MEMO.get(memo_key)
+                    if trace is None:
+                        trace = source.build()
+                        plan_module._TRACE_MEMO[memo_key] = trace
+                    builder = builders[job.system]
+                    plan_module._prewarmed_system(
+                        builder,
+                        trace,
+                        (builder.digest(), plan_module.trace_digest(trace)),
+                        {},
+                        scratch,
+                    )
+
+            compiled_plan = compiled()
+            plan_setup()  # warm the memo and snapshot store
+            direct_setup_wall = plan_setup_wall = None
+            for _ in range(max(repeat, 5)):
+                wall, _ = _best_of(1, direct_setup)
+                direct_setup_wall = (
+                    wall if direct_setup_wall is None else min(direct_setup_wall, wall)
+                )
+                wall, _ = _best_of(1, plan_setup)
+                plan_setup_wall = (
+                    wall if plan_setup_wall is None else min(plan_setup_wall, wall)
+                )
+        if not _results_identical(baseline, plan_results):
+            raise AssertionError("snapshot+pool sweep diverged from direct — plan bug")
+        if not _results_identical(baseline, cached_results):
+            raise AssertionError("cached sweep diverged from direct — plan bug")
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_SIM_VERSION", None)
+        else:
+            os.environ["REPRO_SIM_VERSION"] = pinned
+
+    runs = len(baseline)
+    return {
+        "runs": runs,
+        "instructions_per_run": instructions,
+        "direct_wall_s": direct_wall,
+        "plan_wall_s": plan_wall,
+        "cached_wall_s": cached_wall,
+        "plan_speedup_vs_direct": direct_wall / plan_wall,
+        "cached_speedup_vs_direct": direct_wall / cached_wall,
+        "plan_instructions_per_s": runs * instructions / plan_wall,
+        "direct_setup_wall_s": direct_setup_wall,
+        "plan_setup_wall_s": plan_setup_wall,
+        "setup_speedup_vs_direct": direct_setup_wall / plan_setup_wall,
+        "bit_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- sweep
 def _results_identical(lhs, rhs):
     return all(
@@ -291,7 +418,8 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
     the baseline, which is why the threshold is a generous factor rather
     than a tight percentage.
     """
-    baseline = json.loads(Path(baseline_path).read_text())["stages"]["fig4_sweep"]
+    committed = json.loads(Path(baseline_path).read_text())["stages"]
+    baseline = committed["fig4_sweep"]
     base_tput = baseline.get("event_instructions_per_s") or (
         baseline["runs"] * baseline["instructions_per_run"] / baseline["event_wall_s"]
     )
@@ -307,6 +435,23 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
             f"fig4 event sweep regressed {ratio:.2f}x vs {baseline_path} "
             f"(limit {max_slowdown:.2f}x)"
         )
+    # Repeated-sweep micro: the snapshot+pool path's throughput is held
+    # against the committed baseline the same way (absent in BENCH files
+    # older than the plan layer).
+    cached_base = committed.get("micro_sweep_cached")
+    if cached_base and cached_base.get("plan_instructions_per_s"):
+        sweep_new = stages["micro_sweep_cached"]["plan_instructions_per_s"]
+        sweep_ratio = cached_base["plan_instructions_per_s"] / sweep_new
+        print(
+            f"baseline check: repeated sweep (plan path) {sweep_new:,.0f} instr/s vs "
+            f"committed {cached_base['plan_instructions_per_s']:,.0f} instr/s "
+            f"({sweep_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+        )
+        if sweep_ratio > max_slowdown:
+            raise SystemExit(
+                f"repeated-sweep micro regressed {sweep_ratio:.2f}x vs {baseline_path} "
+                f"(limit {max_slowdown:.2f}x)"
+            )
 
 
 def main(argv=None):
@@ -356,6 +501,8 @@ def main(argv=None):
     stages["micro_scenario_gen"] = micro_scenario_gen(args.repeat)
     print("micro: binary trace save/load ...", flush=True)
     stages["micro_trace_file"] = micro_trace_file(args.repeat)
+    print("micro: repeated sweep (direct vs snapshot+pool vs cached) ...", flush=True)
+    stages["micro_sweep_cached"] = micro_sweep_cached(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
     stages["fig4_sweep"] = fig4_sweep(
         args.repeat, args.workers, args.instructions, args.per_category
@@ -386,6 +533,15 @@ def main(argv=None):
         f"memory-wall stress: dense {stress['dense_wall_s']:.2f}s, "
         f"event {stress['event_wall_s']:.2f}s "
         f"({stress['event_speedup_vs_dense']:.2f}x, bit-identical)"
+    )
+    cached = stages["micro_sweep_cached"]
+    print(
+        f"repeated sweep: direct {cached['direct_wall_s']:.2f}s, "
+        f"snapshot+pool {cached['plan_wall_s']:.2f}s "
+        f"({cached['plan_speedup_vs_direct']:.2f}x full sweep, "
+        f"{cached['setup_speedup_vs_direct']:.2f}x setup phase), "
+        f"warm cache {cached['cached_wall_s']:.3f}s "
+        f"({cached['cached_speedup_vs_direct']:.0f}x, bit-identical)"
     )
     gen = stages["micro_scenario_gen"]
     if "vectorized_instructions_per_s" in gen:

@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan sweeps out over N forked worker processes "
         "(result-identical to sequential; needs a fork-capable OS)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (default location "
+        "~/.cache/repro-lnuca, override with REPRO_CACHE_DIR); cached and "
+        "uncached runs are bit-identical",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table2", help="Table II: conventional and L-NUCA areas")
     sub.add_parser("table3", help="Table III: hits per level and transport latency ratio")
@@ -105,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _result_cache(args):
+    """The CLI's result cache (``None`` with ``--no-cache``).
+
+    Simulation results are memoized content-addressed on disk (see
+    :mod:`repro.sim.plan`); a ``-dirty`` simulator tree bypasses the cache
+    automatically, so this default is always safe.
+    """
+    if args.no_cache:
+        return None
+    from repro.sim.plan import ResultCache
+
+    return ResultCache.default()
+
+
 def _select_scenarios(names: Optional[Sequence[str]], tag: Optional[str]) -> List:
     from repro.common.errors import ConfigurationError
     from repro.scenarios import default_sweep, scenario, scenarios
@@ -142,41 +163,13 @@ def _trace_path(directory: str, name: str, num_instructions: int) -> str:
 def _capture_meta(spec) -> dict:
     """Provenance recorded in a captured trace's header.
 
-    The ``vectorized`` backend override is excluded: both backends are
-    bit-identical by design, so a capture generated with either must
-    replay against the catalog spec without looking stale.
+    Delegates to the plan layer's canonical scenario signature (the same
+    identity that keys the trace pool), so ``scenarios generate`` captures
+    and pool entries are interchangeable.
     """
-    import json
+    from repro.sim.plan import scenario_signature
 
-    params = {key: value for key, value in spec.params.items() if key != "vectorized"}
-    # JSON round trip canonicalises tuples to lists so the comparison in
-    # _cache_entry_current matches what read_meta returns.
-    return {
-        "family": spec.family,
-        "seed": spec.seed,
-        "params": json.loads(json.dumps(params)),
-    }
-
-
-def _cache_entry_current(path: str, spec, num_instructions: int) -> bool:
-    """True when a captured trace still matches the current scenario.
-
-    Guards the replay cache against stale files: the capture's header
-    records the generating family, seed, and params, so a scenario whose
-    catalog definition changed since the capture is regenerated instead
-    of being silently swept with old behaviour.
-    """
-    from repro.scenarios import TraceFormatError, read_meta
-
-    try:
-        meta = read_meta(path)
-    except (OSError, TraceFormatError):
-        return False
-    expected = _capture_meta(spec)
-    return (
-        all(meta.get(key) == value for key, value in expected.items())
-        and meta.get("instructions") == num_instructions
-    )
+    return scenario_signature(spec)
 
 
 def _scenarios_generate(
@@ -208,26 +201,21 @@ def _scenarios_run(
     workers: Optional[int],
     traces_dir: Optional[str],
     csv_path: Optional[str],
+    cache=None,
 ) -> None:
-    from repro.scenarios import build_trace, load_trace, save_trace
+    from repro.sim.plan import TracePool
 
     specs = _select_scenarios(names, tag)
-    traces = None
-    if traces_dir:
-        os.makedirs(traces_dir, exist_ok=True)
-        traces = {}
-        for spec in specs:
-            path = _trace_path(traces_dir, spec.name, num_instructions)
-            if os.path.exists(path) and _cache_entry_current(path, spec, num_instructions):
-                traces[spec.name] = load_trace(path)
-            else:
-                if os.path.exists(path):
-                    print(f"  {path}: stale capture (scenario changed), regenerating")
-                trace = build_trace(spec, num_instructions)
-                save_trace(trace, path, extra_meta=_capture_meta(spec))
-                traces[spec.name] = trace
+    # With --traces-dir the sweep replays from (and captures into) a
+    # user-visible file-backed pool; stale or unreadable captures are
+    # reported and regenerated by the pool itself.
+    pool = TracePool(traces_dir, on_event=lambda msg: print(f"  {msg}")) if traces_dir else None
     report = fig6_scenarios.run(
-        num_instructions=num_instructions, specs=specs, workers=workers, traces=traces
+        num_instructions=num_instructions,
+        specs=specs,
+        workers=workers,
+        cache=cache,
+        pool=pool,
     )
     print("Scenario sweep — IPC across the four hierarchy types")
     for line in fig6_scenarios.format_rows(report):
@@ -240,6 +228,7 @@ def _scenarios_run(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    cache = _result_cache(args)
     if args.command == "table2":
         table2_area.main()
     elif args.command == "table3":
@@ -247,30 +236,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_instructions=args.instructions,
             per_category=args.per_category,
             workers=args.workers,
+            cache=cache,
         )
     elif args.command == "fig4":
         fig4_conventional.main(
             num_instructions=args.instructions,
             per_category=args.per_category,
             workers=args.workers,
+            cache=cache,
         )
     elif args.command == "fig5":
         fig5_dnuca.main(
             num_instructions=args.instructions,
             per_category=args.per_category,
             workers=args.workers,
+            cache=cache,
         )
     elif args.command == "ablations":
-        ablations.main(num_instructions=args.instructions, workers=args.workers)
-    elif args.command == "report":
-        path = report_module.write_report(
-            args.output,
-            num_instructions=args.instructions,
-            per_category=args.per_category,
-            include_ablations=args.with_ablations,
-            workers=args.workers,
+        ablations.main(
+            num_instructions=args.instructions, workers=args.workers, cache=cache
         )
+    elif args.command == "report":
+        from repro.sim.plan import collect_stats
+
+        with collect_stats() as stats:
+            path = report_module.write_report(
+                args.output,
+                num_instructions=args.instructions,
+                per_category=args.per_category,
+                include_ablations=args.with_ablations,
+                workers=args.workers,
+                cache=cache,
+            )
         print(f"report written to {path}")
+        # The two-pass CI smoke asserts `simulated=0` on the warm pass.
+        print(f"plan stats: {stats.describe()}")
     elif args.command == "scenarios":
         from repro.common.errors import ConfigurationError
 
@@ -289,6 +289,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     args.workers,
                     args.traces_dir,
                     args.csv,
+                    cache=cache,
                 )
         except ConfigurationError as exc:
             # User input (names, tags, params) reaches the registry from

@@ -93,6 +93,10 @@ class Trace:
     _decoded_cache: Optional[DecodedTrace] = field(
         default=None, repr=False, compare=False
     )
+    #: Content digest memo, filled by :func:`repro.sim.plan.trace_digest`;
+    #: sound because traces are immutable once generated (the same
+    #: contract the two caches above rely on).
+    _digest_cache: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 from repro.core.config import TileConfig
 from repro.cpu.workloads import WorkloadSpec
 from repro.experiments.common import DEFAULT_INSTRUCTIONS, select_workloads
-from repro.sim.configs import build_lnuca_l3_hierarchy
+from repro.sim.configs import lnuca_l3_spec
 from repro.sim.runner import ipc_by_category, run_suite
 from repro.sim.stats import harmonic_mean
 
@@ -37,14 +37,15 @@ def routing_ablation(
     specs: Optional[List[WorkloadSpec]] = None,
     levels: int = 3,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, float]:
     """Random versus deterministic output selection in the buffered networks."""
     specs = specs or select_workloads(2)
     builders = {
-        "random": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="random"),
-        "deterministic": lambda: build_lnuca_l3_hierarchy(levels, routing_policy="deterministic"),
+        "random": lnuca_l3_spec(levels, routing_policy="random"),
+        "deterministic": lnuca_l3_spec(levels, routing_policy="deterministic"),
     }
-    results = run_suite(builders, specs, num_instructions, workers=workers)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
     ipc = ipc_by_category(results)
     contention = {
         name: sum(
@@ -68,14 +69,14 @@ def buffer_depth_ablation(
     depths: tuple = (1, 2, 4),
     levels: int = 3,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[int, float]:
     """IPC as a function of the flow-control buffer depth."""
     specs = specs or select_workloads(2)
     builders = {
-        f"depth-{depth}": (lambda d=depth: build_lnuca_l3_hierarchy(levels, buffer_depth=d))
-        for depth in depths
+        f"depth-{depth}": lnuca_l3_spec(levels, buffer_depth=depth) for depth in depths
     }
-    results = run_suite(builders, specs, num_instructions, workers=workers)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
     ipc = ipc_by_category(results)
     return {depth: round(_overall(ipc, f"depth-{depth}"), 4) for depth in depths}
 
@@ -86,16 +87,17 @@ def tile_size_ablation(
     sizes_kb: tuple = (2, 4, 8),
     levels: int = 3,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[int, float]:
     """IPC as a function of the tile size (2 to 8 KB, Section III-A)."""
     specs = specs or select_workloads(2)
-    builders = {}
-    for size_kb in sizes_kb:
-        tile = TileConfig(size_bytes=size_kb * 1024)
-        builders[f"tile-{size_kb}KB"] = (
-            lambda t=tile: build_lnuca_l3_hierarchy(levels, tile=t)
+    builders = {
+        f"tile-{size_kb}KB": lnuca_l3_spec(
+            levels, tile=TileConfig(size_bytes=size_kb * 1024)
         )
-    results = run_suite(builders, specs, num_instructions, workers=workers)
+        for size_kb in sizes_kb
+    }
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
     ipc = ipc_by_category(results)
     return {size_kb: round(_overall(ipc, f"tile-{size_kb}KB"), 4) for size_kb in sizes_kb}
 
@@ -105,35 +107,40 @@ def level_count_ablation(
     specs: Optional[List[WorkloadSpec]] = None,
     level_range: tuple = (2, 3, 4, 5),
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[int, float]:
     """IPC as a function of the number of L-NUCA levels."""
     specs = specs or select_workloads(2)
-    builders = {
-        f"LN{levels}": (lambda n=levels: build_lnuca_l3_hierarchy(n)) for levels in level_range
-    }
-    results = run_suite(builders, specs, num_instructions, workers=workers)
+    builders = {f"LN{levels}": lnuca_l3_spec(levels) for levels in level_range}
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
     ipc = ipc_by_category(results)
     return {levels: round(_overall(ipc, f"LN{levels}"), 4) for levels in level_range}
 
 
 def run(
-    num_instructions: int = DEFAULT_INSTRUCTIONS, workers: Optional[int] = None
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, object]:
     """Run every ablation with a reduced workload set."""
     specs = select_workloads(2)
     return {
-        "routing": routing_ablation(num_instructions, specs, workers=workers),
-        "buffer_depth": buffer_depth_ablation(num_instructions, specs, workers=workers),
-        "tile_size": tile_size_ablation(num_instructions, specs, workers=workers),
-        "levels": level_count_ablation(num_instructions, specs, workers=workers),
+        "routing": routing_ablation(num_instructions, specs, workers=workers, cache=cache),
+        "buffer_depth": buffer_depth_ablation(
+            num_instructions, specs, workers=workers, cache=cache
+        ),
+        "tile_size": tile_size_ablation(num_instructions, specs, workers=workers, cache=cache),
+        "levels": level_count_ablation(num_instructions, specs, workers=workers, cache=cache),
     }
 
 
 def main(
-    num_instructions: int = DEFAULT_INSTRUCTIONS, workers: Optional[int] = None
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> None:
     """Print every ablation."""
-    report = run(num_instructions, workers=workers)
+    report = run(num_instructions, workers=workers, cache=cache)
     print("Ablation — routing policy:", report["routing"])
     print("Ablation — buffer depth (IPC):", report["buffer_depth"])
     print("Ablation — tile size KB (IPC):", report["tile_size"])

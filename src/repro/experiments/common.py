@@ -1,20 +1,28 @@
-"""Shared helpers for the experiment modules."""
+"""Shared helpers for the experiment modules.
+
+Every experiment compiles its sweep through :func:`figure_run` /
+:func:`repro.sim.runner.run_suite` onto the declarative plan layer
+(:mod:`repro.sim.plan`), so the builder dictionaries here are *digestable*
+:class:`~repro.sim.configs.BuilderSpec` registries — the identity that keys
+the content-addressed result cache and the prewarm snapshot store.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.cpu.workloads import WorkloadSpec, fp_suite, integer_suite
 from repro.energy.accounting import ALL_GROUPS, EnergyBreakdown
 from repro.sim.configs import (
+    BuilderSpec,
     build_accountant,
-    build_conventional_hierarchy,
-    build_dnuca_hierarchy,
-    build_lnuca_dnuca_hierarchy,
-    build_lnuca_l3_hierarchy,
+    conventional_spec,
+    dnuca_spec,
+    lnuca_dnuca_spec,
+    lnuca_l3_spec,
 )
 from repro.sim.memsys import MemorySystem
-from repro.sim.runner import RunResult
+from repro.sim.runner import RunResult, ipc_by_category, run_suite
 
 SystemBuilder = Callable[[], MemorySystem]
 
@@ -43,24 +51,70 @@ def select_workloads(per_category: int = DEFAULT_PER_CATEGORY) -> List[WorkloadS
     return spread(integer_suite()) + spread(fp_suite())
 
 
-def conventional_builders() -> Dict[str, SystemBuilder]:
+def conventional_builders() -> Dict[str, BuilderSpec]:
     """The four configurations of Fig. 4: baseline plus LN2/LN3/LN4 + L3."""
     return {
-        "L2-256KB": build_conventional_hierarchy,
-        "LN2-72KB": lambda: build_lnuca_l3_hierarchy(2),
-        "LN3-144KB": lambda: build_lnuca_l3_hierarchy(3),
-        "LN4-248KB": lambda: build_lnuca_l3_hierarchy(4),
+        "L2-256KB": conventional_spec(),
+        "LN2-72KB": lnuca_l3_spec(2),
+        "LN3-144KB": lnuca_l3_spec(3),
+        "LN4-248KB": lnuca_l3_spec(4),
     }
 
 
-def dnuca_builders() -> Dict[str, SystemBuilder]:
+def dnuca_builders() -> Dict[str, BuilderSpec]:
     """The four configurations of Fig. 5: DN-4x8 plus LN2/LN3/LN4 + DN-4x8."""
     return {
-        "DN-4x8": build_dnuca_hierarchy,
-        "LN2+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(2),
-        "LN3+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(3),
-        "LN4+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(4),
+        "DN-4x8": dnuca_spec(),
+        "LN2+DN-4x8": lnuca_dnuca_spec(2),
+        "LN3+DN-4x8": lnuca_dnuca_spec(3),
+        "LN4+DN-4x8": lnuca_dnuca_spec(4),
     }
+
+
+def figure_run(
+    builders: Dict[str, BuilderSpec],
+    baseline: str,
+    num_instructions: int = DEFAULT_INSTRUCTIONS,
+    per_category: int = DEFAULT_PER_CATEGORY,
+    results: Optional[List[RunResult]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+) -> Dict[str, object]:
+    """The shared IPC + normalised-energy figure pipeline (Figs. 4 and 5).
+
+    Sweeps ``builders`` over :func:`select_workloads` (unless ``results``
+    carries a pre-run sweep) and returns the figure dictionary:
+
+    * ``"ipc"`` — ``{configuration: {"int": hmean, "fp": hmean}}``;
+    * ``"energy"`` — ``{configuration: {group: fraction-of-baseline}}``;
+    * ``"results"`` — the raw per-workload :class:`RunResult` list.
+
+    ``workers`` fans the sweep over forked processes and ``cache`` memoizes
+    finished runs on disk; both are result-identical to a sequential,
+    uncached sweep.
+    """
+    if results is None:
+        specs = select_workloads(per_category)
+        results = run_suite(
+            builders, specs, num_instructions, workers=workers, cache=cache
+        )
+    ipc = ipc_by_category(results)
+    totals = total_energy_by_system(results, builders)
+    energy = normalised_energy(totals, baseline)
+    return {"ipc": ipc, "energy": energy, "results": results}
+
+
+def print_figure(
+    report: Dict[str, object], baseline: str, ipc_title: str, energy_title: str
+) -> None:
+    """Print one figure's IPC and energy panels (shared by fig4/fig5 mains)."""
+    print(ipc_title)
+    for line in format_ipc_rows(report["ipc"], baseline):
+        print("  " + line)
+    print()
+    print(energy_title)
+    for line in format_energy_rows(report["energy"]):
+        print("  " + line)
 
 
 def total_energy_by_system(

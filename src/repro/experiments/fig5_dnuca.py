@@ -15,13 +15,10 @@ from repro.experiments.common import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_PER_CATEGORY,
     dnuca_builders,
-    format_energy_rows,
-    format_ipc_rows,
-    normalised_energy,
-    select_workloads,
-    total_energy_by_system,
+    figure_run,
+    print_figure,
 )
-from repro.sim.runner import RunResult, ipc_by_category, run_suite
+from repro.sim.runner import RunResult
 
 BASELINE = "DN-4x8"
 
@@ -31,34 +28,39 @@ def run(
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, object]:
-    """Regenerate both panels of Fig. 5 (see :func:`fig4_conventional.run`)."""
-    builders = dnuca_builders()
-    if results is None:
-        specs = select_workloads(per_category)
-        results = run_suite(builders, specs, num_instructions, workers=workers)
-    ipc = ipc_by_category(results)
-    totals = total_energy_by_system(results, builders)
-    energy = normalised_energy(totals, BASELINE)
-    return {"ipc": ipc, "energy": energy, "results": results}
+    """Regenerate both panels of Fig. 5 (see :func:`common.figure_run`)."""
+    return figure_run(
+        dnuca_builders(),
+        BASELINE,
+        num_instructions=num_instructions,
+        per_category=per_category,
+        results=results,
+        workers=workers,
+        cache=cache,
+    )
 
 
 def main(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     workers: Optional[int] = None,
+    cache=None,
 ) -> None:
     """Print Fig. 5(a) and Fig. 5(b)."""
     report = run(
-        num_instructions=num_instructions, per_category=per_category, workers=workers
+        num_instructions=num_instructions,
+        per_category=per_category,
+        workers=workers,
+        cache=cache,
     )
-    print("Figure 5(a) — IPC harmonic mean (D-NUCA vs L-NUCA + D-NUCA)")
-    for line in format_ipc_rows(report["ipc"], BASELINE):
-        print("  " + line)
-    print()
-    print("Figure 5(b) — total energy normalised to DN-4x8")
-    for line in format_energy_rows(report["energy"]):
-        print("  " + line)
+    print_figure(
+        report,
+        BASELINE,
+        "Figure 5(a) — IPC harmonic mean (D-NUCA vs L-NUCA + D-NUCA)",
+        "Figure 5(b) — total energy normalised to DN-4x8",
+    )
 
 
 if __name__ == "__main__":

@@ -13,26 +13,27 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.experiments.common import DEFAULT_INSTRUCTIONS, SystemBuilder
+from repro.experiments.common import DEFAULT_INSTRUCTIONS
 from repro.scenarios import ScenarioSpec, build_trace, default_sweep
 from repro.sim.configs import (
-    build_conventional_hierarchy,
-    build_dnuca_hierarchy,
-    build_lnuca_dnuca_hierarchy,
-    build_lnuca_l3_hierarchy,
+    BuilderSpec,
+    conventional_spec,
+    dnuca_spec,
+    lnuca_dnuca_spec,
+    lnuca_l3_spec,
 )
 from repro.sim.runner import RunResult, run_suite
 
 BASELINE = "L2-256KB"
 
 
-def scenario_builders() -> Dict[str, SystemBuilder]:
+def scenario_builders() -> Dict[str, BuilderSpec]:
     """One representative of each of the paper's four hierarchy types."""
     return {
-        "L2-256KB": build_conventional_hierarchy,
-        "LN3-144KB": lambda: build_lnuca_l3_hierarchy(3),
-        "DN-4x8": build_dnuca_hierarchy,
-        "LN3+DN-4x8": lambda: build_lnuca_dnuca_hierarchy(3),
+        "L2-256KB": conventional_spec(),
+        "LN3-144KB": lnuca_l3_spec(3),
+        "DN-4x8": dnuca_spec(),
+        "LN3+DN-4x8": lnuca_dnuca_spec(3),
     }
 
 
@@ -42,6 +43,8 @@ def run(
     workers: Optional[int] = None,
     traces: Optional[Dict[str, object]] = None,
     results: Optional[List[RunResult]] = None,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
     """Sweep the scenarios over the four hierarchies.
 
@@ -52,7 +55,9 @@ def run(
     * ``"results"`` — the raw per-run :class:`RunResult` list.
 
     ``traces`` may carry pre-loaded (captured/replayed) traces keyed by
-    scenario name; anything missing is generated through the registry.
+    scenario name; ``pool`` is a file-backed
+    :class:`~repro.sim.plan.TracePool` that captures and replays everything
+    else; ``cache`` memoizes finished runs on disk.
     """
     builders = scenario_builders()
     specs = list(specs) if specs is not None else default_sweep()
@@ -64,6 +69,8 @@ def run(
             workers=workers,
             trace_factory=build_trace,
             traces=traces,
+            cache=cache,
+            pool=pool,
         )
     ipc: Dict[str, Dict[str, float]] = {}
     for result in results:
@@ -105,10 +112,17 @@ def main(
     specs: Optional[Iterable[ScenarioSpec]] = None,
     workers: Optional[int] = None,
     traces: Optional[Dict[str, object]] = None,
+    cache=None,
+    pool=None,
 ) -> None:
     """Print the scenario sweep table."""
     report = run(
-        num_instructions=num_instructions, specs=specs, workers=workers, traces=traces
+        num_instructions=num_instructions,
+        specs=specs,
+        workers=workers,
+        traces=traces,
+        cache=cache,
+        pool=pool,
     )
     print("Figure 6 — scenario sweep IPC across the four hierarchy types")
     for line in format_rows(report):

@@ -36,6 +36,7 @@ def run(
     per_category: int = DEFAULT_PER_CATEGORY,
     results: Optional[List[RunResult]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
     """Regenerate Table III.
 
@@ -44,11 +45,16 @@ def run(
     the average-to-minimum transport latency ratio.  When a run produced no
     transport deliveries at all the ratio is ``None`` ("no data"), never
     ``0.0`` — a real average-to-minimum ratio is always >= 1.
+
+    The sweep is the Fig. 4 sweep; with a warm ``cache`` (or ``results``
+    passed in from :mod:`fig4_conventional`) it performs zero simulation.
     """
     builders = conventional_builders()
     if results is None:
         specs = select_workloads(per_category)
-        results = run_suite(builders, specs, num_instructions, workers=workers)
+        results = run_suite(
+            builders, specs, num_instructions, workers=workers, cache=cache
+        )
 
     baseline_results = results_for_system(results, BASELINE)
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -80,10 +86,14 @@ def main(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     per_category: int = DEFAULT_PER_CATEGORY,
     workers: Optional[int] = None,
+    cache=None,
 ) -> None:
     """Print Table III."""
     table = run(
-        num_instructions=num_instructions, per_category=per_category, workers=workers
+        num_instructions=num_instructions,
+        per_category=per_category,
+        workers=workers,
+        cache=cache,
     )
     print("Table III — read hits per level relative to the baseline L2 and")
     print("            average-to-minimum Transport-network latency ratio")

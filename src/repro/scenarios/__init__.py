@@ -43,6 +43,7 @@ from repro.scenarios.tracefile import (
     TraceFormatError,
     load_trace,
     read_meta,
+    records_bytes,
     save_trace,
 )
 
@@ -64,6 +65,7 @@ __all__ = [
     "family",
     "load_trace",
     "read_meta",
+    "records_bytes",
     "register_family",
     "register_scenario",
     "save_trace",

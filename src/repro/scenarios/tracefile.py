@@ -46,6 +46,31 @@ class TraceFormatError(ConfigurationError):
     """Raised when a trace file is malformed or of an unsupported version."""
 
 
+def records_bytes(trace: Trace) -> bytes:
+    """The packed instruction-record section of ``trace``.
+
+    This is the canonical byte serialization of the instruction stream
+    (exactly what :func:`save_trace` writes after the header), so it doubles
+    as the input for content digests: two traces are bit-identical iff their
+    record bytes are equal.
+    """
+    pack = _RECORD.pack
+    body = bytearray()
+    for instruction in trace.instructions:
+        flags = (_FLAG_MISPREDICTED if instruction.mispredicted else 0) | (
+            _FLAG_TRANSIENT if instruction.transient else 0
+        )
+        body += pack(
+            int(instruction.kind),
+            flags,
+            instruction.latency,
+            instruction.dep1,
+            instruction.dep2,
+            instruction.addr,
+        )
+    return bytes(body)
+
+
 def save_trace(
     trace: Trace, path: str, extra_meta: Optional[Dict[str, object]] = None
 ) -> int:
@@ -60,21 +85,9 @@ def save_trace(
     )
     meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
 
-    pack = _RECORD.pack
     body = bytearray(_HEADER.pack(MAGIC, FORMAT_VERSION, len(meta_blob)))
     body += meta_blob
-    for instruction in trace.instructions:
-        flags = (_FLAG_MISPREDICTED if instruction.mispredicted else 0) | (
-            _FLAG_TRANSIENT if instruction.transient else 0
-        )
-        body += pack(
-            int(instruction.kind),
-            flags,
-            instruction.latency,
-            instruction.dep1,
-            instruction.dep2,
-            instruction.addr,
-        )
+    body += records_bytes(trace)
     with open(path, "wb") as handle:
         handle.write(body)
     return len(body)

@@ -12,9 +12,22 @@ in exactly one place:
 * ``build_lnuca_dnuca_hierarchy`` — LNx + DN-4x8 (Fig. 1(d));
 * ``build_accountant`` — the matching Table I energy model for any of the
   four system types.
+
+For the declarative run-plan layer (:mod:`repro.sim.plan`) the four system
+types are also exposed as *digestable* :class:`BuilderSpec`\\ s
+(``conventional_spec`` / ``lnuca_l3_spec`` / ``dnuca_spec`` /
+``lnuca_dnuca_spec``): a builder plus a canonical parameter description
+whose digest keys the content-addressed result cache and the prewarm
+snapshot store.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.cache.cache import CacheConfig, TimedCache
 from repro.cache.hierarchy import ConventionalHierarchy
@@ -37,6 +50,66 @@ from repro.sim.memsys import MemorySystem
 #: Cycle time of the modelled core: 19 FO4 at 32 nm, comparable to the
 #: 3.33 GHz Core 2 Duo E8600 the paper references.
 CYCLE_TIME_NS = 0.30
+
+#: Bump when the meaning of a builder key / parameter set changes in a way
+#: the parameters themselves do not capture, so old cache entries cannot be
+#: misattributed to the new architecture.  (Code changes are covered by the
+#: simulator version in the cache key, not by this.)
+BUILDER_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BuilderSpec:
+    """A system builder plus the canonical description that identifies it.
+
+    ``params`` is a canonical JSON string of everything that architecturally
+    distinguishes the built system (or ``None`` for ad-hoc builders — e.g.
+    raw lambdas handed to ``run_suite`` — which then run uncached).  The
+    spec is callable, so every API that accepted a plain builder callable
+    accepts a ``BuilderSpec`` unchanged.
+    """
+
+    key: str
+    factory: Callable[[], MemorySystem]
+    params: Optional[str] = None
+
+    def __call__(self) -> MemorySystem:
+        return self.factory()
+
+    def digest(self) -> Optional[str]:
+        """Content digest of the builder identity; ``None`` when ad hoc."""
+        if self.params is None:
+            return None
+        payload = f"builder/{BUILDER_SCHEMA_VERSION}/{self.key}/{self.params}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical(value):
+    """Canonicalise ``value`` into JSON-serializable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"builder parameter of type {type(value).__name__} has no canonical form"
+    )
+
+
+def builder_spec(key: str, factory: Callable[[], MemorySystem], **params) -> BuilderSpec:
+    """Wrap ``factory`` as a digestable :class:`BuilderSpec`.
+
+    ``params`` must fully determine what ``factory`` builds; they are
+    canonicalised (dataclasses and tuples included) into the digest.
+    """
+    blob = json.dumps(_canonical(params), sort_keys=True)
+    return BuilderSpec(key=key, factory=factory, params=blob)
 
 # Dynamic energies for tag-only probes, as a fraction of a full read.
 _TAG_PROBE_FRACTION = 0.35
@@ -167,6 +240,46 @@ def build_lnuca_dnuca_hierarchy(levels: int, **overrides) -> LightNUCA:
     system = LightNUCA(config, backside)
     system.stats.set("plus_dnuca", 1.0)
     return system
+
+
+# --------------------------------------------------------------------------- builder specs
+def conventional_spec(l2_size_kb: int = 256) -> BuilderSpec:
+    """:func:`build_conventional_hierarchy` as a digestable spec."""
+    return builder_spec(
+        f"conventional:l2={l2_size_kb}KB",
+        lambda: build_conventional_hierarchy(l2_size_kb),
+        l2_size_kb=l2_size_kb,
+    )
+
+
+def lnuca_l3_spec(levels: int, **overrides) -> BuilderSpec:
+    """:func:`build_lnuca_l3_hierarchy` as a digestable spec.
+
+    ``overrides`` are the :class:`~repro.core.config.LNUCAConfig` keyword
+    overrides the ablations use (``routing_policy``, ``buffer_depth``,
+    ``tile`` ...); they are canonicalised into the digest.
+    """
+    return builder_spec(
+        f"lnuca-l3:levels={levels}",
+        lambda: build_lnuca_l3_hierarchy(levels, **overrides),
+        levels=levels,
+        **overrides,
+    )
+
+
+def dnuca_spec() -> BuilderSpec:
+    """:func:`build_dnuca_hierarchy` as a digestable spec."""
+    return builder_spec("dnuca:4x8", build_dnuca_hierarchy)
+
+
+def lnuca_dnuca_spec(levels: int, **overrides) -> BuilderSpec:
+    """:func:`build_lnuca_dnuca_hierarchy` as a digestable spec."""
+    return builder_spec(
+        f"lnuca-dnuca:levels={levels}",
+        lambda: build_lnuca_dnuca_hierarchy(levels, **overrides),
+        levels=levels,
+        **overrides,
+    )
 
 
 # --------------------------------------------------------------------------- energy models

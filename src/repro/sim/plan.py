@@ -1,0 +1,857 @@
+"""Declarative run plans: one scheduler for every experiment sweep.
+
+The experiment modules used to each hand-roll a loop around
+:func:`~repro.sim.runner.run_suite`, re-synthesizing traces per run and
+re-prewarming every hierarchy from scratch.  This module replaces those
+loops with a compile/execute split:
+
+* a sweep **compiles** (:func:`compile_sweep`) into a :class:`RunPlan` — a
+  list of hashable :class:`JobSpec`\\ s over a registry of digestable
+  builders (:class:`~repro.sim.configs.BuilderSpec`) and
+  :class:`TraceSource`\\ s;
+* one **executor** (:func:`execute`) runs the plan, with three fast paths
+  that are guaranteed bit-identical to the direct path (fresh build,
+  per-job prewarm, per-job synthesis):
+
+  1. **trace pool** — each trace is materialized exactly once into a
+     file-backed ``.lntr`` pool (:class:`TracePool`) and replayed from
+     there, instead of being re-synthesized per sweep;
+  2. **prewarm snapshots** — jobs that share a (builder, trace) pair clone
+     a pickled functionally-prewarmed hierarchy instead of re-running
+     ``system.prewarm`` (the snapshot store is process-global, keyed by
+     content digests, so repeated sweeps and sibling experiments share it);
+  3. **result cache** — finished :class:`~repro.sim.runner.RunResult`\\ s
+     are memoized in a content-addressed on-disk cache
+     (:class:`ResultCache`) keyed by (builder digest, trace digest,
+     simulator version, run parameters), so a warm re-run performs zero
+     simulation.
+
+Safety rules
+============
+
+* Cache keys include :func:`simulator_version`; a ``-dirty`` (or unknown)
+  git state bypasses the result cache entirely, so edited-tree results can
+  never poison it.
+* A truncated or corrupt cache entry is discarded with a
+  :class:`RuntimeWarning` and re-simulated, never trusted and never fatal.
+* Builders without a digestable parameter description (ad-hoc lambdas) and
+  traces without a generation signature still execute — they just skip the
+  result cache / pool and fall back to per-plan snapshot sharing.
+* ``REPRO_CACHE_DIR`` overrides the on-disk cache location;
+  ``REPRO_SIM_VERSION`` pins the simulator version (used by tests and CI).
+
+Differential tests (``tests/test_plan.py``) enforce bit-identity of every
+fast path against the direct path for all four hierarchy types, warm and
+cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import warnings
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cpu.core import CoreConfig, OoOCore
+from repro.cpu.trace import Trace
+from repro.cpu.workloads import WorkloadSpec, generate_trace
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.tracefile import (
+    TraceFormatError,
+    load_trace,
+    read_meta,
+    records_bytes,
+    save_trace,
+)
+from repro.sim.configs import BuilderSpec, _canonical
+from repro.sim.runner import RunResult, simulate
+
+#: Bump when the cache entry layout or the digest scheme changes; old
+#: entries then simply miss instead of being misread.
+RESULT_SCHEMA = 1
+
+
+# --------------------------------------------------------------------- version
+def simulator_version() -> str:
+    """The simulator identity baked into every result-cache key.
+
+    ``REPRO_SIM_VERSION`` (tests, CI) takes precedence; otherwise the git
+    commit of the source tree, with ``-dirty`` appended when tracked files
+    have uncommitted modifications and ``unknown`` when git is unavailable.
+    Both ``-dirty`` and ``unknown`` disable the result cache (see
+    :func:`execute`): results from an unidentifiable tree must never be
+    memoized.
+    """
+    pinned = os.environ.get("REPRO_SIM_VERSION")
+    if pinned:
+        return pinned
+    return _git_version()
+
+
+@lru_cache(maxsize=1)
+def _git_version() -> str:
+    cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode != 0 or not out.stdout.strip():
+            return "unknown"
+        commit = out.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if status.returncode != 0 or status.stdout.strip():
+            commit += "-dirty"
+        return commit
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+# --------------------------------------------------------------------- sources
+@dataclass
+class TraceSource:
+    """One workload's trace, described declaratively.
+
+    ``signature`` is the canonical generation description (family, seed,
+    params — everything that determines the instruction stream except the
+    backend, which is bit-identical by design).  It keys the file-backed
+    pool and is stored in captured headers so stale captures are detected.
+    ``None`` means the source cannot be pooled (inline traces, opaque
+    factories); it still executes and is still result-cacheable through its
+    content digest.
+    """
+
+    name: str
+    category: str
+    num_instructions: int
+    builder: Callable[[], Trace]
+    signature: Optional[Dict[str, object]] = None
+    #: Source kind ("scenario" / "workload" / "opaque"); disambiguates pool
+    #: file names when a legacy workload and a catalog scenario share a name
+    #: (the spec2006 port reuses the legacy names by design).
+    kind: str = "opaque"
+
+    def build(self) -> Trace:
+        return self.builder()
+
+
+def scenario_signature(spec: ScenarioSpec) -> Dict[str, object]:
+    """Canonical generation signature of a scenario (capture-header shape).
+
+    The ``vectorized`` backend override is excluded: both backends are
+    bit-identical by design, so a capture generated with either must
+    replay against the catalog spec without looking stale.
+    """
+    params = {key: value for key, value in spec.params.items() if key != "vectorized"}
+    return {
+        "family": spec.family,
+        "seed": spec.seed,
+        "params": _canonical(params),
+    }
+
+
+#: Process-global in-memory trace memo: generation-signature key -> Trace.
+#: The tier above the file-backed pool — repeated sweeps in one process
+#: (report, benchmarks, services) share the synthesized trace objects (and
+#: with them the cached decode / resident-set / digest), instead of
+#: re-synthesizing or re-reading the pool file per sweep.  Sound because
+#: traces are immutable once generated; bounded FIFO.
+_TRACE_MEMO: "OrderedDict[str, Trace]" = OrderedDict()
+_TRACE_MEMO_CAP = 32
+
+
+def _memo_key(source: "TraceSource") -> Optional[str]:
+    if source.signature is None:
+        return None
+    return json.dumps(
+        {"signature": source.signature, "n": source.num_instructions,
+         "name": source.name, "category": source.category},
+        sort_keys=True,
+    )
+
+
+def trace_source_for(
+    spec,
+    num_instructions: int,
+    trace_factory: Optional[Callable] = None,
+    pregenerated: Optional[Trace] = None,
+) -> TraceSource:
+    """Build the :class:`TraceSource` for one sweep spec.
+
+    ``spec`` may be a legacy :class:`~repro.cpu.workloads.WorkloadSpec`, a
+    :class:`~repro.scenarios.spec.ScenarioSpec`, or any object with
+    ``name``/``category`` that ``trace_factory`` understands (opaque: no
+    pool signature).  ``pregenerated`` short-circuits generation entirely
+    (e.g. traces replayed by the caller).
+    """
+    name, category = spec.name, spec.category
+    if pregenerated is not None:
+        return TraceSource(
+            name, category, num_instructions, builder=lambda: pregenerated
+        )
+    if isinstance(spec, ScenarioSpec):
+        from repro.scenarios.registry import build_trace
+
+        # A custom factory may synthesize anything; only the registry's
+        # generator is known to honour the catalog signature, so anything
+        # else stays opaque (no pool entry, no memo) rather than risking
+        # serving custom content under the catalog identity.
+        if trace_factory in (None, build_trace):
+            return TraceSource(
+                name,
+                category,
+                num_instructions,
+                builder=lambda: build_trace(spec, num_instructions),
+                signature=scenario_signature(spec),
+                kind="scenario",
+            )
+    elif isinstance(spec, WorkloadSpec) and trace_factory in (None, generate_trace):
+        return TraceSource(
+            name,
+            category,
+            num_instructions,
+            builder=lambda: generate_trace(spec, num_instructions),
+            signature={"workload": _canonical(spec)},
+            kind="workload",
+        )
+    factory = trace_factory or generate_trace
+    return TraceSource(
+        name, category, num_instructions, builder=lambda: factory(spec, num_instructions)
+    )
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of a trace: name, category, and every record byte.
+
+    Memoized on the trace (traces are immutable once generated), so sweeps
+    that share a trace hash its record bytes exactly once.
+    """
+    cached = trace._digest_cache
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(
+        f"trace/{trace.name}\x00{trace.category}\x00{len(trace.instructions)}\x00".encode()
+    )
+    digest.update(records_bytes(trace))
+    value = digest.hexdigest()
+    trace._digest_cache = value
+    return value
+
+
+# ------------------------------------------------------------------ trace pool
+class TracePool:
+    """File-backed ``.lntr`` pool: each trace is synthesized exactly once.
+
+    Pool entries are ordinary capture files (``{name}-{n}.lntr`` with the
+    source's generation signature in the header), so they interoperate with
+    ``scenarios generate`` captures.  A file whose header no longer matches
+    the current signature — the scenario definition changed — is
+    regenerated, as is an unreadable/truncated file; neither is ever
+    silently replayed.
+    """
+
+    def __init__(self, directory: str, on_event: Optional[Callable[[str], None]] = None):
+        self.directory = directory
+        self._on_event = on_event
+
+    def _note(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def path_for(self, source: TraceSource) -> str:
+        # Scenario entries keep the capture-file name scheme so they
+        # interoperate with `scenarios generate`; legacy-workload entries
+        # carry a `.wl` marker, because the spec2006 scenario port reuses
+        # the legacy workload names and the two signatures must not fight
+        # over one file.
+        marker = ".wl" if source.kind == "workload" else ""
+        return os.path.join(
+            self.directory, f"{source.name}-{source.num_instructions}{marker}.lntr"
+        )
+
+    def _entry_current(self, path: str, source: TraceSource) -> bool:
+        """True when a capture at ``path`` matches the source's signature."""
+        try:
+            meta = read_meta(path)
+        except (OSError, TraceFormatError) as exc:
+            self._note(f"{path}: unreadable capture ({exc}), regenerating")
+            return False
+        if (
+            all(meta.get(key) == value for key, value in source.signature.items())
+            and meta.get("instructions") == source.num_instructions
+        ):
+            return True
+        self._note(f"{path}: stale capture (scenario changed), regenerating")
+        return False
+
+    def _save(self, path: str, source: TraceSource, trace: Trace,
+              stats: Optional["ExecutionStats"]) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = f"{path}.tmp{os.getpid()}"
+            save_trace(trace, tmp, extra_meta=source.signature)
+            os.replace(tmp, path)
+            if stats is not None:
+                stats.pool_saves += 1
+        except OSError as exc:
+            # An unwritable pool degrades to per-run synthesis, not a crash.
+            warnings.warn(
+                f"trace pool: could not save {path} ({exc})", RuntimeWarning, stacklevel=2
+            )
+
+    def fetch(self, source: TraceSource, stats: Optional["ExecutionStats"] = None) -> Trace:
+        """Return the source's trace, replaying from the pool when possible."""
+        if source.signature is None:
+            return source.build()
+        path = self.path_for(source)
+        if os.path.exists(path) and self._entry_current(path, source):
+            trace = load_trace(path)
+            if stats is not None:
+                stats.pool_loads += 1
+            return trace
+        trace = source.build()
+        self._save(path, source, trace, stats)
+        return trace
+
+    def ensure(self, source: TraceSource, trace: Trace,
+               stats: Optional["ExecutionStats"] = None) -> None:
+        """Capture ``trace`` unless a current pool entry already exists.
+
+        Used when a trace was materialized outside the pool (the in-memory
+        memo, a caller-supplied trace): the file-backed capture must still
+        appear, so later processes replay instead of re-synthesizing.
+        """
+        if source.signature is None:
+            return
+        path = self.path_for(source)
+        if os.path.exists(path) and self._entry_current(path, source):
+            return
+        self._save(path, source, trace, stats)
+
+
+# ---------------------------------------------------------------- result cache
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-lnuca`` (or ~/.cache)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-lnuca")
+
+
+class ResultCache:
+    """Content-addressed on-disk memo of :class:`RunResult`\\ s.
+
+    Entries are small JSON files under ``<directory>/results``; the file
+    name is the full cache key (see :func:`_cache_key`), so a lookup is one
+    ``open``.  All IO failures degrade to a miss; corrupt entries are
+    discarded with a :class:`RuntimeWarning`.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._write_failed = False
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        return cls(default_cache_dir())
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, "results", key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != RESULT_SCHEMA:
+                return None
+            row = payload["result"]
+            return RunResult(
+                system=str(row["system"]),
+                workload=str(row["workload"]),
+                category=str(row["category"]),
+                ipc=row["ipc"],
+                cycles=row["cycles"],
+                instructions=row["instructions"],
+                activity=dict(row["activity"]),
+                core_stats=dict(row["core_stats"]),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"result cache: discarding corrupt entry {path} ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "result": {
+                "system": result.system,
+                "workload": result.workload,
+                "category": result.category,
+                "ipc": result.ipc,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "activity": result.activity,
+                "core_stats": result.core_stats,
+            },
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError as exc:
+            if not self._write_failed:
+                self._write_failed = True
+                warnings.warn(
+                    f"result cache: disabled writes ({exc})", RuntimeWarning, stacklevel=2
+                )
+
+
+def _core_config_digest(core_config: Optional[CoreConfig]) -> str:
+    if core_config is None:
+        return "default"
+    return hashlib.sha256(
+        json.dumps(_canonical(core_config), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _cache_key(
+    job: "JobSpec",
+    builder_digest: str,
+    trace_content_digest: str,
+    core_digest: str,
+    version: str,
+) -> str:
+    """The content address of one job's result.
+
+    Deliberately excludes the job's display label (``job.system``): two
+    sweeps that run the identical architecture on the identical trace share
+    the entry, and the label is re-applied on lookup.
+    """
+    payload = json.dumps(
+        {
+            "schema": RESULT_SCHEMA,
+            "simulator": version,
+            "builder": builder_digest,
+            "trace": trace_content_digest,
+            "core": core_digest,
+            "instructions": job.num_instructions,
+            "prewarm": job.prewarm,
+            "mode": job.mode,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------------------- the plan
+@dataclass(frozen=True)
+class JobSpec:
+    """One hashable (system, workload) simulation of a plan."""
+
+    system: str  #: result label (``RunResult.system``)
+    builder: str  #: key into ``RunPlan.builders``
+    trace: str  #: key into ``RunPlan.traces``
+    num_instructions: int
+    prewarm: bool = True
+    mode: str = "event"
+
+
+@dataclass
+class RunPlan:
+    """A compiled sweep: jobs over builder and trace registries."""
+
+    jobs: List[JobSpec]
+    builders: Dict[str, BuilderSpec]
+    traces: Dict[str, TraceSource]
+    core_config: Optional[CoreConfig] = None
+
+
+def compile_sweep(
+    system_builders: Dict[str, Callable],
+    specs: Iterable,
+    num_instructions: int,
+    core_config: Optional[CoreConfig] = None,
+    prewarm: bool = True,
+    mode: str = "event",
+    trace_factory: Optional[Callable] = None,
+    traces: Optional[Dict[str, Trace]] = None,
+) -> RunPlan:
+    """Compile a classic (builders x specs) sweep into a :class:`RunPlan`.
+
+    Accepts exactly what :func:`~repro.sim.runner.run_suite` accepts:
+    builders may be :class:`~repro.sim.configs.BuilderSpec`\\ s (digestable,
+    cacheable) or plain callables (ad hoc, still executable); ``traces``
+    short-circuits generation for the named workloads.  Job order is the
+    historical sweep order — systems outer, specs inner.
+    """
+    specs = list(specs)
+    pregenerated = dict(traces or {})
+    builders = {
+        name: builder if isinstance(builder, BuilderSpec)
+        else BuilderSpec(key=name, factory=builder)
+        for name, builder in system_builders.items()
+    }
+    sources = {
+        spec.name: trace_source_for(
+            spec, num_instructions, trace_factory, pregenerated.get(spec.name)
+        )
+        for spec in specs
+    }
+    jobs = [
+        JobSpec(
+            system=system_name,
+            builder=system_name,
+            trace=spec.name,
+            num_instructions=num_instructions,
+            prewarm=prewarm,
+            mode=mode,
+        )
+        for system_name in builders
+        for spec in specs
+    ]
+    return RunPlan(jobs=jobs, builders=builders, traces=sources, core_config=core_config)
+
+
+# ------------------------------------------------------------------ snapshots
+#: Process-global prewarm snapshot store: (builder digest, trace digest) ->
+#: pickled functionally-prewarmed hierarchy.  Keyed by content digests, so
+#: sharing across sweeps and experiments is always sound; bounded FIFO so a
+#: long session cannot grow without limit.
+_SNAPSHOT_BLOBS: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+_SNAPSHOT_CAP = 64
+
+#: Builders whose systems failed to pickle; they fall back to the direct
+#: build-and-prewarm path permanently (per process).  Holds the factory
+#: objects themselves (identity semantics) — keeping them alive on purpose,
+#: so a recycled id() can never misclassify an unrelated builder.
+_UNPICKLABLE_BUILDERS: set = set()
+
+
+def _prewarmed_system(
+    builder: BuilderSpec,
+    trace: Trace,
+    snapshot_key: Optional[Tuple[str, str]],
+    local_blobs: Dict[Tuple[str, str], bytes],
+    stats: "ExecutionStats",
+):
+    """A functionally-prewarmed system, cloned from a snapshot when possible.
+
+    The snapshot is taken right after ``prewarm`` — before any timed state
+    exists — so the blob preserves exactly the state a fresh
+    build-and-prewarm produces.  The job that *creates* a snapshot runs on
+    the pristine original (no unpickle); every later job of the same
+    (builder, trace) pair runs on an unpickled clone.  Clone-equals-fresh
+    is enforced by the differential tests in ``tests/test_plan.py``.
+    """
+    if snapshot_key is None or builder.factory in _UNPICKLABLE_BUILDERS:
+        system = builder.factory()
+        system.prewarm(trace.resident_addresses())
+        return system
+    store = _SNAPSHOT_BLOBS if builder.digest() is not None else local_blobs
+    blob = store.get(snapshot_key)
+    if blob is None:
+        system = builder.factory()
+        system.prewarm(trace.resident_addresses())
+        try:
+            blob = pickle.dumps(system, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            _UNPICKLABLE_BUILDERS.add(builder.factory)
+            return system
+        store[snapshot_key] = blob
+        stats.snapshot_builds += 1
+        if store is _SNAPSHOT_BLOBS:
+            while len(_SNAPSHOT_BLOBS) > _SNAPSHOT_CAP:
+                _SNAPSHOT_BLOBS.popitem(last=False)
+        return system
+    stats.snapshot_clones += 1
+    return pickle.loads(blob)
+
+
+# ------------------------------------------------------------------- executor
+@dataclass
+class ExecutionStats:
+    """What one :func:`execute` call actually did."""
+
+    jobs: int = 0
+    simulated: int = 0
+    cached: int = 0
+    snapshot_builds: int = 0
+    snapshot_clones: int = 0
+    pool_loads: int = 0
+    pool_saves: int = 0
+
+    def add(self, other: "ExecutionStats") -> None:
+        self.jobs += other.jobs
+        self.simulated += other.simulated
+        self.cached += other.cached
+        self.snapshot_builds += other.snapshot_builds
+        self.snapshot_clones += other.snapshot_clones
+        self.pool_loads += other.pool_loads
+        self.pool_saves += other.pool_saves
+
+    def describe(self) -> str:
+        return (
+            f"jobs={self.jobs} simulated={self.simulated} cached={self.cached} "
+            f"snapshot_clones={self.snapshot_clones} pool_loads={self.pool_loads}"
+        )
+
+
+@dataclass
+class PlanRun:
+    """Results of an executed plan (job order), plus what the executor did."""
+
+    results: List[RunResult]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+#: Stats sinks for nested :func:`execute` calls (``collect_stats``).
+_COLLECTORS: List[ExecutionStats] = []
+
+
+@contextmanager
+def collect_stats():
+    """Aggregate the stats of every :func:`execute` call inside the block.
+
+    Used by the CLI to report, across a whole ``report`` invocation, how
+    many jobs simulated versus hit the cache — the two-pass CI smoke
+    asserts ``simulated=0`` on the warm pass.
+    """
+    stats = ExecutionStats()
+    _COLLECTORS.append(stats)
+    try:
+        yield stats
+    finally:
+        _COLLECTORS.remove(stats)
+
+
+_DIRTY_WARNED = False
+
+
+def _warn_cache_bypassed(version: str) -> None:
+    global _DIRTY_WARNED
+    if not _DIRTY_WARNED:
+        _DIRTY_WARNED = True
+        warnings.warn(
+            f"result cache bypassed: simulator version is {version!r} "
+            "(commit your changes or set REPRO_SIM_VERSION to re-enable caching)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _run_job(
+    plan: RunPlan,
+    job: JobSpec,
+    trace: Trace,
+    snapshot_key: Optional[Tuple[str, str]],
+    local_blobs: Dict,
+    stats: ExecutionStats,
+) -> RunResult:
+    """Simulate one job (the only place a core is ever constructed)."""
+    builder = plan.builders[job.builder]
+    source = plan.traces[job.trace]
+    if job.prewarm:
+        system = _prewarmed_system(builder, trace, snapshot_key, local_blobs, stats)
+    else:
+        system = builder.factory()
+    core = OoOCore(trace, system, config=plan.core_config)
+    summary = simulate(core, mode=job.mode)
+    return RunResult(
+        system=job.system,
+        workload=source.name,
+        category=source.category,
+        ipc=summary["ipc"],
+        cycles=summary["cycles"],
+        instructions=summary["instructions"],
+        activity=system.activity(),
+        core_stats=core.stats.as_dict(),
+    )
+
+
+#: State inherited by forked workers (fork + module global sidesteps
+#: pickling builders, which are usually lambdas).
+_EXEC_STATE: Dict[str, object] = {}
+
+
+def _plan_worker(item) -> Tuple[int, RunResult, Tuple[int, int]]:
+    index, job = item
+    state = _EXEC_STATE
+    stats: ExecutionStats = state["stats"]
+    builds, clones = stats.snapshot_builds, stats.snapshot_clones
+    result = _run_job(
+        state["plan"],
+        job,
+        state["traces"][job.trace],
+        state["snapshot_keys"].get(job),
+        state["local_blobs"],
+        stats,
+    )
+    # The per-worker stats object dies with the fork; ship this job's
+    # snapshot-counter delta back so the parent's stats stay truthful.
+    return index, result, (stats.snapshot_builds - builds, stats.snapshot_clones - clones)
+
+
+def execute(
+    plan: RunPlan,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    pool: Optional[TracePool] = None,
+    snapshots: bool = True,
+    trace_memo: bool = True,
+) -> PlanRun:
+    """Execute ``plan`` and return its results in job order.
+
+    Args:
+        workers: fan the uncached jobs out over that many forked worker
+            processes (order-preserving and result-identical, exactly like
+            the historical ``run_suite`` fan-out; falls back to sequential
+            without ``fork``).
+        cache: result cache; ``None`` disables memoization.  A ``-dirty``
+            or unknown simulator version bypasses a configured cache with a
+            warning.
+        pool: trace pool; defaults to ``<cache dir>/traces`` when a cache
+            is active, else in-memory synthesis.
+        snapshots: clone prewarmed hierarchies across jobs that share a
+            (builder, trace) pair; disable to force the direct
+            build-and-prewarm path per job.
+        trace_memo: share immutable synthesized traces (and their cached
+            decode / resident set / digest) across execute calls in this
+            process; disable to force per-plan materialization.
+    """
+    stats = ExecutionStats(jobs=len(plan.jobs))
+    version: Optional[str] = None
+    active_cache = cache
+    if active_cache is not None:
+        version = simulator_version()
+        if version == "unknown" or version.endswith("-dirty"):
+            _warn_cache_bypassed(version)
+            active_cache = None
+    if pool is None and active_cache is not None:
+        pool = TracePool(os.path.join(active_cache.directory, "traces"))
+
+    traces: Dict[str, Trace] = {}
+    digests: Dict[str, str] = {}
+
+    def materialize(key: str) -> Trace:
+        trace = traces.get(key)
+        if trace is None:
+            source = plan.traces[key]
+            memo_key = _memo_key(source) if trace_memo else None
+            trace = _TRACE_MEMO.get(memo_key) if memo_key is not None else None
+            if trace is None:
+                trace = pool.fetch(source, stats) if pool is not None else source.build()
+                if memo_key is not None:
+                    _TRACE_MEMO[memo_key] = trace
+                    while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+                        _TRACE_MEMO.popitem(last=False)
+            elif pool is not None:
+                # Memo hit, but the file-backed capture must still appear.
+                pool.ensure(source, trace, stats)
+            traces[key] = trace
+        return trace
+
+    def content_digest(key: str) -> str:
+        digest = digests.get(key)
+        if digest is None:
+            digest = trace_digest(materialize(key))
+            digests[key] = digest
+        return digest
+
+    core_digest = _core_config_digest(plan.core_config)
+    results: List[Optional[RunResult]] = [None] * len(plan.jobs)
+    pending: List[Tuple[int, JobSpec, Optional[str]]] = []
+    for index, job in enumerate(plan.jobs):
+        key: Optional[str] = None
+        if active_cache is not None:
+            builder_digest = plan.builders[job.builder].digest()
+            if builder_digest is not None:
+                key = _cache_key(
+                    job, builder_digest, content_digest(job.trace), core_digest, version
+                )
+                hit = active_cache.get(key)
+                if hit is not None:
+                    hit.system = job.system
+                    results[index] = hit
+                    stats.cached += 1
+                    continue
+        pending.append((index, job, key))
+
+    if pending:
+        snapshot_keys: Dict[JobSpec, Tuple[str, str]] = {}
+        local_blobs: Dict[Tuple[str, str], bytes] = {}
+        for index, job, key in pending:
+            materialize(job.trace)  # before any fork, so workers share memory
+            if snapshots and job.prewarm:
+                builder_digest = plan.builders[job.builder].digest()
+                snapshot_keys[job] = (
+                    builder_digest or f"adhoc:{job.builder}",
+                    content_digest(job.trace),
+                )
+        stats.simulated = len(pending)
+
+        if workers is not None and workers > 1 and len(pending) > 1 and hasattr(os, "fork"):
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            processes = min(workers, len(pending))
+            _EXEC_STATE.update(
+                plan=plan,
+                traces=traces,
+                snapshot_keys=snapshot_keys,
+                local_blobs=local_blobs,
+                stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
+            )
+            try:
+                with ctx.Pool(processes=processes) as mp_pool:
+                    # pool.map's built-in chunking (~4 chunks per worker)
+                    # hands jobs out in batches, so many-workload sweeps do
+                    # not pay one IPC round-trip per job.
+                    for index, result, (builds, clones) in mp_pool.map(
+                        _plan_worker, [(index, job) for index, job, _ in pending]
+                    ):
+                        results[index] = result
+                        stats.snapshot_builds += builds
+                        stats.snapshot_clones += clones
+            finally:
+                _EXEC_STATE.clear()
+        else:
+            for index, job, _ in pending:
+                results[index] = _run_job(
+                    plan, job, traces[job.trace], snapshot_keys.get(job), local_blobs, stats
+                )
+
+        if active_cache is not None:
+            for index, job, key in pending:
+                if key is not None:
+                    active_cache.put(key, results[index])
+
+    for collector in _COLLECTORS:
+        collector.add(stats)
+    return PlanRun(results=results, stats=stats)

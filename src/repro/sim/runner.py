@@ -41,15 +41,16 @@ guard identically: no cycle beyond the limit is ever simulated, and the
 abort raises the same :class:`~repro.common.errors.SimulationError` from
 either loop.
 
-:func:`run_suite` can additionally fan the (system, workload) pairs of a
-sweep out over worker processes (``workers=``); traces are generated once
-up front and shared with the forked workers, so every configuration still
-observes the identical instruction stream.
+:func:`run_suite` compiles its sweep into a declarative
+:class:`~repro.sim.plan.RunPlan` and hands it to the shared plan executor
+(:func:`repro.sim.plan.execute`), which provides worker fan-out, the
+file-backed trace pool, prewarm-snapshot cloning, and the content-addressed
+result cache — every fast path bit-identical to the direct
+:func:`run_workload` path.
 """
 
 from __future__ import annotations
 
-import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
@@ -216,28 +217,6 @@ def run_workload(
     )
 
 
-#: State inherited by forked ``run_suite`` workers.  Using fork + a module
-#: global sidesteps pickling the system builders, which are usually lambdas.
-_POOL_STATE: Dict[str, object] = {}
-
-
-def _run_suite_job(job) -> RunResult:
-    system_name, spec_index = job
-    state = _POOL_STATE
-    spec = state["specs"][spec_index]
-    result = run_workload(
-        state["builders"][system_name],
-        spec,
-        state["num_instructions"],
-        core_config=state["core_config"],
-        trace=state["traces"][spec.name],
-        prewarm=state["prewarm"],
-        mode=state["mode"],
-    )
-    result.system = system_name
-    return result
-
-
 def run_suite(
     system_builders: Dict[str, SystemBuilder],
     specs: Iterable[WorkloadSpec],
@@ -248,23 +227,26 @@ def run_suite(
     workers: Optional[int] = None,
     trace_factory: Optional[Callable] = None,
     traces: Optional[Dict[str, Trace]] = None,
+    cache=None,
+    pool=None,
+    snapshots: bool = True,
 ) -> List[RunResult]:
     """Run every workload on every configuration.
 
     Traces are generated once per workload and reused across configurations
     so all systems see the identical instruction stream (as the paper's
-    SimPoints guarantee).
+    SimPoints guarantee).  The sweep is compiled into a declarative
+    :class:`~repro.sim.plan.RunPlan` and executed by
+    :func:`repro.sim.plan.execute`; all of its fast paths (trace pool,
+    prewarm snapshots, result cache) are bit-identical to calling
+    :func:`run_workload` per pair.
 
     Args:
-        mode: scheduler mode passed to every :func:`run_workload`.
+        mode: scheduler mode passed to every simulation.
         workers: when > 1 (and the platform supports ``fork``), the
             (system, workload) pairs are simulated in that many worker
-            processes.  Each pair is fully independent — systems are built
-            fresh per run and the shared traces are read-only — so the
-            result list is identical to a sequential run, in the same
-            order.  Dispatch relies on ``pool.map``'s built-in chunking
-            (~4 chunks per worker), so many-workload sweeps do not pay
-            one IPC round-trip per job.
+            processes.  Each pair is fully independent, so the result list
+            is identical to a sequential run, in the same order.
         trace_factory: ``(spec, num_instructions) -> Trace`` used to
             generate each workload's trace; defaults to the legacy
             :func:`generate_trace`.  The scenario engine passes
@@ -274,56 +256,29 @@ def run_suite(
         traces: pre-generated (e.g. replayed from binary capture) traces
             keyed by workload name; missing entries are generated with the
             factory.
+        cache: a :class:`~repro.sim.plan.ResultCache` memoizing finished
+            runs on disk; ``None`` (the default) simulates everything.
+        pool: a :class:`~repro.sim.plan.TracePool` replaying traces from
+            file-backed captures instead of re-synthesizing.
+        snapshots: clone functionally-prewarmed hierarchy state across
+            jobs sharing a (builder, trace) pair; ``False`` forces a fresh
+            build-and-prewarm per job (the direct path).
     """
-    specs = list(specs)
-    factory = trace_factory or generate_trace
-    traces = dict(traces or {})
-    for spec in specs:
-        if spec.name not in traces:
-            traces[spec.name] = factory(spec, num_instructions)
-    jobs = [
-        (system_name, index)
-        for system_name in system_builders
-        for index in range(len(specs))
-    ]
+    from repro.sim import plan as plan_module
 
-    if workers is not None and workers > 1 and len(jobs) > 1 and hasattr(os, "fork"):
-        import multiprocessing
-
-        ctx = multiprocessing.get_context("fork")
-        processes = min(workers, len(jobs))
-        _POOL_STATE.update(
-            builders=system_builders,
-            specs=specs,
-            traces=traces,
-            num_instructions=num_instructions,
-            core_config=core_config,
-            prewarm=prewarm,
-            mode=mode,
-        )
-        try:
-            with ctx.Pool(processes=processes) as pool:
-                # pool.map's default chunking (~4 chunks per worker) hands
-                # jobs out in batches, so many-workload sweeps do not pay
-                # one IPC round-trip per (system, workload) pair.
-                return pool.map(_run_suite_job, jobs)
-        finally:
-            _POOL_STATE.clear()
-
-    results: List[RunResult] = []
-    for system_name, index in jobs:
-        result = run_workload(
-            system_builders[system_name],
-            specs[index],
-            num_instructions,
-            core_config=core_config,
-            trace=traces[specs[index].name],
-            prewarm=prewarm,
-            mode=mode,
-        )
-        result.system = system_name
-        results.append(result)
-    return results
+    compiled = plan_module.compile_sweep(
+        system_builders,
+        specs,
+        num_instructions,
+        core_config=core_config,
+        prewarm=prewarm,
+        mode=mode,
+        trace_factory=trace_factory,
+        traces=traces,
+    )
+    return plan_module.execute(
+        compiled, workers=workers, cache=cache, pool=pool, snapshots=snapshots
+    ).results
 
 
 def ipc_by_category(results: Iterable[RunResult]) -> Dict[str, Dict[str, float]]:

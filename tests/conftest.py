@@ -4,6 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Keep the plan layer's on-disk caches out of the user's home.
+
+    Tests that exercise the CLI (which enables the result cache by default)
+    would otherwise write to ``~/.cache/repro-lnuca``; pointing
+    ``REPRO_CACHE_DIR`` at a per-test tmp dir keeps every test hermetic.
+    Tests that need a *warm* cache create their own ResultCache explicitly.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
 from repro.cache.cache import CacheConfig, TimedCache
 from repro.cache.hierarchy import ConventionalHierarchy
 from repro.cache.memory import MainMemory, MainMemoryConfig

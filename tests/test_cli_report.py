@@ -50,7 +50,7 @@ class TestReportModule:
         return report_module.generate_report(num_instructions=800, per_category=1)
 
     def test_report_sections(self, report):
-        assert set(report) >= {"table2", "fig4", "fig5", "table3", "parameters"}
+        assert set(report) >= {"table2", "fig4", "fig5", "fig6", "table3", "parameters"}
 
     def test_markdown_rendering(self, report):
         text = report_module.render_markdown(report)
@@ -58,9 +58,16 @@ class TestReportModule:
         assert "Figure 4(a)" in text
         assert "DN-4x8" in text
 
+    def test_markdown_includes_fig6_scenario_sweep(self, report):
+        text = report_module.render_markdown(report)
+        assert "Figure 6 — scenario sweep" in text
+        assert "kv-zipf-hot" in text
+        assert "best gain" in text
+
     def test_csv_files(self, report, tmp_path):
         paths = report_module.write_csv_files(report, str(tmp_path))
-        assert len(paths) == 6
+        assert len(paths) == 7
+        assert any(path.endswith("fig6_scenarios.csv") for path in paths)
         for path in paths:
             assert os.path.getsize(path) > 0
 

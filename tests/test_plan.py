@@ -1,0 +1,362 @@
+"""Differential tests for the declarative run-plan layer.
+
+The contract of :mod:`repro.sim.plan`: every fast path — prewarm-snapshot
+cloning, file-backed trace-pool replay, the content-addressed result cache,
+worker fan-out — must be **bit-identical** (cycles, IPC, every activity and
+core counter) to the direct path (fresh build, per-job prewarm, per-job
+synthesis, sequential, uncached).  These tests enforce it across all four
+hierarchy types, warm and cold.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.cpu.workloads import workload_by_name
+from repro.scenarios import records_bytes, scenario
+from repro.sim import plan
+from repro.sim.configs import (
+    BuilderSpec,
+    build_conventional_hierarchy,
+    conventional_spec,
+    dnuca_spec,
+    lnuca_dnuca_spec,
+    lnuca_l3_spec,
+)
+from repro.sim.plan import (
+    ExecutionStats,
+    JobSpec,
+    ResultCache,
+    TracePool,
+    compile_sweep,
+    execute,
+    trace_digest,
+    trace_source_for,
+)
+from repro.sim.runner import run_suite, run_workload
+
+TINY = 1200
+
+#: One representative of each of the paper's four hierarchy types.
+FOUR_HIERARCHIES = {
+    "L2-256KB": conventional_spec(),
+    "LN2-72KB": lnuca_l3_spec(2),
+    "DN-4x8": dnuca_spec(),
+    "LN2+DN-4x8": lnuca_dnuca_spec(2),
+}
+
+
+def two_workloads():
+    return [workload_by_name("mcf-like"), workload_by_name("milc-like")]
+
+
+def result_tuple(result):
+    """Everything a RunResult observes, for exact comparisons."""
+    return (
+        result.system,
+        result.workload,
+        result.category,
+        result.ipc,
+        result.cycles,
+        result.instructions,
+        result.activity,
+        result.core_stats,
+    )
+
+
+def assert_identical(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert result_tuple(a) == result_tuple(b)
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    """A writable result cache with a pinned (clean) simulator version."""
+    monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+    return ResultCache(str(tmp_path / "cache"))
+
+
+# ----------------------------------------------------------------- snapshots
+class TestSnapshotBitIdentity:
+    @pytest.fixture(autouse=True)
+    def _fresh_snapshot_store(self):
+        """The build/clone counters below assume a cold snapshot store."""
+        plan._SNAPSHOT_BLOBS.clear()
+
+    @pytest.mark.parametrize("name", sorted(FOUR_HIERARCHIES))
+    def test_snapshot_clone_matches_fresh_prewarm(self, name):
+        """Warm runs through the snapshot store equal direct run_workload."""
+        spec = two_workloads()[0]
+        builder = FOUR_HIERARCHIES[name]
+        direct = run_workload(builder.factory, spec, TINY, prewarm=True)
+        direct.system = name
+        # Three identical jobs: the first builds the snapshot and runs on
+        # the pristine original, the later two run on unpickled clones.
+        compiled = compile_sweep({name: builder}, [spec], TINY)
+        compiled.jobs = compiled.jobs * 3
+        planned = execute(compiled)
+        assert planned.stats.snapshot_builds == 1
+        assert planned.stats.snapshot_clones == 2
+        assert_identical([direct, direct, direct], planned.results)
+
+    @pytest.mark.parametrize("name", sorted(FOUR_HIERARCHIES))
+    def test_cold_runs_match_direct(self, name):
+        """prewarm=False plans take the fresh-build path and stay identical."""
+        spec = two_workloads()[0]
+        builder = FOUR_HIERARCHIES[name]
+        direct = run_workload(builder.factory, spec, TINY, prewarm=False)
+        direct.system = name
+        planned = execute(compile_sweep({name: builder}, [spec], TINY, prewarm=False))
+        assert planned.stats.snapshot_clones == 0
+        assert_identical([direct], planned.results)
+
+    def test_snapshots_disabled_is_the_direct_path(self):
+        specs = two_workloads()
+        fast = run_suite(FOUR_HIERARCHIES, specs, TINY)
+        direct = run_suite(FOUR_HIERARCHIES, specs, TINY, snapshots=False)
+        assert_identical(fast, direct)
+
+    def test_adhoc_lambda_builders_still_run(self):
+        """Plain callables (no digest) execute through per-plan snapshots."""
+        builders = {"adhoc": build_conventional_hierarchy}
+        assert BuilderSpec(key="adhoc", factory=build_conventional_hierarchy).digest() is None
+        results = run_suite(builders, two_workloads()[:1], TINY)
+        direct = run_workload(build_conventional_hierarchy, two_workloads()[0], TINY)
+        direct.system = "adhoc"
+        assert_identical([direct], results)
+
+
+# ------------------------------------------------------------------- workers
+class TestWorkers:
+    def test_workers_identical_to_sequential(self):
+        specs = two_workloads()
+        sequential = run_suite(FOUR_HIERARCHIES, specs, TINY, workers=0)
+        parallel = run_suite(FOUR_HIERARCHIES, specs, TINY, workers=2)
+        assert_identical(sequential, parallel)
+
+    def test_workers_with_cache_populate_and_replay(self, cache):
+        specs = two_workloads()
+        first = run_suite(FOUR_HIERARCHIES, specs, TINY, workers=2, cache=cache)
+        warm = execute(compile_sweep(FOUR_HIERARCHIES, specs, TINY), cache=cache)
+        assert warm.stats.simulated == 0
+        assert warm.stats.cached == len(first)
+        assert_identical(first, warm.results)
+
+
+# ---------------------------------------------------------------- trace pool
+class TestTracePool:
+    def test_pool_replay_is_byte_identical_to_synthesis(self, tmp_path):
+        spec = scenario("kv-zipf-hot")
+        source = trace_source_for(spec, TINY)
+        synthesized = source.build()
+        pool = TracePool(str(tmp_path / "pool"))
+        stats = ExecutionStats()
+        captured = pool.fetch(source, stats)  # first fetch synthesizes + saves
+        replayed = pool.fetch(source, stats)  # second fetch replays the file
+        assert stats.pool_saves == 1 and stats.pool_loads == 1
+        assert records_bytes(replayed) == records_bytes(synthesized)
+        assert trace_digest(replayed) == trace_digest(synthesized)
+
+    def test_pooled_runs_match_unpooled(self, tmp_path):
+        specs = [scenario("kv-zipf-hot"), scenario("gups-8m")]
+        builders = {"L2-256KB": conventional_spec()}
+        unpooled = run_suite(builders, specs, TINY)
+        pool = TracePool(str(tmp_path / "pool"))
+        run_suite(builders, specs, TINY, pool=pool)  # populates the pool
+        pooled = run_suite(builders, specs, TINY, pool=pool)  # replays it
+        assert_identical(unpooled, pooled)
+
+    def test_same_name_workload_and_scenario_entries_coexist(self, tmp_path):
+        """The spec2006 port reuses legacy workload names; the two sources
+        have incompatible signatures and must not fight over one file."""
+        workload_src = trace_source_for(workload_by_name("mcf-like"), 500)
+        scenario_src = trace_source_for(scenario("mcf-like"), 500)
+        pool = TracePool(str(tmp_path / "pool"))
+        assert pool.path_for(workload_src) != pool.path_for(scenario_src)
+        pool.fetch(workload_src)
+        pool.fetch(scenario_src)
+        stats = ExecutionStats()
+        pool.fetch(workload_src, stats)
+        pool.fetch(scenario_src, stats)
+        assert stats.pool_loads == 2 and stats.pool_saves == 0  # no churn
+
+    def test_custom_factory_scenario_source_is_opaque(self):
+        """A non-registry factory must not publish the catalog signature,
+        or the memo/pool would serve custom content under the catalog
+        identity."""
+        source = trace_source_for(
+            scenario("kv-zipf-hot"), 500, trace_factory=lambda spec, n: None
+        )
+        assert source.signature is None
+        assert source.kind == "opaque"
+
+    def test_workload_sources_pool_too(self, tmp_path):
+        spec = two_workloads()[0]
+        source = trace_source_for(spec, TINY)
+        assert source.signature is not None
+        pool = TracePool(str(tmp_path / "pool"))
+        stats = ExecutionStats()
+        first = pool.fetch(source, stats)
+        second = pool.fetch(source, stats)
+        assert stats.pool_loads == 1
+        assert records_bytes(first) == records_bytes(second)
+
+
+# -------------------------------------------------------------- result cache
+class TestResultCache:
+    def test_warm_cache_simulates_nothing_and_is_bit_identical(self, cache):
+        specs = two_workloads()
+        cold = execute(compile_sweep(FOUR_HIERARCHIES, specs, TINY), cache=cache)
+        assert cold.stats.simulated == len(cold.results)
+        warm = execute(compile_sweep(FOUR_HIERARCHIES, specs, TINY), cache=cache)
+        assert warm.stats.simulated == 0
+        assert warm.stats.cached == len(cold.results)
+        assert_identical(cold.results, warm.results)
+        uncached = run_suite(FOUR_HIERARCHIES, specs, TINY)
+        assert_identical(uncached, warm.results)
+
+    def test_cache_preserves_value_types(self, cache):
+        """JSON round trip keeps ints ints and floats floats, so every
+        downstream formatter and CSV writer emits identical bytes."""
+        spec = two_workloads()[0]
+        builders = {"L2-256KB": conventional_spec()}
+        cold = execute(compile_sweep(builders, [spec], TINY), cache=cache).results[0]
+        warm = execute(compile_sweep(builders, [spec], TINY), cache=cache).results[0]
+        assert type(warm.cycles) is type(cold.cycles)
+        assert type(warm.ipc) is type(cold.ipc)
+        for key, value in cold.activity.items():
+            assert type(warm.activity[key]) is type(value), key
+
+    def test_label_reapplied_on_hit(self, cache):
+        """The cache key excludes the display label: an identical
+        architecture under a different name reuses the entry."""
+        spec = two_workloads()[0]
+        execute(compile_sweep({"first-label": lnuca_l3_spec(2)}, [spec], TINY), cache=cache)
+        warm = execute(
+            compile_sweep({"second-label": lnuca_l3_spec(2)}, [spec], TINY), cache=cache
+        )
+        assert warm.stats.cached == 1
+        assert warm.results[0].system == "second-label"
+
+    def test_different_builder_params_miss(self, cache):
+        spec = two_workloads()[0]
+        execute(compile_sweep({"LN2": lnuca_l3_spec(2)}, [spec], TINY), cache=cache)
+        other = execute(compile_sweep({"LN2": lnuca_l3_spec(3)}, [spec], TINY), cache=cache)
+        assert other.stats.cached == 0
+
+    def test_dirty_simulator_version_bypasses_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "abc123-dirty")
+        monkeypatch.setattr(plan, "_DIRTY_WARNED", False)
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = two_workloads()[0]
+        builders = {"L2-256KB": conventional_spec()}
+        with pytest.warns(RuntimeWarning, match="result cache bypassed"):
+            first = execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        second = execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        # Both passes simulated; nothing was written to the cache directory.
+        assert first.stats.simulated == 1 and second.stats.simulated == 1
+        assert second.stats.cached == 0
+        assert not os.path.exists(os.path.join(str(tmp_path / "cache"), "results"))
+        assert_identical(first.results, second.results)
+
+    def test_unknown_simulator_version_bypasses_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "unknown")
+        monkeypatch.setattr(plan, "_DIRTY_WARNED", False)
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = two_workloads()[0]
+        with pytest.warns(RuntimeWarning, match="result cache bypassed"):
+            run = execute(
+                compile_sweep({"L2-256KB": conventional_spec()}, [spec], TINY), cache=cache
+            )
+        assert run.stats.simulated == 1
+        assert not os.path.exists(os.path.join(str(tmp_path / "cache"), "results"))
+
+    def _entry_paths(self, cache):
+        root = os.path.join(cache.directory, "results")
+        return [
+            os.path.join(directory, name)
+            for directory, _, names in os.walk(root)
+            for name in names
+        ]
+
+    def test_corrupt_entry_discarded_with_warning(self, cache):
+        spec = two_workloads()[0]
+        builders = {"L2-256KB": conventional_spec()}
+        cold = execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        (entry,) = self._entry_paths(cache)
+        with open(entry, "w", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "result": {"system": "L2-256')  # truncated
+        with pytest.warns(RuntimeWarning, match="discarding corrupt entry"):
+            rerun = execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        # The corrupt entry was discarded, re-simulated, and re-written.
+        assert rerun.stats.simulated == 1
+        assert_identical(cold.results, rerun.results)
+        with open(self._entry_paths(cache)[0], "r", encoding="utf-8") as handle:
+            assert json.load(handle)["result"]["system"] == "L2-256KB"
+
+    def test_wrong_typed_entry_discarded(self, cache):
+        spec = two_workloads()[0]
+        builders = {"L2-256KB": conventional_spec()}
+        execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        (entry,) = self._entry_paths(cache)
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump({"schema": 1, "result": {"system": "x", "activity": 3}}, handle)
+        with pytest.warns(RuntimeWarning, match="discarding corrupt entry"):
+            rerun = execute(compile_sweep(builders, [spec], TINY), cache=cache)
+        assert rerun.stats.simulated == 1
+
+
+# ------------------------------------------------------------------ the plan
+class TestPlanCompilation:
+    def test_jobs_are_hashable_and_ordered(self):
+        compiled = compile_sweep(FOUR_HIERARCHIES, two_workloads(), TINY)
+        assert len(set(compiled.jobs)) == len(compiled.jobs) == 8
+        # Historical sweep order: systems outer, specs inner.
+        assert [job.system for job in compiled.jobs[:2]] == ["L2-256KB", "L2-256KB"]
+        assert isinstance(hash(compiled.jobs[0]), int)
+
+    def test_pregenerated_traces_short_circuit(self):
+        spec = two_workloads()[0]
+        from repro.cpu.workloads import generate_trace
+
+        trace = generate_trace(spec, TINY)
+        compiled = compile_sweep(
+            {"L2-256KB": conventional_spec()}, [spec], TINY, traces={spec.name: trace}
+        )
+        source = compiled.traces[spec.name]
+        assert source.signature is None  # inline traces are not pooled
+        assert source.build() is trace
+
+    def test_scenario_signature_excludes_backend_override(self):
+        spec = scenario("kv-zipf-hot")
+        assert plan.scenario_signature(spec) == plan.scenario_signature(
+            spec.with_params(vectorized=True)
+        )
+
+
+# --------------------------------------------------------------- warm report
+class TestWarmReport:
+    def test_second_report_pass_is_cached_and_byte_identical(self, tmp_path, cache):
+        """The acceptance criterion: a warm-cache report performs zero
+        simulation and reproduces every artifact byte for byte."""
+        from repro.experiments import report as report_module
+
+        out = str(tmp_path / "out")
+        with plan.collect_stats() as cold_stats:
+            report_module.write_report(out, num_instructions=600, per_category=1, cache=cache)
+        assert cold_stats.simulated > 0
+        artifacts = sorted(
+            name for name in os.listdir(out) if name.endswith((".md", ".csv"))
+        )
+        first_bytes = {
+            name: open(os.path.join(out, name), "rb").read() for name in artifacts
+        }
+        with plan.collect_stats() as warm_stats:
+            report_module.write_report(out, num_instructions=600, per_category=1, cache=cache)
+        assert warm_stats.simulated == 0
+        assert warm_stats.cached == cold_stats.simulated + cold_stats.cached
+        for name in artifacts:
+            assert open(os.path.join(out, name), "rb").read() == first_bytes[name], name

@@ -1,0 +1,55 @@
+"""Regression test: the catalog scenarios' stats match the committed manifests.
+
+The manifests (``tests/data/scenario_manifests.json``) pin the exact
+cycles / IPC / activity of every new catalog scenario on two representative
+hierarchies at a tiny budget.  Trace synthesis and the simulator are fully
+deterministic, so the comparison is *exact* — a mismatch means behaviour
+drifted and must be acknowledged by regenerating the manifest (see
+``regen_scenario_manifests.py``).
+"""
+
+import json
+
+import pytest
+
+from regen_scenario_manifests import (
+    MANIFEST_PATH,
+    MANIFEST_TAG,
+    compute_manifests,
+)
+
+
+@pytest.fixture(scope="module")
+def committed():
+    with open(MANIFEST_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def regenerated():
+    return compute_manifests()
+
+
+def test_manifest_covers_the_whole_catalog(committed):
+    from repro.scenarios import scenarios
+
+    assert sorted(committed["scenarios"]) == sorted(
+        spec.name for spec in scenarios(MANIFEST_TAG)
+    ), "catalog and manifest diverged — regenerate tests/data/scenario_manifests.json"
+
+
+def test_manifest_has_ten_scenarios(committed):
+    assert len(committed["scenarios"]) == 10
+
+
+def test_scenario_stats_match_committed_manifests(committed, regenerated):
+    assert committed["_meta"]["instructions"] == regenerated["_meta"]["instructions"]
+    mismatches = []
+    for name, expected_systems in committed["scenarios"].items():
+        actual_systems = regenerated["scenarios"].get(name)
+        if actual_systems != expected_systems:
+            mismatches.append(name)
+    assert not mismatches, (
+        f"scenario stats drifted for {mismatches}; if intentional, regenerate with "
+        f"`{committed['_meta']['regenerate']}`"
+    )
