@@ -327,6 +327,83 @@ def micro_sweep_cached(repeat, instructions=2000):
     }
 
 
+def micro_core_batch(repeat, instructions=5000):
+    """Span-batched core fast path: engine on vs force-disabled, interleaved.
+
+    Runs the ALU-heavy ``fma-unroll`` catalog scenario (long pure-ALU
+    spans — the workload class the span engine targets) on a warm
+    conventional hierarchy in event mode, A/B-ing the engine against the
+    per-cycle reference path (``REPRO_NO_SPAN_BATCH=1``).  The rounds are
+    interleaved (A/B per round, not all-A then all-B) to cancel this
+    box's wall-clock drift out of the comparison, and the two paths'
+    results are asserted bit-identical.
+
+    Two speedups are reported: **cold** — the first run, which computes
+    each span's schedule analytically and memoizes it on the trace — and
+    **warm** — later runs of the same trace, which replay the memoized
+    schedules in O(exit state) per span.  Warm is the sweep-service
+    number: every repeated run of a (system, workload) pair (A/B rounds,
+    repeated reports, the plan layer's re-executions) replays.
+    """
+    from repro.cpu.core import OoOCore
+    from repro.scenarios import build_trace, scenario
+    from repro.sim.configs import build_conventional_hierarchy
+    from repro.sim.runner import simulate
+
+    n = instructions * 10  # ALU-heavy spans need room; stays small in CI smoke
+    trace = build_trace(scenario("fma-unroll"), n)
+    trace.decoded()
+    resident = trace.resident_addresses()
+
+    def run(span_on):
+        if span_on:
+            os.environ.pop("REPRO_NO_SPAN_BATCH", None)
+        else:
+            os.environ["REPRO_NO_SPAN_BATCH"] = "1"
+        system = build_conventional_hierarchy()
+        system.prewarm(resident)
+        core = OoOCore(trace, system)
+        start = time.perf_counter()
+        simulate(core, mode="event")
+        return time.perf_counter() - start, core, system
+
+    pinned = os.environ.get("REPRO_NO_SPAN_BATCH")
+    try:
+        cold_wall, _, _ = run(True)  # first encounter: builds the span memo
+        span_wall = nospan_wall = None
+        for _ in range(max(repeat, 3)):
+            wall, span_core, span_system = run(True)
+            span_wall = wall if span_wall is None else min(span_wall, wall)
+            wall, ref_core, ref_system = run(False)
+            nospan_wall = wall if nospan_wall is None else min(nospan_wall, wall)
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_NO_SPAN_BATCH", None)
+        else:
+            os.environ["REPRO_NO_SPAN_BATCH"] = pinned
+    if (
+        span_core.cycle != ref_core.cycle
+        or span_core.stats.as_dict() != ref_core.stats.as_dict()
+        or span_system.activity() != ref_system.activity()
+    ):
+        raise AssertionError("span-batched and per-cycle paths diverged — core bug")
+    if ref_core.span_hits or ref_core.span_bails:
+        raise AssertionError("REPRO_NO_SPAN_BATCH=1 still ran the span engine")
+    return {
+        "scenario": "fma-unroll",
+        "instructions": n,
+        "nospan_wall_s": nospan_wall,
+        "cold_wall_s": cold_wall,
+        "span_wall_s": span_wall,
+        "span_speedup_cold": nospan_wall / cold_wall,
+        "span_speedup_warm": nospan_wall / span_wall,
+        "span_instructions_per_s": n / span_wall,
+        "span_hits": span_core.span_hits,
+        "span_bails": span_core.span_bails,
+        "bit_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- sweep
 def _results_identical(lhs, rhs):
     return all(
@@ -452,6 +529,23 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
                 f"repeated-sweep micro regressed {sweep_ratio:.2f}x vs {baseline_path} "
                 f"(limit {max_slowdown:.2f}x)"
             )
+    # Span-batched core micro: the warm-replay throughput is held against
+    # the committed baseline the same way (absent in BENCH files older
+    # than the span engine).
+    batch_base = committed.get("micro_core_batch")
+    if batch_base and batch_base.get("span_instructions_per_s"):
+        batch_new = stages["micro_core_batch"]["span_instructions_per_s"]
+        batch_ratio = batch_base["span_instructions_per_s"] / batch_new
+        print(
+            f"baseline check: span-batched core {batch_new:,.0f} instr/s vs "
+            f"committed {batch_base['span_instructions_per_s']:,.0f} instr/s "
+            f"({batch_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+        )
+        if batch_ratio > max_slowdown:
+            raise SystemExit(
+                f"span-batched core micro regressed {batch_ratio:.2f}x vs "
+                f"{baseline_path} (limit {max_slowdown:.2f}x)"
+            )
 
 
 def main(argv=None):
@@ -503,6 +597,8 @@ def main(argv=None):
     stages["micro_trace_file"] = micro_trace_file(args.repeat)
     print("micro: repeated sweep (direct vs snapshot+pool vs cached) ...", flush=True)
     stages["micro_sweep_cached"] = micro_sweep_cached(args.repeat, args.instructions)
+    print("micro: span-batched core (engine on vs per-cycle reference) ...", flush=True)
+    stages["micro_core_batch"] = micro_core_batch(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
     stages["fig4_sweep"] = fig4_sweep(
         args.repeat, args.workers, args.instructions, args.per_category
@@ -542,6 +638,13 @@ def main(argv=None):
         f"{cached['setup_speedup_vs_direct']:.2f}x setup phase), "
         f"warm cache {cached['cached_wall_s']:.3f}s "
         f"({cached['cached_speedup_vs_direct']:.0f}x, bit-identical)"
+    )
+    batch = stages["micro_core_batch"]
+    print(
+        f"span-batched core ({batch['scenario']}): per-cycle {batch['nospan_wall_s']:.3f}s, "
+        f"engine cold {batch['cold_wall_s']:.3f}s ({batch['span_speedup_cold']:.2f}x), "
+        f"warm replay {batch['span_wall_s']:.3f}s "
+        f"({batch['span_speedup_warm']:.2f}x, bit-identical)"
     )
     gen = stages["micro_scenario_gen"]
     if "vectorized_instructions_per_s" in gen:

@@ -39,6 +39,7 @@ class SetAssociativeArray:
         "_set_mask",
         "_set_shift",
         "_lru_stamps",
+        "on_change",
     )
 
     def __init__(
@@ -86,6 +87,13 @@ class SetAssociativeArray:
         self._lru_stamps = (
             self.policy._stamps if type(self.policy) is LRUPolicy else None
         )
+        #: Optional membership observer: called as ``on_change(block_addr,
+        #: present)`` whenever a block enters (``True``) or leaves
+        #: (``False``) the array — refreshes of an already resident block
+        #: do not fire.  The L-NUCA keeps its search content map current
+        #: through this hook, so *every* mutation path (timed model,
+        #: functional prewarm, tests poking arrays directly) is covered.
+        self.on_change = None
 
     # -- address helpers -----------------------------------------------------------
     def _index(self, addr: int) -> Tuple[int, int]:
@@ -246,6 +254,11 @@ class SetAssociativeArray:
         ways[target_way] = new_block
         tags[tag] = target_way
         self.policy.on_fill(idx, target_way, cycle)
+        observer = self.on_change
+        if observer is not None:
+            if victim is not None:
+                observer(victim.block_addr, False)
+            observer(new_block.block_addr, True)
         return new_block, victim
 
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
@@ -261,6 +274,9 @@ class SetAssociativeArray:
         self._sets[idx][way] = None
         del self._tag_to_way[idx][tag]
         self.policy.on_invalidate(idx, way)
+        observer = self.on_change
+        if observer is not None:
+            observer(blk.block_addr, False)
         return blk
 
     def set_is_full(self, addr: int) -> bool:
@@ -297,6 +313,7 @@ class SetAssociativeArray:
             "associativity": self.associativity,
             "block_size": self.block_size,
             "policy": self.policy,
+            "on_change": self.on_change,
             "sets": {
                 idx: [(way, blk) for way, blk in enumerate(ways) if blk is not None]
                 for idx, ways in enumerate(self._sets)
@@ -316,6 +333,7 @@ class SetAssociativeArray:
             state["block_size"],
             policy=state["policy"],
         )
+        self.on_change = state.get("on_change")
         for idx, entries in state["sets"].items():
             ways = self._sets[idx]
             for way, blk in entries:

@@ -70,6 +70,11 @@ class ConventionalHierarchy(MemorySystem):
         #: when this hierarchy sits behind an L-NUCA and the "L1" boundary
         #: is the tile fabric rather than the core.
         self.extra_bus_hops = extra_bus_hops
+        #: Response-path bus latency per servicing level, precomputed (the
+        #: level geometry is fixed); saves a loop on every load return.
+        self._bus_cycles = [
+            self._response_bus_cycles(level) for level in range(len(self.levels) + 1)
+        ]
 
     def _response_bus_cycles(self, service_level: int) -> int:
         """Cycles to move the data up from ``service_level`` to the requester.
@@ -102,7 +107,7 @@ class ConventionalHierarchy(MemorySystem):
         """
         self._pump(cycle)
         l1 = self.levels[0]
-        if access.is_write:
+        if access is AccessType.STORE:
             return l1.port_available(cycle) and l1.write_buffer.can_accept()
         return l1.port_available(cycle)
 
@@ -114,11 +119,12 @@ class ConventionalHierarchy(MemorySystem):
         # (hierarchy drains run after the front side's issues each cycle).
         request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
         self._release_ready_mshrs(cycle)
-        if access.is_write:
+        if access is AccessType.STORE:
             self._issue_store(request, cycle)
+            self.stats._counters["writes"] += 1.0
         else:
             self._issue_load(request, cycle)
-        self.stats.incr("writes" if access.is_write else "reads")
+            self.stats._counters["reads"] += 1.0
         return request
 
     def tick(self, cycle: int) -> None:
@@ -290,7 +296,7 @@ class ConventionalHierarchy(MemorySystem):
             service_level = len(self.levels)
 
         # Return path over the narrow inter-level buses.
-        data_ready += self._response_bus_cycles(service_level)
+        data_ready += self._bus_cycles[service_level]
         self._fill_path(addr, service_level, data_ready)
         request.complete(data_ready, self._level_name(service_level))
 

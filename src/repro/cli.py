@@ -63,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro-lnuca, override with REPRO_CACHE_DIR); cached and "
         "uncached runs are bit-identical",
     )
+    parser.add_argument(
+        "--cache-limit-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size-cap the result cache: oldest-access entries are pruned "
+        "once it exceeds this many megabytes (default: REPRO_CACHE_LIMIT_MB, "
+        "unlimited when unset); surviving entries keep hitting bit-identically",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table2", help="Table II: conventional and L-NUCA areas")
     sub.add_parser("table3", help="Table III: hits per level and transport latency ratio")
@@ -120,10 +129,12 @@ def _result_cache(args):
     automatically, so this default is always safe.
     """
     if args.no_cache:
+        if args.cache_limit_mb is not None:
+            raise SystemExit("--cache-limit-mb has no effect with --no-cache")
         return None
     from repro.sim.plan import ResultCache
 
-    return ResultCache.default()
+    return ResultCache.default(limit_mb=args.cache_limit_mb)
 
 
 def _select_scenarios(names: Optional[Sequence[str]], tag: Optional[str]) -> List:

@@ -46,6 +46,7 @@ import heapq
 import itertools
 import random
 from collections import deque
+from functools import partial
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -74,6 +75,10 @@ class SearchWave:
     hit: bool = False
     hit_level: Optional[int] = None
     is_write: bool = False
+    #: Index into the controller's precomputed per-level frontier tables
+    #: while the wave is still on the canonical (no hit yet) expansion;
+    #: ``None`` once a hit pruned the fan-out and the frontier is custom.
+    level_index: Optional[int] = 0
     wave_id: int = field(default_factory=lambda: next(_wave_ids))
 
 
@@ -104,10 +109,26 @@ class LightNUCA(MemorySystem):
         #: Bound once: the deferred-drain guards probe this queue on every
         #: can_accept/issue/tick, so the attribute chain is pre-resolved.
         self._rtile_wb = self.rtile.write_buffer
+        #: Scalars bound once for the per-load hot path (property + config
+        #: attribute chases per access were measurable).
+        self._rtile_completion = self.rtile.completion_cycles
+        self._rtile_miss_known = max(1, self.rtile.completion_cycles - 1)
         self.tiles: Dict[Coordinate, Tile] = {
             coord: Tile(coord, config.tile, config.buffer_depth)
             for coord in self.geometry.tiles
         }
+        #: Search content maps: where every block in the tile fabric lives
+        #: (content exclusion guarantees at most one holder), split into
+        #: tile-array residents and blocks in transit through Replacement
+        #: (U) input buffers.  A search wave locates its block with two
+        #: dict probes instead of an array + U-buffer probe per frontier
+        #: tile; the tile map is kept current by the arrays' ``on_change``
+        #: hook, so every mutation path (timed model, functional prewarm,
+        #: tests poking arrays directly) is covered.
+        self._tile_contents: Dict[int, Coordinate] = {}
+        self._u_contents: Dict[int, Coordinate] = {}
+        for coord, tile in self.tiles.items():
+            tile.array.on_change = partial(self._tile_content_change, coord)
 
         self.search_net = SearchNetwork(self.geometry)
         self.transport_net = TransportNetwork(self.geometry, config.routing_policy, self.rng)
@@ -136,6 +157,35 @@ class LightNUCA(MemorySystem):
         self._tiles_by_distance = sorted(
             self.geometry.tiles, key=self.geometry.manhattan_to_root
         )
+        #: Distance table bound once: the per-tick transport/replacement
+        #: sweeps sort their (small) active sets by it, and a dict probe
+        #: beats a method call as the sort key.
+        self._distance_of = {
+            coord: self.geometry.manhattan_to_root(coord)
+            for coord in self.geometry.tiles
+        }
+        #: Canonical search frontiers: the frontier a wave that has not hit
+        #: yet presents at each step is a pure function of the geometry
+        #: (every missing tile fans out to all its children), so the
+        #: per-step tile lists — and the sets used for the O(1) hit
+        #: membership test — are precomputed once.  Only a wave whose
+        #: fan-out was pruned by a hit falls back to a custom list.
+        frontiers: List[Tuple[tuple, frozenset]] = []
+        frontier = tuple(self.search_net.children_of(ROOT))
+        while frontier:
+            frontiers.append((frontier, frozenset(frontier)))
+            nxt: List[Coordinate] = []
+            for coord in frontier:
+                nxt.extend(self.search_net.children_of(coord))
+            frontier = tuple(nxt)
+        self._level_frontiers = frontiers
+        #: Aggregate tag-probe counter for search misses.  Dense probing
+        #: charged each probed tile's ``search_lookups`` individually; the
+        #: per-tile attribution is observable only as the fleet-wide sum
+        #: (``tiles.search_lookups`` in :meth:`activity`), so miss probes
+        #: are accounted here in bulk and folded into that sum.  Hits keep
+        #: their exact per-tile accounting (the hit tile is really probed).
+        self._search_lookups_bulk = 0.0
         # The delivery order over the root D buffers is fixed once the
         # networks are wired; precompute it so the hot delivery loop does
         # not re-sort the dict keys every cycle.
@@ -144,11 +194,31 @@ class LightNUCA(MemorySystem):
             for source in sorted(self.root_d_buffers)
         ]
 
+    def _tile_content_change(self, coord: Coordinate, block_addr: int, present: bool) -> None:
+        """Array membership observer keeping the search content map exact.
+
+        A duplicate insert under a different coordinate means two tiles
+        hold the same block — the content-exclusion violation the per-tile
+        probe loop used to detect at search time — so it raises the same
+        way instead of silently tracking one copy.
+        """
+        contents = self._tile_contents
+        if present:
+            prior = contents.get(block_addr)
+            if prior is not None and prior != coord:
+                raise SimulationError(
+                    f"block 0x{block_addr:x} filled into two tiles ({prior} and "
+                    f"{coord}): content exclusion violated"
+                )
+            contents[block_addr] = coord
+        elif contents.get(block_addr) == coord:
+            del contents[block_addr]
+
     # ------------------------------------------------------------------ interface
     def can_accept(self, cycle: int, access: AccessType) -> bool:
         if self._corner_evictions or self._rtile_wb._queue:
             self._pump_drains(cycle)
-        if access.is_write:
+        if access is AccessType.STORE:
             return self.rtile.port_available(cycle) and self.rtile.write_buffer.can_accept()
         return self.rtile.port_available(cycle) and not self.rtile.mshr.is_full()
 
@@ -156,7 +226,7 @@ class LightNUCA(MemorySystem):
         if self._corner_evictions or self._rtile_wb._queue:
             self._pump_drains(cycle)
         request = MemoryRequest(addr=addr, access=access, issue_cycle=cycle)
-        if access.is_write:
+        if access is AccessType.STORE:
             self._issue_store(request, cycle)
             self.stats._counters["writes"] += 1.0
         else:
@@ -315,11 +385,11 @@ class LightNUCA(MemorySystem):
         start = self.rtile.reserve_port(cycle)
         block = self.rtile.lookup(request.addr, start, is_write=False)
         if block is not None:
-            request.complete(start + self.rtile.completion_cycles, self.rtile.name)
+            request.complete(start + self._rtile_completion, self.rtile.name)
             return
 
         block_addr = self.rtile.block_addr(request.addr)
-        miss_known = start + max(1, self.rtile.completion_cycles - 1)
+        miss_known = start + self._rtile_miss_known
 
         # A victim still waiting to enter the Replacement network behaves
         # like a victim-buffer hit; consuming it here preserves exclusion.
@@ -349,7 +419,7 @@ class LightNUCA(MemorySystem):
         """Start a search wave; the r-tile injects at most one wave per cycle."""
         launch = max(earliest_cycle, self._last_wave_cycle + 1)
         self._last_wave_cycle = launch
-        frontier = list(self.search_net.children_of(ROOT))
+        frontier = self._level_frontiers[0][0]
         self.search_net.record_broadcast(len(frontier))
         self._waves.append(
             SearchWave(
@@ -408,6 +478,7 @@ class LightNUCA(MemorySystem):
     def _deliver_to_rtile(self, cycle: int) -> None:
         delivered = 0
         ports = self.config.rtile_fill_ports
+        counters = self.stats._counters
         # Transport arrivals first (they are the latency-critical path).
         for source, buffer in self._root_d_items:
             if delivered >= ports:
@@ -418,9 +489,9 @@ class LightNUCA(MemorySystem):
             delivered += 1
             actual = cycle - message.created_cycle
             minimum = max(1, self.geometry.min_transport_hops(message.source))
-            self.stats.incr("transport_actual_cycles", actual)
-            self.stats.incr("transport_min_cycles", minimum)
-            self.stats.incr("transport_deliveries")
+            counters["transport_actual_cycles"] += actual
+            counters["transport_min_cycles"] += minimum
+            counters["transport_deliveries"] += 1.0
             level = self.geometry.level_of[message.source]
             self._complete_waiters(message.block_addr, cycle, f"Le{level}")
             self._refill_rtile(message.block_addr, cycle, message.dirty)
@@ -455,7 +526,7 @@ class LightNUCA(MemorySystem):
     def _advance_transport(self, cycle: int) -> None:
         if not self._transport_active:
             return
-        active = sorted(self._transport_active, key=self.geometry.manhattan_to_root)
+        active = sorted(self._transport_active, key=self._distance_of.__getitem__)
         for coord in active:
             tile = self.tiles[coord]
             moved_everything = True
@@ -493,7 +564,7 @@ class LightNUCA(MemorySystem):
             return
         active = sorted(
             self._replacement_active,
-            key=self.geometry.manhattan_to_root,
+            key=self._distance_of.__getitem__,
             reverse=True,
         )
         for coord in active:
@@ -516,6 +587,7 @@ class LightNUCA(MemorySystem):
                     self.stats.incr("replacement_blocked_cycles")
                     continue
             buffer.pop()
+            self._u_contents.pop(message.block_addr, None)
             victim = tile.fill(message.block_addr, cycle, message.dirty)
             self.stats.incr("tile_fills")
             if victim is not None:
@@ -544,6 +616,7 @@ class LightNUCA(MemorySystem):
             dirty=dirty,
         )
         self.replacement_net.send(coord, destination, message, cycle)
+        self._u_contents[block_addr] = destination
         self._replacement_active.add(destination)
 
     def _inject_rtile_evictions(self, cycle: int) -> None:
@@ -562,53 +635,124 @@ class LightNUCA(MemorySystem):
                 dirty=dirty,
             )
             self.replacement_net.send(ROOT, destination, message, cycle)
+            self._u_contents[block_addr] = destination
             self._replacement_active.add(destination)
 
     # -- step 4: search network -----------------------------------------------
     def _advance_search(self, cycle: int) -> None:
+        """Advance every wave due this cycle by one level.
+
+        The content maps answer "which tile (or U buffer) holds this
+        block" in O(1), so a wave step only *probes* the hit tile (whose
+        probe has observable effects: hit counters, the LRU touch, the
+        extraction); every other frontier tile just accounts the tag
+        lookup its dense probe would have performed.  The frontier itself
+        still advances tile by tile — its width drives the search-network
+        broadcast energy and the search/replacement conflict sets — and a
+        frontier that contains the hit tile twice (two parents fanning
+        into it) re-counts the second probe as the post-extraction miss it
+        would dense-mode be.
+        """
         finished: List[SearchWave] = []
         tiles = self.tiles
         children_of = self.search_net.children_of
+        tile_contents = self._tile_contents
+        u_contents = self._u_contents
+        level_frontiers = self._level_frontiers
+        last_level = len(level_frontiers) - 1
         for wave in self._waves:
             if wave.next_cycle != cycle:
                 continue
+            block_addr = wave.block_addr
+            level_index = wave.level_index
+            if level_index is not None:
+                # Canonical expansion: precomputed frontier and set, O(1)
+                # membership probes, bulk lookup accounting.
+                frontier, frontier_set = level_frontiers[level_index]
+                loc = tile_contents.get(block_addr)
+                if loc is not None and loc in frontier_set:
+                    hit_coord, via_u = loc, False
+                else:
+                    loc = u_contents.get(block_addr)
+                    if loc is not None and loc in frontier_set:
+                        hit_coord, via_u = loc, True
+                    else:
+                        self._search_lookups_bulk += len(frontier)
+                        if level_index < last_level:
+                            wave.level_index = level_index + 1
+                            nxt = level_frontiers[level_index + 1][0]
+                            self.search_net.record_broadcast(len(nxt))
+                            wave.frontier = nxt
+                            wave.next_cycle = cycle + 1
+                        else:
+                            finished.append(wave)
+                            if not wave.hit:
+                                self.search_net.record_global_miss()
+                                self.stats.incr("global_misses")
+                                self._handle_global_miss(wave, cycle)
+                        continue
+            else:
+                frontier = wave.frontier
+                hit_coord = None
+                via_u = False
+                loc = tile_contents.get(block_addr)
+                if loc is not None and loc in frontier:
+                    hit_coord = loc
+                else:
+                    loc = u_contents.get(block_addr)
+                    if loc is not None and loc in frontier:
+                        hit_coord = loc
+                        via_u = True
             next_frontier: List[Coordinate] = []
             extend_frontier = next_frontier.extend
-            block_addr = wave.block_addr
-            for coord in wave.frontier:
-                tile = tiles[coord]
-                block = tile.lookup(block_addr, cycle)
-                in_flight = None
-                if block is None:
-                    in_flight = tile.lookup_u_buffers(block_addr)
-                if block is None and in_flight is None:
+            if hit_coord is None:
+                self._search_lookups_bulk += len(frontier)
+                for coord in frontier:
                     extend_frontier(children_of(coord))
-                    continue
-                if wave.hit:
-                    raise SimulationError(
-                        f"block 0x{wave.block_addr:x} found in two tiles: "
-                        "content exclusion violated"
-                    )
-                wave.hit = True
-                wave.hit_level = self.geometry.level_of[coord]
-                if block is not None:
-                    dirty = block.dirty
-                    tile.extract(wave.block_addr)
-                else:
+            else:
+                wave.level_index = None  # the hit prunes the canonical fan-out
+                unhandled = True
+                for coord in frontier:
+                    if unhandled and coord == hit_coord:
+                        unhandled = False  # handled below; no fan-out
+                        continue
+                    self._search_lookups_bulk += 1.0
+                    extend_frontier(children_of(coord))
+                tile = tiles[hit_coord]
+                if via_u:
+                    tile.stats._counters["search_lookups"] += 1.0
+                    in_flight = tile.lookup_u_buffers(block_addr)
+                    if in_flight is None:
+                        raise SimulationError(
+                            f"search content map desynchronised: 0x{block_addr:x} "
+                            f"not in U buffers of {hit_coord}"
+                        )
                     source, message = in_flight
                     dirty = message.dirty
                     tile.u_in[source].remove(message)
+                    u_contents.pop(block_addr, None)
+                else:
+                    block = tile.lookup(block_addr, cycle)
+                    if block is None:
+                        raise SimulationError(
+                            f"search content map desynchronised: 0x{block_addr:x} "
+                            f"not in tile {hit_coord}"
+                        )
+                    dirty = block.dirty
+                    tile.extract(block_addr)
+                wave.hit = True
+                wave.hit_level = self.geometry.level_of[hit_coord]
                 self.stats.incr(f"tile_hits_Le{wave.hit_level}")
                 transport = Message(
                     kind=MessageKind.TRANSPORT,
-                    block_addr=wave.block_addr,
+                    block_addr=block_addr,
                     created_cycle=cycle,
-                    source=coord,
+                    source=hit_coord,
                     dirty=dirty or wave.is_write,
                 )
-                if not self._route_transport(coord, transport, cycle):
+                if not self._route_transport(hit_coord, transport, cycle):
                     tile.pending_hit = transport
-                    self._transport_active.add(coord)
+                    self._transport_active.add(hit_coord)
                     self.search_net.record_contention_restart()
                     self.stats.incr("contention_marked_hits")
             if next_frontier:
@@ -783,6 +927,7 @@ class LightNUCA(MemorySystem):
                 if message is not None:
                     buffer.remove(message)
                     found = True
+        self._u_contents.pop(block_addr, None)
         for buffer in self.root_d_buffers.values():
             message = buffer.find_block(block_addr)
             if message is not None:
@@ -825,6 +970,12 @@ class LightNUCA(MemorySystem):
         for tile in self.tiles.values():
             for key, value in tile.stats.as_dict().items():
                 tile_totals[key] = tile_totals.get(key, 0.0) + value
+        if self._search_lookups_bulk:
+            # Miss probes are accounted in bulk (see __init__); they belong
+            # to the same fleet-wide total dense per-tile probing fed.
+            tile_totals["search_lookups"] = (
+                tile_totals.get("search_lookups", 0.0) + self._search_lookups_bulk
+            )
         for key, value in tile_totals.items():
             merged[f"tiles.{key}"] = value
         for net in (self.search_net, self.transport_net, self.replacement_net):

@@ -25,6 +25,95 @@ _WINDOW_INDEX = tuple(
 )
 _MEMORY_CODES = frozenset((int(InstrClass.LOAD), int(InstrClass.STORE)))
 
+#: Issue-path classes, precomputed per instruction so the issue stage's
+#: kind dispatch is one integer compare instead of an if-chain over enum
+#: codes.  ``SIMPLE`` covers everything whose issue-side effect is just a
+#: completion at ``cycle + latency`` (integer/FP ALU, stores' address
+#: generation, correctly predicted branches); loads interact with the
+#: memory system and mispredicted branches redirect the front end.
+ISSUE_SIMPLE = 0
+ISSUE_LOAD = 1
+ISSUE_MISPREDICT = 2
+
+#: Per-span latency-class flags (see :class:`SpanIndex`).
+SPAN_HAS_FP = 1
+SPAN_HAS_BRANCH = 2
+
+_LOAD_CODE = int(InstrClass.LOAD)
+_STORE_CODE = int(InstrClass.STORE)
+_BRANCH_CODE = int(InstrClass.BRANCH)
+_FP_CODE = int(InstrClass.FP_ALU)
+
+
+class SpanIndex:
+    """Span metadata of a trace: runs of instructions between *breakers*.
+
+    A **breaker** is an instruction the core's span-batched fast path
+    cannot fast-forward across analytically: a memory operation (its
+    timing depends on the memory system) or a mispredicted branch (it
+    redirects the front end).  Everything between two breakers — a
+    *span* — schedules as a pure function of the trace content and the
+    entry cycle, which is what makes
+    :meth:`repro.cpu.core.OoOCore.run_batch`'s span engine possible.
+
+    Attributes:
+        next_break: ``next_break[i]`` is the smallest ``j >= i`` such that
+            instruction ``j`` is a breaker, or ``len(trace)`` when no
+            breaker follows.  ``len(next_break) == len(trace) + 1`` (the
+            final sentinel entry makes ``next_break[len(trace)]`` valid).
+        mem_indices: indices of all memory operations, ascending.
+        spans: maximal breaker-free runs as ``(start, end, flags)`` tuples
+            (``end`` exclusive, only non-empty runs), where ``flags`` is
+            the span's latency class: :data:`SPAN_HAS_FP` set when the
+            span contains floating-point work (multi-cycle latencies),
+            :data:`SPAN_HAS_BRANCH` when it contains correctly predicted
+            branches.  A flagless span is pure single-cycle integer work.
+        max_dep: the largest backwards dependence distance anywhere in
+            the trace (0 when the trace has no dependences).  The span
+            engine uses it to bound which completed instructions can
+            still be observed by future dependence dispatch.
+    """
+
+    __slots__ = ("next_break", "mem_indices", "spans", "max_dep")
+
+    def __init__(self, decoded: "DecodedTrace") -> None:
+        kinds = decoded.kind
+        is_mem = decoded.is_mem
+        mispredicted = decoded.mispredicted
+        n = len(kinds)
+        next_break = [n] * (n + 1)
+        mem_indices: List[int] = []
+        spans: List[tuple] = []
+        nxt = n
+        flags = 0
+        end = n
+        for i in range(n - 1, -1, -1):
+            if is_mem[i] or mispredicted[i]:
+                if end > i + 1:
+                    spans.append((i + 1, end, flags))
+                flags = 0
+                end = i
+                nxt = i
+                if is_mem[i]:
+                    mem_indices.append(i)
+            else:
+                kind = kinds[i]
+                if kind == _FP_CODE:
+                    flags |= SPAN_HAS_FP
+                elif kind == _BRANCH_CODE:
+                    flags |= SPAN_HAS_BRANCH
+            next_break[i] = nxt
+        if end > 0:
+            spans.append((0, end, flags))
+        spans.reverse()
+        mem_indices.reverse()
+        self.next_break = next_break
+        self.mem_indices = mem_indices
+        self.spans = spans
+        dep_max1 = max(decoded.dep1, default=0)
+        dep_max2 = max(decoded.dep2, default=0)
+        self.max_dep = dep_max1 if dep_max1 > dep_max2 else dep_max2
+
 
 class DecodedTrace:
     """Column-oriented view of a trace, for the core's per-cycle hot loops.
@@ -35,9 +124,24 @@ class DecodedTrace:
     plain lists (enum values as ints, the issue-window index precomputed)
     turns every hot-path probe into a list index.  The decode is cached on
     the trace and shared by every run of a sweep.
+
+    Beyond the per-instruction columns, two derived structures are cached
+    here because they are pure functions of the columns:
+
+    * :meth:`span_index` — the trace's :class:`SpanIndex` (breaker
+      positions and pure-ALU spans) used by the core's span-batched fast
+      path;
+    * :meth:`issue_latencies` — the per-instruction issue-to-completion
+      latency resolved against a core configuration's latency parameters,
+      keyed by those parameters (sweeps share one config, so this is
+      computed once and shared by every run).
     """
 
-    __slots__ = ("kind", "addr", "dep1", "dep2", "latency", "mispredicted", "window", "is_mem")
+    __slots__ = (
+        "kind", "addr", "dep1", "dep2", "latency", "mispredicted", "window",
+        "is_mem", "issue_class", "prod1", "prod2", "_span_cache", "_lat_cache",
+        "span_memo",
+    )
 
     def __init__(self, instructions: List[Instruction]) -> None:
         self.kind: List[int] = []
@@ -48,6 +152,24 @@ class DecodedTrace:
         self.mispredicted: List[bool] = []
         self.window: List[int] = []
         self.is_mem: List[bool] = []
+        self.issue_class: List[int] = []
+        #: Producer indices resolved from the backwards distances: the
+        #: dynamic index of each source operand's producer, or -1 when the
+        #: operand has no (in-range) producer.  Saves an add + two compares
+        #: per operand in the fetch stage's dependence dispatch.
+        self.prod1: List[int] = []
+        self.prod2: List[int] = []
+        self._span_cache: Optional[SpanIndex] = None
+        self._lat_cache: Dict[tuple, List[int]] = {}
+        #: Span-schedule memo, shared by every core driving this trace: a
+        #: pure-ALU span's schedule is a function of (trace columns, core
+        #: config, pipeline state relative to the entry cycle), so the
+        #: span engine content-addresses its computed schedules here and
+        #: replays them in O(exit state) on repeat encounters — the runs
+        #: of a sweep (several systems, repeated reports) share the trace
+        #: object and with it this memo.  Keys and values are built by
+        #: :meth:`repro.cpu.core.OoOCore._run_span`.
+        self.span_memo: Dict[tuple, Optional[tuple]] = {}
         kind_append = self.kind.append
         addr_append = self.addr.append
         dep1_append = self.dep1.append
@@ -56,17 +178,75 @@ class DecodedTrace:
         mispredicted_append = self.mispredicted.append
         window_append = self.window.append
         is_mem_append = self.is_mem.append
+        class_append = self.issue_class.append
+        prod1_append = self.prod1.append
+        prod2_append = self.prod2.append
         memory_codes = _MEMORY_CODES
+        load_code, branch_code = _LOAD_CODE, _BRANCH_CODE
+        index = 0
         for instruction in instructions:
             code = int(instruction.kind)
             kind_append(code)
             addr_append(instruction.addr)
-            dep1_append(instruction.dep1)
-            dep2_append(instruction.dep2)
+            dep1 = instruction.dep1
+            dep2 = instruction.dep2
+            dep1_append(dep1)
+            dep2_append(dep2)
             latency_append(instruction.latency)
             mispredicted_append(instruction.mispredicted)
             window_append(_WINDOW_INDEX[code])
             is_mem_append(code in memory_codes)
+            if code == load_code:
+                class_append(ISSUE_LOAD)
+            elif code == branch_code and instruction.mispredicted:
+                class_append(ISSUE_MISPREDICT)
+            else:
+                class_append(ISSUE_SIMPLE)
+            prod1_append(index - dep1 if 0 < dep1 <= index else -1)
+            prod2_append(index - dep2 if 0 < dep2 <= index else -1)
+            index += 1
+
+    def span_index(self) -> SpanIndex:
+        """The trace's :class:`SpanIndex` (computed once, then cached)."""
+        cached = self._span_cache
+        if cached is None:
+            cached = SpanIndex(self)
+            self._span_cache = cached
+        return cached
+
+    def issue_latencies(
+        self,
+        int_latency: int,
+        fp_latency: int,
+        branch_latency: int,
+        store_agen_latency: int,
+    ) -> List[int]:
+        """Per-instruction issue-to-completion latency under a core config.
+
+        Resolves the issue stage's latency dispatch once per (trace,
+        latency parameters) pair: FP operations complete after
+        ``fp_latency``, branches after ``branch_latency``, stores generate
+        their address after ``store_agen_latency``, and integer operations
+        after their trace latency clamped to at least ``int_latency``.
+        Loads get 0 — their completion comes from the memory system, never
+        from this table.
+        """
+        key = (int_latency, fp_latency, branch_latency, store_agen_latency)
+        cached = self._lat_cache.get(key)
+        if cached is None:
+            by_kind = [0] * len(_WINDOW_INDEX)
+            by_kind[_FP_CODE] = fp_latency
+            by_kind[_STORE_CODE] = store_agen_latency
+            by_kind[_BRANCH_CODE] = branch_latency
+            int_code = int(InstrClass.INT_ALU)
+            cached = [
+                (lat if lat > int_latency else int_latency)
+                if kind == int_code
+                else by_kind[kind]
+                for kind, lat in zip(self.kind, self.latency)
+            ]
+            self._lat_cache[key] = cached
+        return cached
 
 
 @dataclass

@@ -57,6 +57,8 @@ _STENCIL_BASE = 0x6000_0000
 _OUTPUT_BASE = 0x6800_0000
 _LOG_BASE = 0x6C00_0000
 _GUPS_BASE = 0x7000_0000
+_KERNEL_BASE = 0x7600_0000
+_COLUMN_BASE = 0x7800_0000
 
 
 # --------------------------------------------------------------------------- spec2006 (legacy port)
@@ -256,6 +258,111 @@ def _gups(p: Mapping[str, object]) -> TraceModel:
     )
 
 
+# --------------------------------------------------------------------------- compute-kernel
+@model_family(
+    "compute-kernel",
+    doc="Compute-bound unrolled kernel: register-resident FMA/ALU streams",
+    default_params={
+        "load_fraction": 0.004,
+        "store_fraction": 0.001,
+        "branch_fraction": 0.012,
+        "fp_fraction": 0.30,
+        "dep_density": 0.04,
+        "mispredict_rate": 0.0004,
+        "buffer_kb": 24.0,
+    },
+)
+def _compute_kernel(p: Mapping[str, object]) -> TraceModel:
+    """Blocked, unrolled inner kernels (BLAS-1/FMA style): nearly every
+    operand lives in registers, the few memory touches hit a small hot
+    buffer, branches are loop back-edges the predictor nails, and
+    aggressive unrolling keeps the in-flight dependence density low.  The
+    long pure-ALU spans make this the showcase workload for the core's
+    span-batched fast path (``micro_core_batch`` in the benchmark
+    harness)."""
+    return TraceModel(
+        load_fraction=float(p["load_fraction"]),
+        store_fraction=float(p["store_fraction"]),
+        branch_fraction=float(p["branch_fraction"]),
+        fp_fraction=float(p["fp_fraction"]),
+        mispredict_rate=float(p["mispredict_rate"]),
+        dep_density=float(p["dep_density"]),
+        regions=(
+            UniformRegion(
+                weight=1.0,
+                base=_KERNEL_BASE,
+                span_bytes=int(float(p["buffer_kb"]) * 1024),
+            ),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- column-scan
+@model_family(
+    "column-scan",
+    doc="OLAP column scan: streamed columns, group-by hash table, aggregates",
+    default_params={
+        "num_columns": 4,
+        "column_mb": 8.0,
+        "group_keys": 4096,
+        "key_bytes": 64,
+        "group_skew": 0.6,
+        "agg_kb": 24.0,
+        "scan_weight": 0.55,
+        "group_weight": 0.30,
+        "branch_fraction": 0.17,
+        "mispredict_rate": 0.02,
+    },
+)
+def _column_scan(p: Mapping[str, object]) -> TraceModel:
+    """Analytic table scan with grouped aggregation: the scan streams the
+    projected columns sequentially (transient — a scan never revisits a
+    block), probes a group-by hash table whose key popularity is skewed,
+    and updates per-group aggregate state.  Predicate branches are mostly
+    well predicted (selectivities are stable within a run)."""
+    num_columns = int(p["num_columns"])
+    if num_columns < 1:
+        raise ConfigurationError("column-scan needs at least one column")
+    column_bytes = int(float(p["column_mb"]) * 1024 * 1024)
+    scan_weight = float(p["scan_weight"])
+    group_weight = float(p["group_weight"])
+    agg_weight = 1.0 - scan_weight - group_weight
+    if agg_weight <= 0.0:
+        raise ConfigurationError("scan_weight + group_weight must leave room for aggregates")
+    columns = tuple(
+        SequentialRegion(
+            weight=scan_weight / num_columns,
+            base=_COLUMN_BASE + index * column_bytes,
+            span_bytes=column_bytes,
+            stride=64,
+            transient=True,
+        )
+        for index in range(num_columns)
+    )
+    return TraceModel(
+        load_fraction=0.33,
+        store_fraction=0.08,
+        branch_fraction=float(p["branch_fraction"]),
+        mispredict_rate=float(p["mispredict_rate"]),
+        dep_density=0.60,
+        rmw_fraction=0.45,
+        regions=columns + (
+            ZipfRegion(
+                weight=group_weight,
+                base=_HOT_BASE,
+                num_items=int(p["group_keys"]),
+                item_bytes=int(p["key_bytes"]),
+                exponent=float(p["group_skew"]),
+            ),
+            UniformRegion(
+                weight=agg_weight,
+                base=_KERNEL_BASE + 0x100_0000,
+                span_bytes=int(float(p["agg_kb"]) * 1024),
+            ),
+        ),
+    )
+
+
 # --------------------------------------------------------------------------- phase-mix
 @register_family(
     "phase-mix",
@@ -380,6 +487,22 @@ def _register_catalog() -> None:
             seed=132,
             description="GUPS over an 8 MB table (fits the L3 / D-NUCA)",
             tags=("new", "update"),
+        ),
+        ScenarioSpec(
+            name="fma-unroll",
+            family="compute-kernel",
+            category="hpc",
+            seed=151,
+            description="register-blocked unrolled FMA kernel (long pure-ALU spans)",
+            tags=("new", "hpc", "alu"),
+        ),
+        ScenarioSpec(
+            name="olap-scan-agg",
+            family="column-scan",
+            category="olap",
+            seed=161,
+            description="4-column OLAP scan with skewed group-by aggregation",
+            tags=("new", "olap"),
         ),
         ScenarioSpec(
             name="phase-kv-stencil",

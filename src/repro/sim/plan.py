@@ -359,15 +359,80 @@ class ResultCache:
     name is the full cache key (see :func:`_cache_key`), so a lookup is one
     ``open``.  All IO failures degrade to a miss; corrupt entries are
     discarded with a :class:`RuntimeWarning`.
+
+    The cache is size-capped: when ``limit_mb`` (default: the
+    ``REPRO_CACHE_LIMIT_MB`` environment variable; unlimited when unset)
+    is exceeded, the oldest-access entries are pruned until the cache fits
+    again.  Hits refresh their entry's access time, so a hot working set
+    survives pruning; surviving entries are byte-untouched and keep
+    returning bit-identical results.
     """
 
-    def __init__(self, directory: str):
+    #: Pruning is amortised: the size audit walks the entry tree, so it
+    #: runs at most once every this many writes (and on the first write).
+    PRUNE_EVERY = 32
+
+    def __init__(self, directory: str, limit_mb: Optional[float] = None):
         self.directory = directory
         self._write_failed = False
+        if limit_mb is None:
+            env = os.environ.get("REPRO_CACHE_LIMIT_MB")
+            if env:
+                try:
+                    limit_mb = float(env)
+                except ValueError:
+                    warnings.warn(
+                        f"REPRO_CACHE_LIMIT_MB={env!r} is not a number; ignoring it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        self.limit_bytes = None if limit_mb is None else int(limit_mb * 1024 * 1024)
+        self._puts_since_prune: Optional[int] = None  # None = never audited
 
     @classmethod
-    def default(cls) -> "ResultCache":
-        return cls(default_cache_dir())
+    def default(cls, limit_mb: Optional[float] = None) -> "ResultCache":
+        return cls(default_cache_dir(), limit_mb=limit_mb)
+
+    def prune(self) -> int:
+        """Evict oldest-access entries until the cache fits its size limit.
+
+        Returns the number of entries deleted (0 when unlimited or within
+        budget).  Entry age is the access time recorded on hits and
+        writes; ties and IO races degrade gracefully (a file someone else
+        already removed just counts as pruned).
+        """
+        if self.limit_bytes is None:
+            return 0
+        root = os.path.join(self.directory, "results")
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        try:
+            for dirpath, _, filenames in os.walk(root):
+                for filename in filenames:
+                    if not filename.endswith(".json"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        info = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((info.st_mtime, info.st_size, path))
+                    total += info.st_size
+        except OSError:
+            return 0
+        deleted = 0
+        if total > self.limit_bytes:
+            entries.sort()
+            for _, size, path in entries:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                total -= size
+                deleted += 1
+                if total <= self.limit_bytes:
+                    break
+        return deleted
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, "results", key[:2], f"{key}.json")
@@ -379,6 +444,11 @@ class ResultCache:
                 payload = json.load(handle)
             if payload.get("schema") != RESULT_SCHEMA:
                 return None
+            if self.limit_bytes is not None:
+                try:
+                    os.utime(path)  # LRU stamp: hits protect their entry
+                except OSError:
+                    pass
             row = payload["result"]
             return RunResult(
                 system=str(row["system"]),
@@ -431,6 +501,14 @@ class ResultCache:
                 warnings.warn(
                     f"result cache: disabled writes ({exc})", RuntimeWarning, stacklevel=2
                 )
+            return
+        if self.limit_bytes is not None:
+            count = self._puts_since_prune
+            if count is None or count + 1 >= self.PRUNE_EVERY:
+                self.prune()
+                self._puts_since_prune = 0
+            else:
+                self._puts_since_prune = count + 1
 
 
 def _core_config_digest(core_config: Optional[CoreConfig]) -> str:

@@ -62,6 +62,36 @@ FAMILY_SAMPLERS = {
         "update_fraction": round(rng.uniform(0.5, 0.95), 2),
         "table_weight": round(rng.uniform(0.6, 0.95), 2),
     },
+    # Pure-ALU-dominant draws: long breaker-free spans drive the core's
+    # span-batched engine through its fast-forward, truncation and memo
+    # paths (warm and cold, all four hierarchies).
+    "compute-kernel": lambda rng: {
+        "load_fraction": round(rng.uniform(0.0, 0.03), 4),
+        "store_fraction": round(rng.uniform(0.0, 0.01), 4),
+        "branch_fraction": round(rng.uniform(0.005, 0.05), 4),
+        "fp_fraction": round(rng.uniform(0.0, 0.6), 2),
+        "dep_density": round(rng.uniform(0.0, 0.5), 2),
+        "mispredict_rate": round(rng.uniform(0.0, 0.02), 4),
+        "buffer_kb": rng.choice([8.0, 24.0, 64.0]),
+    },
+    # Alternating ALU/memory bursts: every phase boundary flips between
+    # span-engine territory and memory-bound flow, exercising the
+    # span-boundary handshake with in-flight hierarchy state.
+    "phase-mix": lambda rng: {
+        "phases": (
+            {"family": "compute-kernel",
+             "params": {"dep_density": round(rng.uniform(0.0, 0.4), 2)}},
+            {"family": "gups", "params": {"table_mb": rng.choice([1, 8])}},
+        ),
+        "phase_length": rng.choice([96, 160, 384]),
+    },
+    "column-scan": lambda rng: {
+        "num_columns": rng.choice([1, 4, 8]),
+        "column_mb": rng.choice([2.0, 8.0]),
+        "group_keys": rng.choice([512, 4096]),
+        "group_skew": round(rng.uniform(0.2, 1.1), 2),
+        "mispredict_rate": round(rng.uniform(0.0, 0.08), 3),
+    },
 }
 
 #: (family, case seed) pairs: every family fuzzed with two distinct draws.
@@ -106,10 +136,13 @@ class TestDenseEventFuzz:
         _assert_identical(dense, event, f"{system}/{family}#{seed} (warm)")
 
     @pytest.mark.parametrize("system", sorted(SYSTEMS))
-    @pytest.mark.parametrize("family", ["graph-chase", "gups"])
+    @pytest.mark.parametrize("family", ["graph-chase", "gups", "compute-kernel", "phase-mix"])
     def test_cold_fuzzed_scenarios_bit_identical(self, system, family):
         # Cold runs maximise long idle spans — the deepest skips the
-        # batched kernel takes — on the two most memory-hostile families.
+        # batched kernel takes — on the two most memory-hostile families,
+        # plus the span-engine-heavy draws (pure-ALU and alternating
+        # ALU/memory bursts), where cold misses interleave memory stalls
+        # with analytic fast-forwards.
         spec = _fuzz_spec(family, 47)
         trace = build_trace(spec, _N)
         dense = run_workload(

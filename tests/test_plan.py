@@ -79,6 +79,15 @@ def cache(tmp_path, monkeypatch):
     return ResultCache(str(tmp_path / "cache"))
 
 
+def _dummy_result(workload):
+    from repro.sim.runner import RunResult
+
+    return RunResult(
+        system="dummy", workload=workload, category="int",
+        ipc=1.0, cycles=100.0, instructions=100.0, activity={}, core_stats={},
+    )
+
+
 # ----------------------------------------------------------------- snapshots
 class TestSnapshotBitIdentity:
     @pytest.fixture(autouse=True)
@@ -307,6 +316,66 @@ class TestResultCache:
         with pytest.warns(RuntimeWarning, match="discarding corrupt entry"):
             rerun = execute(compile_sweep(builders, [spec], TINY), cache=cache)
         assert rerun.stats.simulated == 1
+
+    def test_size_cap_prunes_oldest_access_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+        cache = ResultCache(str(tmp_path / "cache"), limit_mb=0.5)
+        now = 1_700_000_000
+        for index in range(6):
+            cache.put(f"{index:064x}", _dummy_result(f"wl{index}"))
+            path = cache._path(f"{index:064x}")
+            os.utime(path, (now + index, now + index))  # distinct access order
+        # Inflate every entry far past the cap so pruning must evict.
+        for path in self._entry_paths(cache):
+            with open(path, "r+", encoding="utf-8") as handle:
+                payload = json.load(handle)
+                payload["padding"] = "x" * 200_000
+                handle.seek(0)
+                json.dump(payload, handle)
+        for index, path in enumerate(sorted(self._entry_paths(cache))):
+            os.utime(path, (now + index, now + index))
+        deleted = cache.prune()
+        assert deleted > 0
+        survivors = sorted(self._entry_paths(cache))
+        # Oldest-access entries went first: the survivors are the newest.
+        expected = sorted(cache._path(f"{i:064x}") for i in range(6))[6 - len(survivors):]
+        assert survivors == expected
+
+    def test_warm_hit_bit_identical_after_pruning_unrelated_entries(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+        cache = ResultCache(str(tmp_path / "cache"), limit_mb=2048.0)
+        specs = two_workloads()
+        builders = {"L2-256KB": conventional_spec()}
+        cold = execute(compile_sweep(builders, specs, TINY), cache=cache)
+        assert cold.stats.simulated == len(cold.results)
+        # Flood the cache with unrelated entries, then squeeze the budget:
+        # the flood is older than the real entries' last access, so pruning
+        # removes only the flood.
+        for index in range(40):
+            cache.put(f"{index:064x}", _dummy_result(f"junk{index}"))
+        before = len(self._entry_paths(cache))
+        execute(compile_sweep(builders, specs, TINY), cache=cache)  # refresh LRU stamps
+        cache.limit_bytes = 2048
+        assert cache.prune() > 0
+        assert len(self._entry_paths(cache)) < before
+        warm = execute(compile_sweep(builders, specs, TINY), cache=cache)
+        assert warm.stats.simulated == 0
+        assert warm.stats.cached == len(cold.results)
+        assert_identical(cold.results, warm.results)
+
+    def test_env_limit_and_put_amortised_prune(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+        monkeypatch.setenv("REPRO_CACHE_LIMIT_MB", "0.001")  # ~1 KB budget
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.limit_bytes == 1048  # 0.001 MB
+        for index in range(ResultCache.PRUNE_EVERY + 2):
+            cache.put(f"{index:064x}", _dummy_result(f"wl{index}"))
+        # Writes audit the size periodically, so the cache cannot grow
+        # without bound even though no one called prune() explicitly.
+        total = sum(os.path.getsize(path) for path in self._entry_paths(cache))
+        assert total <= 1048 + 1024  # budget plus at most a few fresh puts
 
 
 # ------------------------------------------------------------------ the plan

@@ -38,8 +38,8 @@ def test_manifest_covers_the_whole_catalog(committed):
     ), "catalog and manifest diverged — regenerate tests/data/scenario_manifests.json"
 
 
-def test_manifest_has_ten_scenarios(committed):
-    assert len(committed["scenarios"]) == 10
+def test_manifest_has_twelve_scenarios(committed):
+    assert len(committed["scenarios"]) == 12
 
 
 def test_scenario_stats_match_committed_manifests(committed, regenerated):
