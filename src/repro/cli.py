@@ -72,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
         "once it exceeds this many megabytes (default: REPRO_CACHE_LIMIT_MB, "
         "unlimited when unset); surviving entries keep hitting bit-identically",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort the sweep with an error when a job is quarantined "
+        "(default: quarantined jobs are excluded with a warning and the "
+        "sweep completes)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock timeout per worker job (default: derived from the "
+        "instruction budget); a timed-out worker is killed and the job "
+        "retried on a fresh one",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per job before it is quarantined (default: 2)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table2", help="Table II: conventional and L-NUCA areas")
     sub.add_parser("table3", help="Table III: hits per level and transport latency ratio")
@@ -118,6 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="binary trace cache: replay existing .lntr files, capture missing ones",
     )
     scen_run.add_argument("--csv", default=None, help="also write the IPC table as CSV")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="Inspect and maintain the on-disk result cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="scan the result cache for corrupt or truncated entries "
+        "(deleting them, so they re-simulate instead of erroring)",
+    )
+    cache_verify.add_argument(
+        "--keep",
+        action="store_true",
+        help="report corrupt entries without deleting them",
+    )
     return parser
 
 
@@ -135,6 +173,30 @@ def _result_cache(args):
     from repro.sim.plan import ResultCache
 
     return ResultCache.default(limit_mb=args.cache_limit_mb)
+
+
+def _supervision(args):
+    """A :class:`SupervisionPolicy` from the CLI flags (``None`` = defaults)."""
+    if not args.strict and args.job_timeout is None and args.max_retries is None:
+        return None
+    from repro.sim.plan import SupervisionPolicy
+
+    policy = SupervisionPolicy(strict=args.strict)
+    if args.job_timeout is not None:
+        policy.job_timeout = args.job_timeout
+    if args.max_retries is not None:
+        policy.max_retries = args.max_retries
+    return policy
+
+
+def _cache_verify(cache, keep: bool) -> None:
+    report = cache.verify(delete=not keep)
+    verb = "found" if keep else "deleted"
+    print(
+        f"cache {cache.directory}: {report['checked']} entries checked, "
+        f"{report['corrupt']} corrupt ({verb}), "
+        f"{report['stale_tmp']} stale tmp files"
+    )
 
 
 def _select_scenarios(names: Optional[Sequence[str]], tag: Optional[str]) -> List:
@@ -213,6 +275,7 @@ def _scenarios_run(
     traces_dir: Optional[str],
     csv_path: Optional[str],
     cache=None,
+    supervision=None,
 ) -> None:
     from repro.sim.plan import TracePool
 
@@ -226,6 +289,7 @@ def _scenarios_run(
         specs=specs,
         workers=workers,
         cache=cache,
+        supervision=supervision,
         pool=pool,
     )
     print("Scenario sweep — IPC across the four hierarchy types")
@@ -240,6 +304,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     cache = _result_cache(args)
+    supervision = _supervision(args)
     if args.command == "table2":
         table2_area.main()
     elif args.command == "table3":
@@ -248,6 +313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             per_category=args.per_category,
             workers=args.workers,
             cache=cache,
+            supervision=supervision,
         )
     elif args.command == "fig4":
         fig4_conventional.main(
@@ -255,6 +321,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             per_category=args.per_category,
             workers=args.workers,
             cache=cache,
+            supervision=supervision,
         )
     elif args.command == "fig5":
         fig5_dnuca.main(
@@ -262,10 +329,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             per_category=args.per_category,
             workers=args.workers,
             cache=cache,
+            supervision=supervision,
         )
     elif args.command == "ablations":
         ablations.main(
-            num_instructions=args.instructions, workers=args.workers, cache=cache
+            num_instructions=args.instructions, workers=args.workers, cache=cache,
+            supervision=supervision,
         )
     elif args.command == "report":
         from repro.sim.plan import collect_stats
@@ -278,10 +347,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 include_ablations=args.with_ablations,
                 workers=args.workers,
                 cache=cache,
+                supervision=supervision,
             )
         print(f"report written to {path}")
         # The two-pass CI smoke asserts `simulated=0` on the warm pass.
         print(f"plan stats: {stats.describe()}")
+    elif args.command == "cache":
+        if cache is None:
+            raise SystemExit("cache verify needs the cache enabled (drop --no-cache)")
+        if args.cache_command == "verify":
+            _cache_verify(cache, keep=args.keep)
     elif args.command == "scenarios":
         from repro.common.errors import ConfigurationError
 
@@ -301,6 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     args.traces_dir,
                     args.csv,
                     cache=cache,
+                    supervision=supervision,
                 )
         except ConfigurationError as exc:
             # User input (names, tags, params) reaches the registry from

@@ -15,3 +15,15 @@ class SimulationError(RuntimeError):
     This always indicates a bug in the model (for example a block found in
     two tiles at once despite content exclusion), never a user error.
     """
+
+
+class ExecutionError(RuntimeError):
+    """Raised by the supervised sweep executor in strict mode.
+
+    A job was quarantined — it kept crashing or hanging its worker,
+    returning garbage, or raised a deterministic simulation error — and
+    the caller asked for an exception instead of a structured
+    :class:`~repro.sim.plan.JobFailure` record.  Results committed before
+    the abort remain in the cache and the sweep journal, so a re-run
+    resumes from them.
+    """

@@ -38,6 +38,7 @@ def routing_ablation(
     levels: int = 3,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[str, float]:
     """Random versus deterministic output selection in the buffered networks."""
     specs = specs or select_workloads(2)
@@ -45,7 +46,7 @@ def routing_ablation(
         "random": lnuca_l3_spec(levels, routing_policy="random"),
         "deterministic": lnuca_l3_spec(levels, routing_policy="deterministic"),
     }
-    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache, supervision=supervision)
     ipc = ipc_by_category(results)
     contention = {
         name: sum(
@@ -70,13 +71,14 @@ def buffer_depth_ablation(
     levels: int = 3,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[int, float]:
     """IPC as a function of the flow-control buffer depth."""
     specs = specs or select_workloads(2)
     builders = {
         f"depth-{depth}": lnuca_l3_spec(levels, buffer_depth=depth) for depth in depths
     }
-    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache, supervision=supervision)
     ipc = ipc_by_category(results)
     return {depth: round(_overall(ipc, f"depth-{depth}"), 4) for depth in depths}
 
@@ -88,6 +90,7 @@ def tile_size_ablation(
     levels: int = 3,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[int, float]:
     """IPC as a function of the tile size (2 to 8 KB, Section III-A)."""
     specs = specs or select_workloads(2)
@@ -97,7 +100,7 @@ def tile_size_ablation(
         )
         for size_kb in sizes_kb
     }
-    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache, supervision=supervision)
     ipc = ipc_by_category(results)
     return {size_kb: round(_overall(ipc, f"tile-{size_kb}KB"), 4) for size_kb in sizes_kb}
 
@@ -108,11 +111,12 @@ def level_count_ablation(
     level_range: tuple = (2, 3, 4, 5),
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[int, float]:
     """IPC as a function of the number of L-NUCA levels."""
     specs = specs or select_workloads(2)
     builders = {f"LN{levels}": lnuca_l3_spec(levels) for levels in level_range}
-    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache)
+    results = run_suite(builders, specs, num_instructions, workers=workers, cache=cache, supervision=supervision)
     ipc = ipc_by_category(results)
     return {levels: round(_overall(ipc, f"LN{levels}"), 4) for levels in level_range}
 
@@ -121,16 +125,17 @@ def run(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[str, object]:
     """Run every ablation with a reduced workload set."""
     specs = select_workloads(2)
     return {
-        "routing": routing_ablation(num_instructions, specs, workers=workers, cache=cache),
+        "routing": routing_ablation(num_instructions, specs, workers=workers, cache=cache, supervision=supervision),
         "buffer_depth": buffer_depth_ablation(
-            num_instructions, specs, workers=workers, cache=cache
+            num_instructions, specs, workers=workers, cache=cache, supervision=supervision
         ),
-        "tile_size": tile_size_ablation(num_instructions, specs, workers=workers, cache=cache),
-        "levels": level_count_ablation(num_instructions, specs, workers=workers, cache=cache),
+        "tile_size": tile_size_ablation(num_instructions, specs, workers=workers, cache=cache, supervision=supervision),
+        "levels": level_count_ablation(num_instructions, specs, workers=workers, cache=cache, supervision=supervision),
     }
 
 
@@ -138,9 +143,10 @@ def main(
     num_instructions: int = DEFAULT_INSTRUCTIONS,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> None:
     """Print every ablation."""
-    report = run(num_instructions, workers=workers, cache=cache)
+    report = run(num_instructions, workers=workers, cache=cache, supervision=supervision)
     print("Ablation — routing policy:", report["routing"])
     print("Ablation — buffer depth (IPC):", report["buffer_depth"])
     print("Ablation — tile size KB (IPC):", report["tile_size"])

@@ -79,6 +79,7 @@ def figure_run(
     results: Optional[List[RunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[str, object]:
     """The shared IPC + normalised-energy figure pipeline (Figs. 4 and 5).
 
@@ -96,7 +97,8 @@ def figure_run(
     if results is None:
         specs = select_workloads(per_category)
         results = run_suite(
-            builders, specs, num_instructions, workers=workers, cache=cache
+            builders, specs, num_instructions, workers=workers, cache=cache,
+            supervision=supervision,
         )
     ipc = ipc_by_category(results)
     totals = total_energy_by_system(results, builders)

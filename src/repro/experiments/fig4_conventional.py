@@ -29,6 +29,7 @@ def run(
     results: Optional[List[RunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[str, object]:
     """Regenerate both panels of Fig. 4 (see :func:`common.figure_run`)."""
     return figure_run(
@@ -39,6 +40,7 @@ def run(
         results=results,
         workers=workers,
         cache=cache,
+        supervision=supervision,
     )
 
 
@@ -47,6 +49,7 @@ def main(
     per_category: int = DEFAULT_PER_CATEGORY,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> None:
     """Print Fig. 4(a) and Fig. 4(b)."""
     report = run(
@@ -54,6 +57,7 @@ def main(
         per_category=per_category,
         workers=workers,
         cache=cache,
+        supervision=supervision,
     )
     print_figure(
         report,

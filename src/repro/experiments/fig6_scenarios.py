@@ -44,6 +44,7 @@ def run(
     traces: Optional[Dict[str, object]] = None,
     results: Optional[List[RunResult]] = None,
     cache=None,
+    supervision=None,
     pool=None,
 ) -> Dict[str, object]:
     """Sweep the scenarios over the four hierarchies.
@@ -70,6 +71,7 @@ def run(
             trace_factory=build_trace,
             traces=traces,
             cache=cache,
+            supervision=supervision,
             pool=pool,
         )
     ipc: Dict[str, Dict[str, float]] = {}
@@ -113,6 +115,7 @@ def main(
     workers: Optional[int] = None,
     traces: Optional[Dict[str, object]] = None,
     cache=None,
+    supervision=None,
     pool=None,
 ) -> None:
     """Print the scenario sweep table."""
@@ -122,6 +125,7 @@ def main(
         workers=workers,
         traces=traces,
         cache=cache,
+        supervision=supervision,
         pool=pool,
     )
     print("Figure 6 — scenario sweep IPC across the four hierarchy types")

@@ -37,6 +37,7 @@ def run(
     results: Optional[List[RunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
     """Regenerate Table III.
 
@@ -53,7 +54,7 @@ def run(
     if results is None:
         specs = select_workloads(per_category)
         results = run_suite(
-            builders, specs, num_instructions, workers=workers, cache=cache
+            builders, specs, num_instructions, workers=workers, cache=cache, supervision=supervision
         )
 
     baseline_results = results_for_system(results, BASELINE)
@@ -87,6 +88,7 @@ def main(
     per_category: int = DEFAULT_PER_CATEGORY,
     workers: Optional[int] = None,
     cache=None,
+    supervision=None,
 ) -> None:
     """Print Table III."""
     table = run(
@@ -94,6 +96,7 @@ def main(
         per_category=per_category,
         workers=workers,
         cache=cache,
+        supervision=supervision,
     )
     print("Table III — read hits per level relative to the baseline L2 and")
     print("            average-to-minimum Transport-network latency ratio")

@@ -26,6 +26,31 @@ loops with a compile/execute split:
      simulator version, run parameters), so a warm re-run performs zero
      simulation.
 
+Fault tolerance
+===============
+
+``execute(workers=N)`` runs uncached jobs under a **supervised executor**
+(:class:`_SupervisedExecutor`): jobs are dispatched one at a time over a
+per-worker pipe (a dead worker loses only its current job, never a
+chunk), every job carries a wall-clock timeout derived from its
+instruction budget, and a job whose worker crashes, hangs, or returns
+garbage is retried with exponential backoff on a replacement worker.  A
+job that exhausts its retries — it keeps killing workers — is
+*quarantined*: the sweep still completes and reports a structured
+:class:`JobFailure` instead of raising (opt-in ``strict`` mode raises
+:class:`~repro.common.errors.ExecutionError`).  When forking itself keeps
+failing the executor degrades to in-process execution with a warning.
+
+Every sweep is **checkpoint-resumable**: finished results are committed
+to the result cache *and* an fsync'd per-sweep journal
+(:class:`SweepJournal`) as they complete, so re-running an interrupted
+sweep simulates only the jobs that never finished.  The journal is
+deleted when the sweep completes cleanly; corrupt journal lines (the
+tail of a crash) are skipped, never trusted.
+
+All of these paths are exercised deterministically by the fault-injection
+harness in :mod:`repro.sim.faults` (``REPRO_FAULT_PLAN`` / test API).
+
 Safety rules
 ============
 
@@ -33,16 +58,18 @@ Safety rules
   git state bypasses the result cache entirely, so edited-tree results can
   never poison it.
 * A truncated or corrupt cache entry is discarded with a
-  :class:`RuntimeWarning` and re-simulated, never trusted and never fatal.
+  :class:`RuntimeWarning` and re-simulated, never trusted and never fatal
+  (``ResultCache.verify`` — ``repro cache verify`` — scans for them).
 * Builders without a digestable parameter description (ad-hoc lambdas) and
   traces without a generation signature still execute — they just skip the
   result cache / pool and fall back to per-plan snapshot sharing.
 * ``REPRO_CACHE_DIR`` overrides the on-disk cache location;
   ``REPRO_SIM_VERSION`` pins the simulator version (used by tests and CI).
 
-Differential tests (``tests/test_plan.py``) enforce bit-identity of every
-fast path against the direct path for all four hierarchy types, warm and
-cold.
+Differential tests (``tests/test_plan.py``, ``tests/test_supervised.py``)
+enforce bit-identity of every fast path against the direct path for all
+four hierarchy types, warm and cold — including sweeps whose workers are
+crashed, hung, and corrupted mid-flight.
 """
 
 from __future__ import annotations
@@ -52,12 +79,15 @@ import json
 import os
 import pickle
 import subprocess
+import time
 import warnings
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim import faults
 
 from repro.cpu.core import CoreConfig, OoOCore
 from repro.cpu.trace import Trace
@@ -302,6 +332,7 @@ class TracePool:
             tmp = f"{path}.tmp{os.getpid()}"
             save_trace(trace, tmp, extra_meta=source.signature)
             os.replace(tmp, path)
+            faults.on_write("trace-pool", path)
             if stats is not None:
                 stats.pool_saves += 1
         except OSError as exc:
@@ -341,6 +372,34 @@ class TracePool:
 
 
 # ---------------------------------------------------------------- result cache
+def _result_to_row(result: RunResult) -> Dict[str, object]:
+    """The JSON row shared by cache entries and journal lines."""
+    return {
+        "system": result.system,
+        "workload": result.workload,
+        "category": result.category,
+        "ipc": result.ipc,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "activity": result.activity,
+        "core_stats": result.core_stats,
+    }
+
+
+def _result_from_row(row: Dict[str, object]) -> RunResult:
+    """Rebuild a :class:`RunResult`; raises on malformed rows."""
+    return RunResult(
+        system=str(row["system"]),
+        workload=str(row["workload"]),
+        category=str(row["category"]),
+        ipc=row["ipc"],
+        cycles=row["cycles"],
+        instructions=row["instructions"],
+        activity=dict(row["activity"]),
+        core_stats=dict(row["core_stats"]),
+    )
+
+
 def default_cache_dir() -> str:
     """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-lnuca`` (or ~/.cache)."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -449,17 +508,7 @@ class ResultCache:
                     os.utime(path)  # LRU stamp: hits protect their entry
                 except OSError:
                     pass
-            row = payload["result"]
-            return RunResult(
-                system=str(row["system"]),
-                workload=str(row["workload"]),
-                category=str(row["category"]),
-                ipc=row["ipc"],
-                cycles=row["cycles"],
-                instructions=row["instructions"],
-                activity=dict(row["activity"]),
-                core_stats=dict(row["core_stats"]),
-            )
+            return _result_from_row(payload["result"])
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError) as exc:
@@ -476,24 +525,17 @@ class ResultCache:
 
     def put(self, key: str, result: RunResult) -> None:
         path = self._path(key)
-        payload = {
-            "schema": RESULT_SCHEMA,
-            "result": {
-                "system": result.system,
-                "workload": result.workload,
-                "category": result.category,
-                "ipc": result.ipc,
-                "cycles": result.cycles,
-                "instructions": result.instructions,
-                "activity": result.activity,
-                "core_stats": result.core_stats,
-            },
-        }
+        payload = {"schema": RESULT_SCHEMA, "result": _result_to_row(result)}
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = f"{path}.tmp{os.getpid()}"
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                # Durability before visibility: entries double as sweep
+                # checkpoints, so a crash right after os.replace must not
+                # leave a half-written page behind.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError as exc:
             if not self._write_failed:
@@ -502,6 +544,7 @@ class ResultCache:
                     f"result cache: disabled writes ({exc})", RuntimeWarning, stacklevel=2
                 )
             return
+        faults.on_write("result-cache", path)
         if self.limit_bytes is not None:
             count = self._puts_since_prune
             if count is None or count + 1 >= self.PRUNE_EVERY:
@@ -509,6 +552,157 @@ class ResultCache:
                 self._puts_since_prune = 0
             else:
                 self._puts_since_prune = count + 1
+
+    def verify(self, delete: bool = True) -> Dict[str, int]:
+        """Scan the cache directory for corrupt, truncated, or stale files.
+
+        Every entry is parsed and rebuilt exactly the way a lookup would
+        rebuild it; entries that fail (truncated JSON, wrong schema,
+        mistyped fields) are *corrupt* and — with ``delete``, the default —
+        removed, as are ``.tmp`` leftovers of crashed writers.  Returns
+        ``{"checked", "corrupt", "stale_tmp", "deleted"}`` counts; each
+        corrupt entry is also reported through a :class:`RuntimeWarning`.
+        Surviving entries are byte-untouched, so verification never
+        changes what a warm sweep replays.
+        """
+        root = os.path.join(self.directory, "results")
+        report = {"checked": 0, "corrupt": 0, "stale_tmp": 0, "deleted": 0}
+
+        def remove(path: str) -> None:
+            if delete:
+                try:
+                    os.remove(path)
+                    report["deleted"] += 1
+                except OSError:
+                    pass
+
+        for dirpath, _, filenames in os.walk(root):
+            for filename in filenames:
+                path = os.path.join(dirpath, filename)
+                if ".tmp" in filename:
+                    report["stale_tmp"] += 1
+                    remove(path)
+                    continue
+                if not filename.endswith(".json"):
+                    continue
+                report["checked"] += 1
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    if payload.get("schema") != RESULT_SCHEMA:
+                        raise ValueError(f"schema {payload.get('schema')!r}")
+                    _result_from_row(payload["result"])
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    report["corrupt"] += 1
+                    warnings.warn(
+                        f"cache verify: corrupt entry {path} ({exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    remove(path)
+        return report
+
+
+# ---------------------------------------------------------------- sweep journal
+class SweepJournal:
+    """Append-only, fsync'd checkpoint of one sweep's completed jobs.
+
+    One JSONL file per sweep (named by the digest of the sweep's ordered
+    cache keys) under ``<cache dir>/journals``.  Every committed result
+    appends one line and is fsync'd immediately, so even a SIGKILL'd
+    sweep loses at most the job in flight.  On the next run of the same
+    sweep, journal rows restore completed results that the cache no
+    longer holds (pruned, corrupted, or wiped); a sweep that completes
+    cleanly deletes its journal.  Corrupt or truncated lines — the
+    expected tail of a crash — are skipped, never trusted.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+        self._write_failed = False
+
+    @classmethod
+    def for_plan(cls, cache_directory: str, keys: Iterable[str]) -> "SweepJournal":
+        digest = hashlib.sha256(
+            json.dumps(list(keys)).encode("utf-8")
+        ).hexdigest()
+        return cls(os.path.join(cache_directory, "journals", f"{digest}.jsonl"))
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Rows of a previous interrupted run, keyed by cache key."""
+        rows: Dict[str, Dict[str, object]] = {}
+        skipped = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        if entry.get("schema") != RESULT_SCHEMA:
+                            raise ValueError("schema mismatch")
+                        _result_from_row(entry["result"])  # validate now
+                        rows[entry["key"]] = entry["result"]
+                    except (ValueError, KeyError, TypeError):
+                        skipped += 1
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            warnings.warn(
+                f"sweep journal: unreadable ({exc}); resuming from cache only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
+        if skipped:
+            warnings.warn(
+                f"sweep journal: skipped {skipped} corrupt line(s) in {self.path} "
+                "(interrupted write); the jobs re-simulate",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return rows
+
+    def append(self, key: str, result: RunResult) -> None:
+        if self._write_failed:
+            return
+        try:
+            if self._handle is None:
+                os.makedirs(os.path.dirname(self.path), exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            line = json.dumps(
+                {"schema": RESULT_SCHEMA, "key": key, "result": _result_to_row(result)},
+                sort_keys=True,
+            )
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            # An unwritable journal costs resumability, not correctness.
+            self._write_failed = True
+            warnings.warn(
+                f"sweep journal: disabled ({exc})", RuntimeWarning, stacklevel=2
+            )
+            return
+        faults.on_write("journal", self.path)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def delete(self) -> None:
+        """The sweep completed: the checkpoint has served its purpose."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
 
 
 def _core_config_digest(core_config: Optional[CoreConfig]) -> str:
@@ -662,20 +856,49 @@ def _prewarmed_system(
         except (pickle.PicklingError, TypeError, AttributeError):
             _UNPICKLABLE_BUILDERS.add(builder.factory)
             return system
-        store[snapshot_key] = blob
+        store[snapshot_key] = faults.mangle_blob(blob)
         stats.snapshot_builds += 1
         if store is _SNAPSHOT_BLOBS:
             while len(_SNAPSHOT_BLOBS) > _SNAPSHOT_CAP:
                 _SNAPSHOT_BLOBS.popitem(last=False)
         return system
+    try:
+        system = pickle.loads(blob)
+    except Exception as exc:
+        # A corrupt blob (bit rot, injected fault) degrades to the direct
+        # build-and-prewarm path and is replaced by a fresh snapshot —
+        # never trusted, never fatal.
+        store.pop(snapshot_key, None)
+        warnings.warn(
+            f"prewarm snapshot: discarding corrupt blob ({exc}); rebuilding",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        system = builder.factory()
+        system.prewarm(trace.resident_addresses())
+        try:
+            store[snapshot_key] = pickle.dumps(system, pickle.HIGHEST_PROTOCOL)
+            stats.snapshot_builds += 1
+        except (pickle.PicklingError, TypeError, AttributeError):
+            _UNPICKLABLE_BUILDERS.add(builder.factory)
+        return system
     stats.snapshot_clones += 1
-    return pickle.loads(blob)
+    return system
 
 
 # ------------------------------------------------------------------- executor
 @dataclass
 class ExecutionStats:
-    """What one :func:`execute` call actually did."""
+    """What one :func:`execute` call actually did.
+
+    ``simulated`` counts jobs that went to simulation (a retried job
+    counts once — fault runs and clean runs report identical counts);
+    ``retries`` / ``timeouts`` / ``quarantined`` count supervision
+    events; ``resumed_from_journal`` counts results restored from an
+    interrupted sweep's checkpoint; ``workers_effective`` records the
+    peak number of processes that actually executed jobs (1 when
+    in-process), so reports show what really ran.
+    """
 
     jobs: int = 0
     simulated: int = 0
@@ -684,6 +907,11 @@ class ExecutionStats:
     snapshot_clones: int = 0
     pool_loads: int = 0
     pool_saves: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    resumed_from_journal: int = 0
+    workers_effective: int = 0
 
     def add(self, other: "ExecutionStats") -> None:
         self.jobs += other.jobs
@@ -693,20 +921,104 @@ class ExecutionStats:
         self.snapshot_clones += other.snapshot_clones
         self.pool_loads += other.pool_loads
         self.pool_saves += other.pool_saves
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.quarantined += other.quarantined
+        self.resumed_from_journal += other.resumed_from_journal
+        self.workers_effective = max(self.workers_effective, other.workers_effective)
 
     def describe(self) -> str:
         return (
             f"jobs={self.jobs} simulated={self.simulated} cached={self.cached} "
-            f"snapshot_clones={self.snapshot_clones} pool_loads={self.pool_loads}"
+            f"snapshot_clones={self.snapshot_clones} pool_loads={self.pool_loads} "
+            f"workers_effective={self.workers_effective} retries={self.retries} "
+            f"timeouts={self.timeouts} quarantined={self.quarantined} "
+            f"resumed_from_journal={self.resumed_from_journal}"
+        )
+
+    def degraded(self) -> bool:
+        """True when this execution needed any fault-recovery machinery."""
+        return bool(
+            self.retries or self.timeouts or self.quarantined or self.resumed_from_journal
+        )
+
+
+# --------------------------------------------------------------- supervision
+@dataclass
+class SupervisionPolicy:
+    """How the supervised executor treats failing jobs.
+
+    ``job_timeout`` is the per-job wall-clock limit in seconds (``None``
+    derives one from the job's instruction budget); ``max_retries``
+    bounds re-dispatches per job after crashes, timeouts, garbage
+    replies, and transient errors; ``backoff_base`` seeds the
+    exponential backoff (``base * 2**(attempt-1)``) before each retry;
+    ``strict`` turns a quarantined job into an
+    :class:`~repro.common.errors.ExecutionError` instead of a
+    :class:`JobFailure` record.  A deterministic model error
+    (:class:`~repro.common.errors.SimulationError` /
+    :class:`~repro.common.errors.ConfigurationError`) quarantines
+    immediately — re-running it would reproduce it.
+    """
+
+    job_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    strict: bool = False
+
+    def timeout_for(self, num_instructions: int) -> float:
+        """Wall-clock budget of one job: generous, but bounded.
+
+        Scaled on the instruction budget (the dense-mode worst case is
+        hundreds of Python-level ticks per instruction), floored so tiny
+        test jobs on loaded machines never false-trip.
+        """
+        if self.job_timeout is not None:
+            return self.job_timeout
+        return 30.0 + num_instructions * 0.01
+
+
+def _effective_policy(policy: Optional[SupervisionPolicy]) -> SupervisionPolicy:
+    """The caller's policy with any fault-plan overrides applied (tests)."""
+    base = policy if policy is not None else SupervisionPolicy()
+    overrides = {
+        key: value
+        for key, value in faults.policy_overrides().items()
+        if key in ("job_timeout", "max_retries", "backoff_base", "strict")
+    }
+    return replace(base, **overrides) if overrides else base
+
+
+@dataclass
+class JobFailure:
+    """A quarantined job: the sweep completed, this job did not."""
+
+    index: int  #: position in ``RunPlan.jobs`` (and the results list)
+    job: JobSpec
+    reason: str  #: "crash" | "timeout" | "garbage" | "error"
+    attempts: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{self.job.system}/{self.job.trace}: {self.reason} "
+            f"after {self.attempts} attempt(s)"
+            + (f" ({self.detail})" if self.detail else "")
         )
 
 
 @dataclass
 class PlanRun:
-    """Results of an executed plan (job order), plus what the executor did."""
+    """Results of an executed plan (job order), plus what the executor did.
+
+    ``results`` holds ``None`` at the index of every quarantined job;
+    ``failures`` carries their :class:`JobFailure` records (empty for a
+    healthy sweep, always empty under ``strict`` — that raises instead).
+    """
 
     results: List[RunResult]
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    failures: List[JobFailure] = field(default_factory=list)
 
 
 #: Stats sinks for nested :func:`execute` calls (``collect_stats``).
@@ -778,22 +1090,398 @@ def _run_job(
 _EXEC_STATE: Dict[str, object] = {}
 
 
-def _plan_worker(item) -> Tuple[int, RunResult, Tuple[int, int]]:
-    index, job = item
+class _JobError:
+    """Picklable report of an exception raised inside a worker.
+
+    ``deterministic`` marks model errors (:class:`SimulationError`,
+    :class:`ConfigurationError`): re-running those reproduces them, so
+    the supervisor quarantines immediately instead of burning retries.
+    """
+
+    __slots__ = ("exc_type", "detail", "deterministic")
+
+    def __init__(self, exc_type: str, detail: str, deterministic: bool):
+        self.exc_type = exc_type
+        self.detail = detail
+        self.deterministic = deterministic
+
+    def __getstate__(self):
+        return (self.exc_type, self.detail, self.deterministic)
+
+    def __setstate__(self, state):
+        self.exc_type, self.detail, self.deterministic = state
+
+
+def _supervised_worker(conn) -> None:
+    """One supervised worker: receive ``(index, seq, attempt)``, run, reply.
+
+    Replies ``(index, RunResult | _JobError, (snapshot builds, clones))``.
+    No exception escapes — the supervisor, not the worker, decides
+    between retry and quarantine.  The worker exits on a ``None``
+    sentinel or a broken pipe (the supervisor died).
+    """
+    from repro.common.errors import ConfigurationError, SimulationError
+
     state = _EXEC_STATE
+    plan: RunPlan = state["plan"]
     stats: ExecutionStats = state["stats"]
-    builds, clones = stats.snapshot_builds, stats.snapshot_clones
-    result = _run_job(
-        state["plan"],
-        job,
-        state["traces"][job.trace],
-        state["snapshot_keys"].get(job),
-        state["local_blobs"],
-        stats,
-    )
-    # The per-worker stats object dies with the fork; ship this job's
-    # snapshot-counter delta back so the parent's stats stay truthful.
-    return index, result, (stats.snapshot_builds - builds, stats.snapshot_clones - clones)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, seq, attempt = message
+        job = plan.jobs[index]
+        builds, clones = stats.snapshot_builds, stats.snapshot_clones
+        payload: object
+        try:
+            action = faults.worker_job(f"{job.system}/{job.trace}", seq, attempt)
+            if action == "garbage":
+                payload = "\x00injected-garbage-payload"
+            else:
+                payload = _run_job(
+                    plan,
+                    job,
+                    state["traces"][job.trace],
+                    state["snapshot_keys"].get(job),
+                    state["local_blobs"],
+                    stats,
+                )
+        except Exception as exc:
+            payload = _JobError(
+                type(exc).__name__,
+                str(exc),
+                isinstance(exc, (SimulationError, ConfigurationError)),
+            )
+        try:
+            # The per-worker stats object dies with the fork; ship this
+            # job's snapshot-counter delta back so the parent's stats stay
+            # truthful.
+            conn.send(
+                (index, payload,
+                 (stats.snapshot_builds - builds, stats.snapshot_clones - clones))
+            )
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Pending:
+    """One not-yet-committed job in the supervisor's queue."""
+
+    __slots__ = ("index", "job", "key", "seq", "attempts", "ready_at")
+
+    def __init__(self, index: int, job: JobSpec, key: Optional[str], seq: int):
+        self.index = index
+        self.job = job
+        self.key = key
+        self.seq = seq  #: stable position in the pending list (fault matching)
+        self.attempts = 0  #: dispatches so far
+        self.ready_at = 0.0  #: backoff: earliest monotonic re-dispatch time
+
+    def label(self) -> str:
+        return f"{self.job.system}/{self.job.trace}"
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "entry", "deadline")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.entry: Optional[_Pending] = None
+        self.deadline = 0.0
+
+
+#: Consecutive worker-spawn failures before the supervisor gives up on
+#: forking and degrades to in-process execution.
+_SPAWN_FAILURE_LIMIT = 3
+
+
+class _SupervisedExecutor:
+    """Per-job dispatch with timeouts, retry/backoff, and quarantine.
+
+    Each worker holds exactly one job at a time over its own duplex pipe,
+    so a dead worker loses only that job; ``pool.map``-style chunking
+    would lose the whole chunk.  The supervisor multiplexes the worker
+    pipes with :func:`multiprocessing.connection.wait`, which doubles as
+    both the completion signal (a reply arrives) and the death signal
+    (the pipe hits EOF), and enforces each job's wall-clock deadline by
+    SIGKILLing and replacing the worker.  Completed results are committed
+    — cache, journal, caller callback — the moment they arrive, which is
+    what makes an interrupted sweep resumable.
+    """
+
+    def __init__(self, entries: List[_Pending], stats: ExecutionStats,
+                 policy: SupervisionPolicy, commit: Callable[[_Pending, RunResult], None],
+                 processes: int):
+        import multiprocessing
+
+        self.ctx = multiprocessing.get_context("fork")
+        self.queue: "deque[_Pending]" = deque(entries)
+        self.stats = stats
+        self.policy = policy
+        self.commit = commit
+        self.processes = processes
+        self.workers: Dict[object, _Worker] = {}  # conn -> worker
+        self.failures: List[JobFailure] = []
+        self.remaining = len(entries)
+        self._spawn_failures = 0
+        self._degraded = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def _spawn(self) -> bool:
+        try:
+            faults.on_spawn()
+            parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+            process = self.ctx.Process(
+                target=_supervised_worker, args=(child_conn,), daemon=True
+            )
+            process.start()
+        except OSError as exc:
+            self._spawn_failures += 1
+            if self._spawn_failures >= _SPAWN_FAILURE_LIMIT and not self._live():
+                self._degraded = True
+                warnings.warn(
+                    f"supervised executor: worker fork kept failing ({exc}); "
+                    "degrading to in-process execution",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+            return False
+        self._spawn_failures = 0
+        child_conn.close()
+        self.workers[parent_conn] = _Worker(process, parent_conn)
+        self.stats.workers_effective = max(
+            self.stats.workers_effective, len(self.workers)
+        )
+        return True
+
+    def _live(self) -> int:
+        return len(self.workers)
+
+    def _reap(self, worker: _Worker, kill: bool) -> None:
+        self.workers.pop(worker.conn, None)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if kill:
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+
+    def _shutdown(self) -> None:
+        for worker in list(self.workers.values()):
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in list(self.workers.values()):
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+    # -- failure handling --------------------------------------------------
+    def _quarantine(self, entry: _Pending, reason: str, detail: str) -> None:
+        failure = JobFailure(
+            index=entry.index, job=entry.job, reason=reason,
+            attempts=entry.attempts, detail=detail,
+        )
+        self.failures.append(failure)
+        self.stats.quarantined += 1
+        self.remaining -= 1
+        warnings.warn(
+            f"supervised executor: quarantined {failure.describe()}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        if self.policy.strict:
+            from repro.common.errors import ExecutionError
+
+            raise ExecutionError(
+                f"sweep job failed permanently: {failure.describe()} "
+                "(completed jobs are checkpointed; a re-run resumes from them)"
+            )
+
+    def _fail(self, entry: _Pending, reason: str, detail: str,
+              deterministic: bool = False) -> None:
+        entry.attempts += 1
+        if deterministic or entry.attempts > self.policy.max_retries:
+            self._quarantine(entry, reason, detail)
+            return
+        self.stats.retries += 1
+        entry.ready_at = (
+            time.monotonic() + self.policy.backoff_base * (2 ** (entry.attempts - 1))
+        )
+        self.queue.append(entry)
+
+    # -- main loop ---------------------------------------------------------
+    def _dispatch(self, now: float) -> None:
+        idle = [worker for worker in self.workers.values() if worker.entry is None]
+        if not idle:
+            return
+        held: List[_Pending] = []
+        while idle and self.queue:
+            entry = self.queue.popleft()
+            if entry.ready_at > now:
+                held.append(entry)  # still backing off
+                continue
+            worker = idle.pop()
+            try:
+                worker.conn.send((entry.index, entry.seq, entry.attempts))
+            except (BrokenPipeError, OSError):
+                # Died while idle: no job was lost, just replace it.
+                self._reap(worker, kill=False)
+                held.append(entry)
+                continue
+            worker.entry = entry
+            worker.deadline = now + self.policy.timeout_for(entry.job.num_instructions)
+        self.queue.extendleft(reversed(held))
+
+    def _wait_timeout(self, now: float) -> float:
+        horizons = [w.deadline for w in self.workers.values() if w.entry is not None]
+        horizons.extend(entry.ready_at for entry in self.queue)
+        if not horizons:
+            return 0.05
+        # Cap the sleep so replenish/dispatch stay live even when quiet.
+        return min(max(min(horizons) - now, 0.0), 1.0)
+
+    def _run_in_process(self) -> None:
+        """Fork is unavailable or keeps failing: finish the sweep here.
+
+        No crash/timeout supervision is possible in-process (a crash
+        would be ours), so job exceptions quarantine directly — but the
+        sweep still completes, committed jobs stay committed, and strict
+        mode still raises.
+        """
+        self.stats.workers_effective = max(self.stats.workers_effective, 1)
+        state = _EXEC_STATE
+        plan: RunPlan = state["plan"]
+        while self.queue:
+            entry = self.queue.popleft()
+            try:
+                result = _run_job(
+                    plan,
+                    entry.job,
+                    state["traces"][entry.job.trace],
+                    state["snapshot_keys"].get(entry.job),
+                    state["local_blobs"],
+                    self.stats,
+                )
+            except Exception as exc:
+                entry.attempts += 1
+                self._quarantine(entry, "error", f"{type(exc).__name__}: {exc}")
+                continue
+            self.commit(entry, result)
+            self.remaining -= 1
+
+    def run(self) -> List[JobFailure]:
+        from multiprocessing import connection as mp_connection
+
+        try:
+            while self.remaining > 0:
+                if self._degraded:
+                    self._run_in_process()
+                    break
+                in_flight = sum(
+                    1 for worker in self.workers.values() if worker.entry is not None
+                )
+                want = min(self.processes, len(self.queue) + in_flight)
+                while self._live() < want and not self._degraded:
+                    if not self._spawn():
+                        break
+                if self._degraded:
+                    continue
+                now = time.monotonic()
+                self._dispatch(now)
+                timeout = self._wait_timeout(time.monotonic())
+                if self.workers:
+                    ready = mp_connection.wait(list(self.workers), timeout=timeout)
+                else:
+                    time.sleep(timeout)
+                    ready = []
+                for conn in ready:
+                    worker = self.workers.get(conn)
+                    if worker is None:
+                        continue
+                    self._on_readable(worker)
+                now = time.monotonic()
+                for worker in list(self.workers.values()):
+                    if worker.entry is not None and worker.deadline < now:
+                        entry = worker.entry
+                        worker.entry = None
+                        self._reap(worker, kill=True)
+                        self.stats.timeouts += 1
+                        self._fail(
+                            entry, "timeout",
+                            f"exceeded {self.policy.timeout_for(entry.job.num_instructions):.1f}s "
+                            f"wall clock; worker killed",
+                        )
+        finally:
+            self._shutdown()
+        return self.failures
+
+    def _on_readable(self, worker: _Worker) -> None:
+        entry = worker.entry
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.entry = None
+            exitcode = worker.process.exitcode
+            self._reap(worker, kill=False)
+            if entry is not None:
+                self._fail(entry, "crash", f"worker died (exit code {exitcode})")
+            return
+        worker.entry = None
+        valid = (
+            entry is not None
+            and isinstance(message, tuple)
+            and len(message) == 3
+            and message[0] == entry.index
+        )
+        payload = message[1] if valid else None
+        if valid and isinstance(payload, _JobError):
+            self._fail(
+                entry, "error", f"{payload.exc_type}: {payload.detail}",
+                deterministic=payload.deterministic,
+            )
+            return
+        if valid and isinstance(payload, RunResult):
+            builds, clones = message[2]
+            self.stats.snapshot_builds += builds
+            self.stats.snapshot_clones += clones
+            self.commit(entry, payload)
+            self.remaining -= 1
+            return
+        # Garbage reply: the worker's state is not trustworthy anymore —
+        # replace it, retry the job elsewhere.
+        self._reap(worker, kill=True)
+        if entry is not None:
+            self._fail(entry, "garbage", f"unusable reply {type(payload).__name__}")
+
+
+_FALLBACK_WARNED = False
+
+
+def _warn_sequential_fallback(reason: str) -> None:
+    """One warning per process when requested fan-out cannot happen."""
+    global _FALLBACK_WARNED
+    if not _FALLBACK_WARNED:
+        _FALLBACK_WARNED = True
+        warnings.warn(
+            f"worker fan-out disabled: {reason}; executing jobs in-process "
+            "(workers_effective records what actually ran)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def execute(
@@ -803,17 +1491,22 @@ def execute(
     pool: Optional[TracePool] = None,
     snapshots: bool = True,
     trace_memo: bool = True,
+    supervision: Optional[SupervisionPolicy] = None,
+    on_result: Optional[Callable[[JobSpec, RunResult], None]] = None,
 ) -> PlanRun:
     """Execute ``plan`` and return its results in job order.
 
     Args:
         workers: fan the uncached jobs out over that many forked worker
-            processes (order-preserving and result-identical, exactly like
-            the historical ``run_suite`` fan-out; falls back to sequential
-            without ``fork``).
+            processes under the supervised executor (order-preserving and
+            result-identical, exactly like the historical ``run_suite``
+            fan-out; falls back to in-process execution — with a
+            :class:`RuntimeWarning` naming the reason — without ``fork``).
         cache: result cache; ``None`` disables memoization.  A ``-dirty``
             or unknown simulator version bypasses a configured cache with a
-            warning.
+            warning.  An active cache also activates the per-sweep
+            checkpoint journal: completed jobs are committed as they
+            finish, and an interrupted sweep resumes from them.
         pool: trace pool; defaults to ``<cache dir>/traces`` when a cache
             is active, else in-memory synthesis.
         snapshots: clone prewarmed hierarchies across jobs that share a
@@ -822,6 +1515,12 @@ def execute(
         trace_memo: share immutable synthesized traces (and their cached
             decode / resident set / digest) across execute calls in this
             process; disable to force per-plan materialization.
+        supervision: retry/timeout/quarantine policy for the worker path
+            (defaults to :class:`SupervisionPolicy`'s defaults; an active
+            fault plan may override fields for testing).
+        on_result: streaming-completion hook, called as each job's result
+            becomes available (cache hit, journal restore, or fresh
+            simulation; completion order under workers is nondeterministic).
     """
     stats = ExecutionStats(jobs=len(plan.jobs))
     version: Optional[str] = None
@@ -864,72 +1563,137 @@ def execute(
 
     core_digest = _core_config_digest(plan.core_config)
     results: List[Optional[RunResult]] = [None] * len(plan.jobs)
-    pending: List[Tuple[int, JobSpec, Optional[str]]] = []
-    for index, job in enumerate(plan.jobs):
-        key: Optional[str] = None
-        if active_cache is not None:
+
+    # Content-address every job up front: the keys name the cache entries,
+    # the journal rows, and (digested together) the sweep's journal file.
+    keys: List[Optional[str]] = [None] * len(plan.jobs)
+    if active_cache is not None:
+        for index, job in enumerate(plan.jobs):
             builder_digest = plan.builders[job.builder].digest()
             if builder_digest is not None:
-                key = _cache_key(
+                keys[index] = _cache_key(
                     job, builder_digest, content_digest(job.trace), core_digest, version
                 )
-                hit = active_cache.get(key)
-                if hit is not None:
-                    hit.system = job.system
-                    results[index] = hit
-                    stats.cached += 1
-                    continue
+
+    journal: Optional[SweepJournal] = None
+    journal_rows: Dict[str, Dict[str, object]] = {}
+    if active_cache is not None and any(key is not None for key in keys):
+        journal = SweepJournal.for_plan(
+            active_cache.directory, [key for key in keys if key is not None]
+        )
+        journal_rows = journal.load()
+
+    pending: List[Tuple[int, JobSpec, Optional[str]]] = []
+    for index, job in enumerate(plan.jobs):
+        key = keys[index]
+        if key is not None:
+            hit = active_cache.get(key)
+            if hit is not None:
+                hit.system = job.system
+                results[index] = hit
+                stats.cached += 1
+                if on_result is not None:
+                    on_result(job, hit)
+                continue
+            row = journal_rows.get(key)
+            if row is not None:
+                # An interrupted sweep checkpointed this job; restore it
+                # and repair the cache entry the crash (or pruning) lost.
+                restored = _result_from_row(row)
+                restored.system = job.system
+                results[index] = restored
+                stats.resumed_from_journal += 1
+                active_cache.put(key, restored)
+                if on_result is not None:
+                    on_result(job, restored)
+                continue
         pending.append((index, job, key))
 
-    if pending:
-        snapshot_keys: Dict[JobSpec, Tuple[str, str]] = {}
-        local_blobs: Dict[Tuple[str, str], bytes] = {}
-        for index, job, key in pending:
-            materialize(job.trace)  # before any fork, so workers share memory
-            if snapshots and job.prewarm:
-                builder_digest = plan.builders[job.builder].digest()
-                snapshot_keys[job] = (
-                    builder_digest or f"adhoc:{job.builder}",
-                    content_digest(job.trace),
-                )
-        stats.simulated = len(pending)
-
-        if workers is not None and workers > 1 and len(pending) > 1 and hasattr(os, "fork"):
-            import multiprocessing
-
-            ctx = multiprocessing.get_context("fork")
-            processes = min(workers, len(pending))
-            _EXEC_STATE.update(
-                plan=plan,
-                traces=traces,
-                snapshot_keys=snapshot_keys,
-                local_blobs=local_blobs,
-                stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
-            )
-            try:
-                with ctx.Pool(processes=processes) as mp_pool:
-                    # pool.map's built-in chunking (~4 chunks per worker)
-                    # hands jobs out in batches, so many-workload sweeps do
-                    # not pay one IPC round-trip per job.
-                    for index, result, (builds, clones) in mp_pool.map(
-                        _plan_worker, [(index, job) for index, job, _ in pending]
-                    ):
-                        results[index] = result
-                        stats.snapshot_builds += builds
-                        stats.snapshot_clones += clones
-            finally:
-                _EXEC_STATE.clear()
-        else:
-            for index, job, _ in pending:
-                results[index] = _run_job(
-                    plan, job, traces[job.trace], snapshot_keys.get(job), local_blobs, stats
-                )
-
-        if active_cache is not None:
+    failures: List[JobFailure] = []
+    completed_ok = False
+    try:
+        if pending:
+            snapshot_keys: Dict[JobSpec, Tuple[str, str]] = {}
+            local_blobs: Dict[Tuple[str, str], bytes] = {}
             for index, job, key in pending:
+                materialize(job.trace)  # before any fork, so workers share memory
+                if snapshots and job.prewarm:
+                    builder_digest = plan.builders[job.builder].digest()
+                    snapshot_keys[job] = (
+                        builder_digest or f"adhoc:{job.builder}",
+                        content_digest(job.trace),
+                    )
+            stats.simulated = len(pending)
+
+            def commit(index: int, job: JobSpec, key: Optional[str],
+                       result: RunResult) -> None:
+                """Checkpoint one finished job the moment it completes."""
+                results[index] = result
                 if key is not None:
-                    active_cache.put(key, results[index])
+                    if active_cache is not None:
+                        active_cache.put(key, result)
+                    if journal is not None:
+                        journal.append(key, result)
+                if on_result is not None:
+                    on_result(job, result)
+                faults.on_commit()
+
+            use_workers = workers is not None and workers > 1 and len(pending) > 1
+            if use_workers and not hasattr(os, "fork"):
+                _warn_sequential_fallback(
+                    f"workers={workers} requested but the platform lacks os.fork"
+                )
+                use_workers = False
+
+            if use_workers:
+                policy = _effective_policy(supervision)
+                entries = [
+                    _Pending(index, job, key, seq)
+                    for seq, (index, job, key) in enumerate(pending)
+                ]
+                _EXEC_STATE.update(
+                    plan=plan,
+                    traces=traces,
+                    snapshot_keys=snapshot_keys,
+                    local_blobs=local_blobs,
+                    stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
+                )
+                try:
+                    executor = _SupervisedExecutor(
+                        entries,
+                        stats,
+                        policy,
+                        lambda entry, result: commit(
+                            entry.index, entry.job, entry.key, result
+                        ),
+                        processes=min(workers, len(pending)),
+                    )
+                    failures = executor.run()
+                finally:
+                    _EXEC_STATE.clear()
+            else:
+                stats.workers_effective = max(stats.workers_effective, 1)
+                for index, job, key in pending:
+                    commit(
+                        index, job, key,
+                        _run_job(
+                            plan, job, traces[job.trace], snapshot_keys.get(job),
+                            local_blobs, stats,
+                        ),
+                    )
+        completed_ok = not failures
+    finally:
+        if journal is not None:
+            if completed_ok:
+                # The sweep finished: the cache holds everything, the
+                # checkpoint has served its purpose.
+                journal.delete()
+            else:
+                # Interrupted (exception) or partially failed: keep the
+                # journal so the next run resumes from it.
+                journal.close()
 
     for collector in _COLLECTORS:
         collector.add(stats)
-    return PlanRun(results=results, stats=stats)
+    return PlanRun(results=results, stats=stats, failures=failures)
+

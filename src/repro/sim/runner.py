@@ -230,6 +230,8 @@ def run_suite(
     cache=None,
     pool=None,
     snapshots: bool = True,
+    supervision=None,
+    on_result: Optional[Callable] = None,
 ) -> List[RunResult]:
     """Run every workload on every configuration.
 
@@ -263,6 +265,14 @@ def run_suite(
         snapshots: clone functionally-prewarmed hierarchy state across
             jobs sharing a (builder, trace) pair; ``False`` forces a fresh
             build-and-prewarm per job (the direct path).
+        supervision: a :class:`~repro.sim.plan.SupervisionPolicy` tuning
+            the worker path's retry/timeout/quarantine behaviour; ``None``
+            uses the defaults.  In non-strict mode a permanently failing
+            job is quarantined and *excluded* from the returned list (with
+            a :class:`RuntimeWarning` describing it) instead of aborting
+            the sweep.
+        on_result: streaming hook called with ``(job, result)`` as each
+            run completes (cache hit, journal restore, or simulation).
     """
     from repro.sim import plan as plan_module
 
@@ -276,9 +286,20 @@ def run_suite(
         trace_factory=trace_factory,
         traces=traces,
     )
-    return plan_module.execute(
-        compiled, workers=workers, cache=cache, pool=pool, snapshots=snapshots
-    ).results
+    run = plan_module.execute(
+        compiled, workers=workers, cache=cache, pool=pool, snapshots=snapshots,
+        supervision=supervision, on_result=on_result,
+    )
+    if run.failures:
+        described = "; ".join(failure.describe() for failure in run.failures)
+        warnings.warn(
+            f"run_suite: {len(run.failures)} job(s) quarantined and excluded "
+            f"from results: {described}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [result for result in run.results if result is not None]
+    return run.results
 
 
 def ipc_by_category(results: Iterable[RunResult]) -> Dict[str, Dict[str, float]]:

@@ -1,0 +1,482 @@
+"""Differential tests for the fault-tolerant supervised executor.
+
+The contract extends the plan layer's: a sweep disturbed by worker
+crashes, hangs, garbage replies, and corrupted files must still produce
+results **bit-identical** to an undisturbed sequential run — and a sweep
+interrupted outright (SIGKILL) must resume simulating only the jobs
+that never committed, via the :class:`~repro.sim.plan.SweepJournal`
+checkpoint and the result cache.
+
+Every disturbance is injected deterministically through
+:mod:`repro.sim.faults`, so these paths are exercised on every test run,
+not only when production infrastructure actually fails.
+"""
+
+import multiprocessing
+import os
+import shutil
+import signal
+import warnings
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.sim import faults, plan
+from repro.sim.configs import (
+    conventional_spec,
+    dnuca_spec,
+    lnuca_dnuca_spec,
+    lnuca_l3_spec,
+)
+from repro.sim.faults import FaultPlan, FaultSpec
+from repro.sim.plan import (
+    ResultCache,
+    SupervisionPolicy,
+    SweepJournal,
+    compile_sweep,
+    execute,
+)
+from repro.sim.runner import run_suite
+
+from tests.test_plan import (
+    FOUR_HIERARCHIES,
+    TINY,
+    assert_identical,
+    result_tuple,
+    two_workloads,
+)
+
+#: Fast retries for tests: near-zero backoff, no minutes-long defaults.
+FAST = SupervisionPolicy(backoff_base=0.01)
+
+
+@pytest.fixture(autouse=True)
+def isolated_faults():
+    """Each test starts fault-free (even under a CI REPRO_FAULT_PLAN)."""
+    faults.install(FaultPlan())
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def small_plan():
+    """Two builders x two workloads: enough for fan-out, fast enough."""
+    builders = {"L2-256KB": conventional_spec(), "LN2-72KB": lnuca_l3_spec(2)}
+    return compile_sweep(builders, two_workloads(), TINY)
+
+
+def four_hierarchy_plan():
+    return compile_sweep(FOUR_HIERARCHIES, two_workloads(), TINY)
+
+
+def reference_results(compiled):
+    faults.install(FaultPlan())
+    run = execute(compiled)
+    assert not run.failures
+    return run.results
+
+
+class TestRetryBitIdentity:
+    """Disturbed supervised sweeps match the undisturbed sequential run."""
+
+    def test_worker_crash_is_retried(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0, attempt=0),
+        ]))
+        run = execute(compiled, workers=2, supervision=FAST)
+        assert not run.failures
+        assert run.stats.retries >= 1
+        assert run.stats.simulated == len(compiled.jobs)  # retries don't inflate
+        assert_identical(run.results, reference)
+
+    def test_hung_worker_is_timed_out_and_retried(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="hang", nth=0, attempt=0, seconds=60.0),
+        ]))
+        policy = SupervisionPolicy(job_timeout=2.0, backoff_base=0.01)
+        run = execute(compiled, workers=2, supervision=policy)
+        assert not run.failures
+        assert run.stats.timeouts >= 1
+        assert run.stats.retries >= 1
+        assert_identical(run.results, reference)
+
+    def test_garbage_reply_replaces_worker_and_retries(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="garbage", nth=1, attempt=0),
+        ]))
+        run = execute(compiled, workers=2, supervision=FAST)
+        assert not run.failures
+        assert run.stats.retries >= 1
+        assert_identical(run.results, reference)
+
+    def test_transient_error_is_retried(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="error", nth=2, attempt=0),
+        ]))
+        run = execute(compiled, workers=2, supervision=FAST)
+        assert not run.failures
+        assert run.stats.retries >= 1
+        assert_identical(run.results, reference)
+
+    def test_multiple_disturbances_in_one_sweep(self):
+        """Crash + hang + garbage in a single sweep, still bit-identical."""
+        compiled = four_hierarchy_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0, attempt=0),
+            FaultSpec(site="worker-job", op="hang", nth=3, attempt=0, seconds=60.0),
+            FaultSpec(site="worker-job", op="garbage", nth=5, attempt=0),
+        ]))
+        policy = SupervisionPolicy(job_timeout=3.0, backoff_base=0.01)
+        run = execute(compiled, workers=2, supervision=policy)
+        assert not run.failures
+        assert run.stats.retries >= 3
+        assert run.stats.simulated == len(compiled.jobs)
+        assert_identical(run.results, reference)
+
+
+class TestQuarantine:
+    def test_persistent_crash_is_quarantined(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0),  # every attempt
+        ]))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            run = execute(compiled, workers=2, supervision=FAST)
+        assert len(run.failures) == 1
+        failure = run.failures[0]
+        assert failure.reason == "crash"
+        assert failure.attempts == FAST.max_retries + 1
+        assert run.stats.quarantined == 1
+        assert run.results[failure.index] is None
+        # Every other job still completed, bit-identically.
+        for index, result in enumerate(run.results):
+            if index != failure.index:
+                assert result_tuple(result) == result_tuple(reference[index])
+
+    def test_strict_mode_raises(self):
+        compiled = small_plan()
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0),
+        ]))
+        policy = SupervisionPolicy(backoff_base=0.01, strict=True)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            with pytest.raises(ExecutionError, match="failed permanently"):
+                execute(compiled, workers=2, supervision=policy)
+
+    def test_deterministic_error_skips_retries(self):
+        """A SimulationError reproduces on retry, so none are attempted."""
+        compiled = small_plan()
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="fatal-error", nth=0),
+        ]))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            run = execute(compiled, workers=2, supervision=FAST)
+        assert len(run.failures) == 1
+        assert run.failures[0].attempts == 1
+        assert run.stats.retries == 0
+        assert run.stats.quarantined == 1
+
+    def test_run_suite_excludes_quarantined_results(self):
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0),
+        ]))
+        builders = {"L2-256KB": conventional_spec(), "LN2-72KB": lnuca_l3_spec(2)}
+        with pytest.warns(RuntimeWarning, match="quarantined and excluded"):
+            results = run_suite(
+                builders, two_workloads(), TINY, workers=2, supervision=FAST
+            )
+        assert len(results) == 3  # 4 jobs, 1 quarantined
+        assert all(result is not None for result in results)
+
+    def test_quarantined_job_completes_on_clean_rerun(self, cache):
+        """Only the failed job re-simulates once the fault clears."""
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="worker-job", op="crash", nth=0),
+        ]))
+        policy = SupervisionPolicy(backoff_base=0.01, max_retries=0)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            first = execute(compiled, workers=2, cache=cache, supervision=policy)
+        assert len(first.failures) == 1
+        faults.install(FaultPlan())
+        second = execute(compiled, workers=2, cache=cache, supervision=policy)
+        assert not second.failures
+        assert second.stats.simulated == 1  # only the quarantined job
+        assert second.stats.cached == len(compiled.jobs) - 1
+        assert_identical(second.results, reference)
+
+
+class TestDegradation:
+    def test_missing_fork_warns_and_runs_in_process(self, monkeypatch):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        monkeypatch.delattr(os, "fork")
+        monkeypatch.setattr(plan, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="lacks os.fork"):
+            run = execute(compiled, workers=2)
+        assert run.stats.workers_effective == 1
+        assert_identical(run.results, reference)
+
+    def test_fork_warning_fires_once_per_process(self, monkeypatch):
+        compiled = small_plan()
+        monkeypatch.delattr(os, "fork")
+        monkeypatch.setattr(plan, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="lacks os.fork"):
+            execute(compiled, workers=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            execute(compiled, workers=2)  # silent the second time
+
+    def test_spawn_failure_degrades_to_in_process(self):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="spawn", op="error"),  # every spawn fails
+        ]))
+        with pytest.warns(RuntimeWarning, match="degrading to in-process"):
+            run = execute(compiled, workers=2, supervision=FAST)
+        assert not run.failures
+        assert run.stats.workers_effective == 1
+        assert_identical(run.results, reference)
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_snapshot_blob_is_rebuilt(self):
+        # Two builders with the same spec share a snapshot (same digest):
+        # the first job stores the (corrupted) blob, the second detects
+        # the corruption on load and rebuilds from scratch.
+        builders = {"A-L2": conventional_spec(), "B-L2": conventional_spec()}
+        compiled = compile_sweep(builders, two_workloads()[:1], TINY)
+        plan._SNAPSHOT_BLOBS.clear()
+        reference = reference_results(compiled)
+        plan._SNAPSHOT_BLOBS.clear()
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="snapshot-blob", op="corrupt", nth=0),
+        ]))
+        with pytest.warns(RuntimeWarning, match="discarding corrupt blob"):
+            run = execute(compiled)
+        assert_identical(run.results, reference)
+
+    def test_corrupt_cache_entry_self_heals(self, cache):
+        compiled = small_plan()
+        reference = reference_results(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="result-cache", op="corrupt", nth=0),
+        ]))
+        execute(compiled, cache=cache)
+        faults.install(FaultPlan())
+        with pytest.warns(RuntimeWarning):
+            second = execute(compiled, cache=cache)
+        assert second.stats.simulated >= 1  # the corrupt entry re-simulated
+        assert second.stats.cached == len(compiled.jobs) - second.stats.simulated
+        assert_identical(second.results, reference)
+        third = execute(compiled, cache=cache)
+        assert third.stats.cached == len(compiled.jobs)  # healed
+
+    def test_cache_verify_deletes_corrupt_entries(self, cache):
+        compiled = small_plan()
+        execute(compiled, cache=cache)
+        root = os.path.join(cache.directory, "results")
+        entries = sorted(
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(root)
+            for name in names
+            if name.endswith(".json")
+        )
+        assert len(entries) == len(compiled.jobs)
+        with open(entries[0], "w") as handle:
+            handle.write("{truncated")
+        with open(entries[1] + ".tmp", "w") as handle:
+            handle.write("leftover")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = cache.verify()
+        assert report["checked"] == len(entries)
+        assert report["corrupt"] == 1
+        assert report["stale_tmp"] == 1
+        assert not os.path.exists(entries[0])
+        assert os.path.exists(entries[1])
+
+    def test_cache_verify_keep_mode(self, cache):
+        compiled = small_plan()
+        execute(compiled, cache=cache)
+        root = os.path.join(cache.directory, "results")
+        entry = next(
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(root)
+            for name in names
+            if name.endswith(".json")
+        )
+        with open(entry, "w") as handle:
+            handle.write("not json")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = cache.verify(delete=False)
+        assert report["corrupt"] == 1
+        assert os.path.exists(entry)  # kept
+
+    def test_cache_verify_cli(self, cache, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache.directory)
+        assert cli.main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "entries checked" in out
+
+
+class TestJournal:
+    def test_round_trip(self, cache):
+        compiled = small_plan()
+        run = execute(compiled, cache=cache)
+        journal = SweepJournal(str(os.path.join(cache.directory, "j.jsonl")))
+        journal.append("key-a", run.results[0])
+        journal.append("key-b", run.results[1])
+        journal.close()
+        rows = journal.load()
+        assert set(rows) == {"key-a", "key-b"}
+        restored = plan._result_from_row(rows["key-a"])
+        assert result_tuple(restored) == result_tuple(run.results[0])
+
+    def test_corrupt_lines_are_skipped(self, cache):
+        compiled = small_plan()
+        run = execute(compiled, cache=cache)
+        journal = SweepJournal(str(os.path.join(cache.directory, "j.jsonl")))
+        journal.append("key-a", run.results[0])
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"schema": "bogus"}\n')
+            handle.write('{"truncated-by-sigki')
+        with pytest.warns(RuntimeWarning, match="skipped 2 corrupt"):
+            rows = journal.load()
+        assert set(rows) == {"key-a"}
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "missing.jsonl"))
+        assert journal.load() == {}
+
+    def test_clean_completion_deletes_journal(self, cache):
+        compiled = small_plan()
+        execute(compiled, cache=cache)
+        journals = os.path.join(cache.directory, "journals")
+        assert os.listdir(journals) == []
+
+
+def _interrupted_child(compiled, cache_dir):
+    """Run the sweep sequentially; the installed fault SIGKILLs it."""
+    faults.install(FaultPlan(specs=[
+        FaultSpec(site="commit", op="exit", nth=2),
+    ]))
+    execute(compiled, cache=ResultCache(cache_dir))
+    os._exit(1)  # pragma: no cover - the fault must have killed us
+
+
+class TestInterruptResume:
+    """SIGKILL a sweep mid-flight; the journal + cache make it resumable."""
+
+    def _interrupt(self, compiled, cache):
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(
+            target=_interrupted_child, args=(compiled, cache.directory)
+        )
+        child.start()
+        child.join(timeout=120)
+        assert child.exitcode == -signal.SIGKILL
+        journals = os.listdir(os.path.join(cache.directory, "journals"))
+        assert len(journals) == 1
+        journal_path = os.path.join(cache.directory, "journals", journals[0])
+        lines = [
+            line for line in open(journal_path).read().splitlines() if line.strip()
+        ]
+        assert len(lines) == 3  # the fault fired after the third commit
+        return journal_path
+
+    def test_resume_simulates_only_incomplete_jobs(self, cache):
+        compiled = four_hierarchy_plan()
+        reference = reference_results(compiled)
+        self._interrupt(compiled, cache)
+        resumed = execute(compiled, cache=cache)
+        # The three committed jobs hit the cache; the rest simulate.
+        assert resumed.stats.cached == 3
+        assert resumed.stats.simulated == len(compiled.jobs) - 3
+        assert not resumed.failures
+        assert_identical(resumed.results, reference)
+        assert os.listdir(os.path.join(cache.directory, "journals")) == []
+
+    def test_resume_from_journal_when_cache_is_gone(self, cache):
+        """The fsync'd journal alone restores committed results."""
+        compiled = four_hierarchy_plan()
+        reference = reference_results(compiled)
+        self._interrupt(compiled, cache)
+        shutil.rmtree(os.path.join(cache.directory, "results"))  # e.g. pruned
+        resumed = execute(compiled, cache=cache)
+        assert resumed.stats.resumed_from_journal == 3
+        assert resumed.stats.cached == 0
+        assert resumed.stats.simulated == len(compiled.jobs) - 3
+        assert_identical(resumed.results, reference)
+        # The restore also repaired the cache entries.
+        rerun = execute(compiled, cache=cache)
+        assert rerun.stats.cached == len(compiled.jobs)
+        assert os.listdir(os.path.join(cache.directory, "journals")) == []
+
+
+class TestStreamingAndStats:
+    def test_on_result_streams_completions(self, cache):
+        compiled = small_plan()
+        seen = []
+        execute(compiled, cache=cache, on_result=lambda job, result: seen.append(job))
+        assert len(seen) == len(compiled.jobs)  # all fresh simulations
+        seen.clear()
+        execute(compiled, cache=cache, on_result=lambda job, result: seen.append(job))
+        assert len(seen) == len(compiled.jobs)  # all cache hits stream too
+
+    def test_on_result_streams_under_workers(self):
+        compiled = small_plan()
+        seen = []
+        run = execute(
+            compiled, workers=2, on_result=lambda job, result: seen.append(job)
+        )
+        assert len(seen) == len(compiled.jobs)
+        assert not run.failures
+
+    def test_workers_effective_recorded(self):
+        compiled = small_plan()
+        run = execute(compiled, workers=2)
+        assert run.stats.workers_effective == 2
+        sequential = execute(compiled)
+        assert sequential.stats.workers_effective == 1
+
+    def test_describe_includes_supervision_counters(self):
+        compiled = small_plan()
+        run = execute(compiled)
+        text = run.stats.describe()
+        for token in ("workers_effective=", "retries=", "timeouts=",
+                      "quarantined=", "resumed_from_journal="):
+            assert token in text
+        assert not run.stats.degraded()
+
+    def test_timeout_derived_from_instruction_budget(self):
+        policy = SupervisionPolicy()
+        assert policy.timeout_for(0) == 30.0
+        assert policy.timeout_for(1_000_000) == pytest.approx(10030.0)
+        assert SupervisionPolicy(job_timeout=5.0).timeout_for(10**9) == 5.0
+
+    def test_fault_plan_policy_overrides(self):
+        faults.install(FaultPlan(policy={"job_timeout": 1.5, "max_retries": 7}))
+        effective = plan._effective_policy(SupervisionPolicy())
+        assert effective.job_timeout == 1.5
+        assert effective.max_retries == 7
+        assert effective.backoff_base == SupervisionPolicy().backoff_base
