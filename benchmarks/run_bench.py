@@ -25,8 +25,10 @@ stage set:
 * ``micro_*`` — throughput of the inner loops every experiment relies on
   (array fill/lookup, a full L-NUCA miss search, trace generation, the
   scenario engine's vectorized-vs-scalar-vs-legacy synthesis, binary
-  trace capture/replay, and the repeated-sweep micro comparing the plan
-  layer's snapshot+pool and warm-cache paths against the direct path);
+  trace capture/replay, the repeated-sweep micro comparing the plan
+  layer's snapshot+pool and warm-cache paths against the direct path,
+  and the store-vs-cache micro holding the SQLite result store's warm
+  hit path and raw query throughput against the cache tier);
 * ``fig4_sweep`` — the bench-sized Fig. 4 sweep (sizes from
   ``benchmarks/conftest.py``) in dense and event mode, with a
   bit-identical-stats assertion between the two;
@@ -327,6 +329,93 @@ def micro_sweep_cached(repeat, instructions=2000):
     }
 
 
+def micro_store_query(repeat, instructions=2000):
+    """SQLite result store vs result cache on the warm-sweep path.
+
+    The store sits one tier behind the cache in ``execute``'s lookup
+    ladder, so its hit path must stay in the same cost class as a cache
+    hit — a sweep answered from the store is still "no simulation".  The
+    stage runs the identical warm sweep from the store tier and from the
+    cache tier, interleaved A/B per round (as in ``micro_sweep_cached``)
+    to cancel wall-clock drift, asserts both bit-identical to the cold
+    run, and measures the raw ``query`` endpoint's throughput — the cost
+    of a ``GET /results`` against the service.
+    """
+    import tempfile
+
+    from repro.sim import plan as plan_module
+    from repro.sim.store import ResultStore
+
+    specs = select_workloads(1)
+    builders = conventional_builders()
+    compiled = lambda: plan_module.compile_sweep(builders, specs, instructions)  # noqa: E731
+
+    pinned = os.environ.get("REPRO_SIM_VERSION")
+    os.environ["REPRO_SIM_VERSION"] = "bench-local"
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            pool = plan_module.TracePool(os.path.join(tmp, "pool"))
+            cache = plan_module.ResultCache(os.path.join(tmp, "cache"))
+            store = ResultStore(os.path.join(tmp, "results.sqlite"))
+
+            # Cold run populates both tiers at once (every landed result is
+            # fed to the store, cache hits included).
+            baseline = plan_module.execute(
+                compiled(), pool=pool, cache=cache, store=store
+            ).results
+            runs = len(baseline)
+
+            store_run = lambda: plan_module.execute(compiled(), pool=pool, store=store)  # noqa: E731
+            cache_run = lambda: plan_module.execute(compiled(), pool=pool, cache=cache)  # noqa: E731
+
+            store_wall = cache_wall = None
+            store_results = cache_results = None
+            for _ in range(max(repeat, 5)):
+                wall, run = _best_of(1, store_run)
+                if run.stats.store_hits != runs or run.stats.simulated:
+                    raise AssertionError("store tier missed a warm sweep — store bug")
+                store_wall = wall if store_wall is None else min(store_wall, wall)
+                store_results = run.results
+                wall, run = _best_of(1, cache_run)
+                if run.stats.cached != runs or run.stats.simulated:
+                    raise AssertionError("cache tier missed a warm sweep — cache bug")
+                cache_wall = wall if cache_wall is None else min(cache_wall, wall)
+                cache_results = run.results
+
+            queries = 200
+
+            def query_body():
+                rows = None
+                for _ in range(queries):
+                    rows = store.query(label="L2-256KB", limit=16)
+                if not rows:
+                    raise AssertionError("store query returned nothing — store bug")
+
+            query_wall, _ = _best_of(max(repeat, 3), query_body)
+            store.close()
+        if not _results_identical(baseline, store_results):
+            raise AssertionError("store-served sweep diverged from direct — store bug")
+        if not _results_identical(baseline, cache_results):
+            raise AssertionError("cache-served sweep diverged from direct — cache bug")
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_SIM_VERSION", None)
+        else:
+            os.environ["REPRO_SIM_VERSION"] = pinned
+
+    return {
+        "runs": runs,
+        "instructions_per_run": instructions,
+        "store_wall_s": store_wall,
+        "cache_wall_s": cache_wall,
+        "store_vs_cache_ratio": store_wall / cache_wall,
+        "store_hit_jobs_per_s": runs / store_wall,
+        "query_wall_s": query_wall,
+        "queries_per_s": queries / query_wall,
+        "bit_identical": True,
+    }
+
+
 def micro_core_batch(repeat, instructions=5000):
     """Span-batched core fast path: engine on vs force-disabled, interleaved.
 
@@ -529,6 +618,23 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
                 f"repeated-sweep micro regressed {sweep_ratio:.2f}x vs {baseline_path} "
                 f"(limit {max_slowdown:.2f}x)"
             )
+    # Result-store micro: the raw query throughput is held against the
+    # committed baseline the same way (absent in BENCH files older than
+    # the store).
+    store_base = committed.get("micro_store_query")
+    if store_base and store_base.get("queries_per_s"):
+        store_new = stages["micro_store_query"]["queries_per_s"]
+        store_ratio = store_base["queries_per_s"] / store_new
+        print(
+            f"baseline check: result-store queries {store_new:,.0f}/s vs "
+            f"committed {store_base['queries_per_s']:,.0f}/s "
+            f"({store_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+        )
+        if store_ratio > max_slowdown:
+            raise SystemExit(
+                f"result-store query micro regressed {store_ratio:.2f}x vs "
+                f"{baseline_path} (limit {max_slowdown:.2f}x)"
+            )
     # Span-batched core micro: the warm-replay throughput is held against
     # the committed baseline the same way (absent in BENCH files older
     # than the span engine).
@@ -597,6 +703,8 @@ def main(argv=None):
     stages["micro_trace_file"] = micro_trace_file(args.repeat)
     print("micro: repeated sweep (direct vs snapshot+pool vs cached) ...", flush=True)
     stages["micro_sweep_cached"] = micro_sweep_cached(args.repeat, args.instructions)
+    print("micro: result store vs result cache (warm hits, raw queries) ...", flush=True)
+    stages["micro_store_query"] = micro_store_query(args.repeat, args.instructions)
     print("micro: span-batched core (engine on vs per-cycle reference) ...", flush=True)
     stages["micro_core_batch"] = micro_core_batch(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
@@ -638,6 +746,13 @@ def main(argv=None):
         f"{cached['setup_speedup_vs_direct']:.2f}x setup phase), "
         f"warm cache {cached['cached_wall_s']:.3f}s "
         f"({cached['cached_speedup_vs_direct']:.0f}x, bit-identical)"
+    )
+    store_stage = stages["micro_store_query"]
+    print(
+        f"store vs cache: warm sweep from store {store_stage['store_wall_s']:.3f}s, "
+        f"from cache {store_stage['cache_wall_s']:.3f}s "
+        f"({store_stage['store_vs_cache_ratio']:.2f}x ratio, bit-identical), "
+        f"raw queries {store_stage['queries_per_s']:,.0f}/s"
     )
     batch = stages["micro_core_batch"]
     print(

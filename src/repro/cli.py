@@ -73,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
         "unlimited when unset); surviving entries keep hitting bit-identically",
     )
     parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="also consult/feed the SQLite result store: cache misses are "
+        "answered from it and every landed result is inserted "
+        "(default path <cache dir>/results.sqlite or REPRO_STORE_PATH; "
+        "pass a PATH to override).  'serve' and 'store' subcommands "
+        "enable it automatically",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a single updating progress line per sweep "
+        "(jobs done/total, cache/store hits, retries, quarantines)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="abort the sweep with an error when a job is quarantined "
@@ -156,6 +174,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report corrupt entries without deleting them",
     )
+
+    store_cmd = sub.add_parser(
+        "store", help="Query and maintain the SQLite result store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser(
+        "ingest",
+        help="ETL existing result-cache entries and sweep journals into the store",
+    )
+    store_query = store_sub.add_parser(
+        "query", help="filter stored results (newest first)"
+    )
+    store_query.add_argument("--label", default=None, help="hierarchy label")
+    store_query.add_argument("--workload", default=None, help="workload/scenario name")
+    store_query.add_argument("--category", default=None, help="int / fp / scenario category")
+    store_query.add_argument("--version", default=None, help="simulator version")
+    store_query.add_argument("--tag", default=None, help="scenario catalog tag")
+    store_query.add_argument("--limit", type=int, default=None, help="max rows")
+    store_query.add_argument(
+        "--json", action="store_true", help="print rows as JSON lines"
+    )
+    store_sub.add_parser("stats", help="row counts and store file health")
+
+    serve = sub.add_parser(
+        "serve",
+        help="Run the HTTP/JSON sweep service (POST /sweeps, GET /results, "
+        "GET /healthz); repeated identical requests are answered from the "
+        "store/cache without simulating",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
@@ -173,6 +227,38 @@ def _result_cache(args):
     from repro.sim.plan import ResultCache
 
     return ResultCache.default(limit_mb=args.cache_limit_mb)
+
+
+def _result_store(args, default_on: bool = False):
+    """The CLI's SQLite result store (``None`` unless requested).
+
+    ``--store`` (optionally with a path) enables it for any command;
+    the ``serve`` and ``store`` subcommands enable it by default.
+    """
+    if args.store is None and not default_on:
+        return None
+    from repro.sim.store import ResultStore
+
+    return ResultStore(args.store or None)
+
+
+def _progress_printer():
+    """A ``on_progress`` callback rendering one updating line per sweep."""
+    import sys
+
+    def show(done: int, total: int, stats) -> None:
+        line = (
+            f"\r[{done}/{total}] simulated={stats.simulated} "
+            f"cached={stats.cached} store_hits={stats.store_hits} "
+            f"retries={stats.retries} quarantined={stats.quarantined}"
+        )
+        # The sweep's final callback (done covers every non-quarantined
+        # job) terminates the line.
+        end = "\n" if done + stats.quarantined >= total else ""
+        sys.stderr.write(line + end)
+        sys.stderr.flush()
+
+    return show
 
 
 def _supervision(args):
@@ -195,7 +281,9 @@ def _cache_verify(cache, keep: bool) -> None:
     print(
         f"cache {cache.directory}: {report['checked']} entries checked, "
         f"{report['corrupt']} corrupt ({verb}), "
-        f"{report['stale_tmp']} stale tmp files"
+        f"{report['stale_tmp']} stale tmp files, "
+        f"{report['journals']} checkpoint journals "
+        f"({report['stale_journals']} abandoned, {verb})"
     )
 
 
@@ -300,11 +388,76 @@ def _scenarios_run(
         print(f"csv written to {csv_path}")
 
 
+def _store_ingest(store, cache) -> None:
+    cache_report = store.ingest_cache(cache)
+    journal_report = store.ingest_journals(cache.directory)
+    print(
+        f"store {store.path}: ingested {cache_report['ingested']} of "
+        f"{cache_report['scanned']} cache entries "
+        f"({cache_report['skipped']} unreadable), "
+        f"{journal_report['ingested']} rows from {journal_report['journals']} "
+        f"journal(s) ({journal_report['skipped']} corrupt lines)"
+    )
+
+
+def _store_query(store, args) -> None:
+    import json as json_module
+
+    rows = store.query(
+        label=args.label,
+        workload=args.workload,
+        category=args.category,
+        version=args.version,
+        tag=args.tag,
+        limit=args.limit,
+    )
+    if args.json:
+        for row in rows:
+            print(json_module.dumps(row, sort_keys=True))
+        return
+    if not rows:
+        print("no matching rows")
+        return
+    print(f"{'label':<14} {'workload':<20} {'category':<10} {'ipc':>8} {'cycles':>12}")
+    for row in rows:
+        print(
+            f"{row['label']:<14} {row['workload']:<20} {row['category']:<10} "
+            f"{row['ipc']:>8.4f} {row['cycles']:>12.0f}"
+        )
+
+
+def _store_stats(store) -> None:
+    stats = store.stats()
+    print(
+        f"store {stats['path']}: schema {stats['schema']}, {stats['rows']} rows, "
+        f"{stats['labels']} labels, {stats['workloads']} workloads, "
+        f"{stats['versions']} simulator versions, {stats['size_bytes']} bytes"
+    )
+    health = store.verify()
+    print(f"integrity: {health['integrity']}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.sim.plan import set_default_progress, use_store
+
     cache = _result_cache(args)
     supervision = _supervision(args)
+    store = _result_store(args, default_on=args.command in ("serve", "store"))
+    if args.progress:
+        set_default_progress(_progress_printer())
+    try:
+        with use_store(store):
+            return _dispatch(args, cache, store, supervision)
+    finally:
+        if args.progress:
+            set_default_progress(None)
+        if store is not None:
+            store.close()
+
+
+def _dispatch(args, cache, store, supervision) -> int:
     if args.command == "table2":
         table2_area.main()
     elif args.command == "table3":
@@ -348,6 +501,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 workers=args.workers,
                 cache=cache,
                 supervision=supervision,
+                store=store,
             )
         print(f"report written to {path}")
         # The two-pass CI smoke asserts `simulated=0` on the warm pass.
@@ -357,6 +511,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise SystemExit("cache verify needs the cache enabled (drop --no-cache)")
         if args.cache_command == "verify":
             _cache_verify(cache, keep=args.keep)
+    elif args.command == "store":
+        if args.store_command == "ingest":
+            if cache is None:
+                raise SystemExit("store ingest reads the cache (drop --no-cache)")
+            _store_ingest(store, cache)
+        elif args.store_command == "query":
+            _store_query(store, args)
+        elif args.store_command == "stats":
+            _store_stats(store)
+    elif args.command == "serve":
+        from repro.service import SweepManager, serve
+
+        manager = SweepManager(
+            cache=cache, store=store, workers=args.workers, supervision=supervision,
+        )
+        serve(args.host, args.port, manager, verbose=args.verbose)
     elif args.command == "scenarios":
         from repro.common.errors import ConfigurationError
 

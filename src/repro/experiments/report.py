@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import csv
 import os
+from contextlib import nullcontext
 from typing import Dict, List, Optional
 
 from repro.experiments import (
@@ -30,7 +31,7 @@ from repro.experiments.common import (
     format_energy_rows,
     format_ipc_rows,
 )
-from repro.sim.plan import collect_stats, simulator_version
+from repro.sim.plan import collect_stats, simulator_version, use_store
 
 
 def generate_report(
@@ -41,19 +42,27 @@ def generate_report(
     workers: Optional[int] = None,
     cache=None,
     supervision=None,
+    store=None,
 ) -> Dict[str, object]:
     """Run every experiment and return their raw results.
 
     ``cache`` (a :class:`~repro.sim.plan.ResultCache`) memoizes every
     underlying simulation; a warm re-run at the same simulator version
     performs zero simulation and reproduces the report byte-identically.
+    ``store`` (a :class:`~repro.sim.store.ResultStore`) backs the same
+    summaries one tier further out: cache misses are answered from it —
+    still byte-identical, still zero simulation — and every landed
+    result is inserted, so the report corpus stays queryable.
 
     Degraded execution (worker retries, timeouts, quarantined jobs, or a
     journal resume) is recorded under ``provenance["execution"]`` so it is
     visible in committed artifacts; a healthy run records nothing, which
     keeps warm re-runs byte-identical to cold ones.
     """
-    with collect_stats() as stats:
+    # use_store(None) would *clear* a store the caller (the CLI's --store)
+    # already installed, so only override when one was passed explicitly.
+    store_context = use_store(store) if store is not None else nullcontext()
+    with collect_stats() as stats, store_context:
         return _generate_report_inner(
             num_instructions, per_category, include_ablations,
             ablation_instructions, workers, cache, supervision, stats,
@@ -270,12 +279,15 @@ def write_report(
     workers: Optional[int] = None,
     cache=None,
     supervision=None,
+    store=None,
 ) -> str:
     """Generate the report, write markdown + CSVs into ``directory``.
 
-    ``workers`` parallelises the underlying sweeps and ``cache`` memoizes
-    them; the emitted artifacts are byte-identical to a sequential,
-    uncached run, so neither is recorded in the provenance command line.
+    ``workers`` parallelises the underlying sweeps, ``cache`` memoizes
+    them, and ``store`` answers cache misses from the SQLite result
+    store; the emitted artifacts are byte-identical to a sequential,
+    uncached run, so none of them is recorded in the provenance command
+    line.
     """
     report = generate_report(
         num_instructions=num_instructions,
@@ -284,6 +296,7 @@ def write_report(
         workers=workers,
         cache=cache,
         supervision=supervision,
+        store=store,
     )
     # The recorded command must reproduce this file, so it also carries the
     # output directory the caller chose.

@@ -1,0 +1,22 @@
+"""Simulation-as-a-service: the stdlib HTTP/JSON front end.
+
+``repro serve`` wraps the whole reproduction behind four endpoints —
+``POST /sweeps`` (compile + dedup + execute a sweep), ``GET /sweeps/<id>``
+(progress and per-job results as they land), ``GET /results`` (the SQLite
+result-store query API), and ``GET /healthz`` — so repeated questions
+about L-NUCA behaviour are answered from the store/cache in O(1) and only
+genuinely novel configurations ever simulate.  Everything is standard
+library (``http.server``, ``json``, ``sqlite3``); there is nothing to
+install.
+"""
+
+from repro.service.manager import Sweep, SweepManager, SweepRequestError
+from repro.service.server import create_server, serve
+
+__all__ = [
+    "Sweep",
+    "SweepManager",
+    "SweepRequestError",
+    "create_server",
+    "serve",
+]

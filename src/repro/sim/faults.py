@@ -36,11 +36,12 @@ Sites and their ops
 ``spawn``
     Fires when the supervisor forks a worker.  Op ``error`` raises
     ``OSError``, exercising the degrade-to-in-process path.
-``result-cache`` / ``trace-pool`` / ``journal``
-    Fire after the respective file has been written.  Matched by ``nth``
-    (per-site write counter) and ``path`` (substring).  Ops ``corrupt``
-    (overwrite the head with garbage bytes), ``truncate`` (halve the
-    file), ``delete``.
+``result-cache`` / ``trace-pool`` / ``journal`` / ``store``
+    Fire after the respective file has been written (``store`` is the
+    SQLite result store, fired after each row insert commits).  Matched
+    by ``nth`` (per-site write counter) and ``path`` (substring).  Ops
+    ``corrupt`` (overwrite the head with garbage bytes), ``truncate``
+    (halve the file), ``delete``.
 ``snapshot-blob``
     Fires when a prewarm snapshot blob is stored.  Op ``corrupt``
     replaces the pickle with garbage, exercising the rebuild-on-corrupt

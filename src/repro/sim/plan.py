@@ -79,6 +79,7 @@ import json
 import os
 import pickle
 import subprocess
+import threading
 import time
 import warnings
 from collections import OrderedDict, deque
@@ -400,6 +401,26 @@ def _result_from_row(row: Dict[str, object]) -> RunResult:
     )
 
 
+#: Checkpoint journals older than this belong to sweeps nobody will
+#: resume; ``ResultCache.prune`` ages them out (override with the
+#: ``REPRO_JOURNAL_MAX_AGE_DAYS`` environment variable).
+JOURNAL_MAX_AGE_DAYS = 7.0
+
+
+def _journal_max_age_days() -> float:
+    env = os.environ.get("REPRO_JOURNAL_MAX_AGE_DAYS")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            warnings.warn(
+                f"REPRO_JOURNAL_MAX_AGE_DAYS={env!r} is not a number; ignoring it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return JOURNAL_MAX_AGE_DAYS
+
+
 def default_cache_dir() -> str:
     """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-lnuca`` (or ~/.cache)."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -458,8 +479,12 @@ class ResultCache:
         Returns the number of entries deleted (0 when unlimited or within
         budget).  Entry age is the access time recorded on hits and
         writes; ties and IO races degrade gracefully (a file someone else
-        already removed just counts as pruned).
+        already removed just counts as pruned).  Journals of abandoned
+        sweeps are aged out alongside (:meth:`prune_stale_journals`);
+        they are checkpoints, not entries, so they do not count toward
+        the returned total.
         """
+        self.prune_stale_journals()
         if self.limit_bytes is None:
             return 0
         root = os.path.join(self.directory, "results")
@@ -493,6 +518,38 @@ class ResultCache:
                     break
         return deleted
 
+    def prune_stale_journals(self, max_age_days: Optional[float] = None) -> int:
+        """Delete checkpoint journals of abandoned sweeps; return the count.
+
+        A live sweep fsyncs an append into its journal with every
+        completed job, so a journal whose mtime is older than
+        ``max_age_days`` (default :data:`JOURNAL_MAX_AGE_DAYS`, override
+        with ``REPRO_JOURNAL_MAX_AGE_DAYS``) belongs to a sweep nobody
+        resumed — the one case :class:`SweepJournal` itself can never
+        clean up, because its ``delete`` only runs when the sweep
+        completes.
+        """
+        if max_age_days is None:
+            max_age_days = _journal_max_age_days()
+        root = os.path.join(self.directory, "journals")
+        cutoff = time.time() - max_age_days * 86400.0
+        deleted = 0
+        try:
+            names = os.listdir(root)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(root, name)
+            try:
+                if os.stat(path).st_mtime < cutoff:
+                    os.remove(path)
+                    deleted += 1
+            except OSError:
+                pass
+        return deleted
+
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, "results", key[:2], f"{key}.json")
 
@@ -523,9 +580,15 @@ class ResultCache:
                 pass
             return None
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(self, key: str, result: RunResult, meta: Optional[Dict[str, object]] = None) -> None:
+        """Write one entry.  ``meta`` (digest provenance: builder digest,
+        trace digest, simulator version, run params) rides along in the
+        entry so the SQLite result store can ETL cache entries without
+        re-deriving their keys; lookups ignore it."""
         path = self._path(key)
         payload = {"schema": RESULT_SCHEMA, "result": _result_to_row(result)}
+        if meta is not None:
+            payload["meta"] = meta
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = f"{path}.tmp{os.getpid()}"
@@ -545,13 +608,14 @@ class ResultCache:
                 )
             return
         faults.on_write("result-cache", path)
-        if self.limit_bytes is not None:
-            count = self._puts_since_prune
-            if count is None or count + 1 >= self.PRUNE_EVERY:
-                self.prune()
-                self._puts_since_prune = 0
-            else:
-                self._puts_since_prune = count + 1
+        # Amortised even without a size limit: prune() then only ages out
+        # abandoned journals, which is one directory listing.
+        count = self._puts_since_prune
+        if count is None or count + 1 >= self.PRUNE_EVERY:
+            self.prune()
+            self._puts_since_prune = 0
+        else:
+            self._puts_since_prune = count + 1
 
     def verify(self, delete: bool = True) -> Dict[str, int]:
         """Scan the cache directory for corrupt, truncated, or stale files.
@@ -559,14 +623,20 @@ class ResultCache:
         Every entry is parsed and rebuilt exactly the way a lookup would
         rebuild it; entries that fail (truncated JSON, wrong schema,
         mistyped fields) are *corrupt* and — with ``delete``, the default —
-        removed, as are ``.tmp`` leftovers of crashed writers.  Returns
-        ``{"checked", "corrupt", "stale_tmp", "deleted"}`` counts; each
-        corrupt entry is also reported through a :class:`RuntimeWarning`.
+        removed, as are ``.tmp`` leftovers of crashed writers.  Checkpoint
+        journals are audited too: ``journals`` counts them and
+        ``stale_journals`` the ones past the abandonment age (deleted
+        with ``delete``).  Returns ``{"checked", "corrupt", "stale_tmp",
+        "journals", "stale_journals", "deleted"}`` counts; each corrupt
+        entry is also reported through a :class:`RuntimeWarning`.
         Surviving entries are byte-untouched, so verification never
         changes what a warm sweep replays.
         """
         root = os.path.join(self.directory, "results")
-        report = {"checked": 0, "corrupt": 0, "stale_tmp": 0, "deleted": 0}
+        report = {
+            "checked": 0, "corrupt": 0, "stale_tmp": 0,
+            "journals": 0, "stale_journals": 0, "deleted": 0,
+        }
 
         def remove(path: str) -> None:
             if delete:
@@ -600,6 +670,24 @@ class ResultCache:
                         stacklevel=2,
                     )
                     remove(path)
+        cutoff = time.time() - _journal_max_age_days() * 86400.0
+        journal_root = os.path.join(self.directory, "journals")
+        try:
+            journal_names = os.listdir(journal_root)
+        except OSError:
+            journal_names = []
+        for name in journal_names:
+            if not name.endswith(".jsonl"):
+                continue
+            report["journals"] += 1
+            path = os.path.join(journal_root, name)
+            try:
+                stale = os.stat(path).st_mtime < cutoff
+            except OSError:
+                continue
+            if stale:
+                report["stale_journals"] += 1
+                remove(path)
         return report
 
 
@@ -665,17 +753,20 @@ class SweepJournal:
             )
         return rows
 
-    def append(self, key: str, result: RunResult) -> None:
+    def append(self, key: str, result: RunResult,
+               meta: Optional[Dict[str, object]] = None) -> None:
         if self._write_failed:
             return
         try:
             if self._handle is None:
                 os.makedirs(os.path.dirname(self.path), exist_ok=True)
                 self._handle = open(self.path, "a", encoding="utf-8")
-            line = json.dumps(
-                {"schema": RESULT_SCHEMA, "key": key, "result": _result_to_row(result)},
-                sort_keys=True,
-            )
+            entry: Dict[str, object] = {
+                "schema": RESULT_SCHEMA, "key": key, "result": _result_to_row(result),
+            }
+            if meta is not None:
+                entry["meta"] = meta
+            line = json.dumps(entry, sort_keys=True)
             self._handle.write(line + "\n")
             self._handle.flush()
             os.fsync(self._handle.fileno())
@@ -895,14 +986,19 @@ class ExecutionStats:
     counts once — fault runs and clean runs report identical counts);
     ``retries`` / ``timeouts`` / ``quarantined`` count supervision
     events; ``resumed_from_journal`` counts results restored from an
-    interrupted sweep's checkpoint; ``workers_effective`` records the
-    peak number of processes that actually executed jobs (1 when
+    interrupted sweep's checkpoint; ``store_hits`` counts results served
+    by the SQLite result store after a cache miss; ``inflight_hits``
+    counts results adopted from an identical job that another thread of
+    this process was already simulating; ``workers_effective`` records
+    the peak number of processes that actually executed jobs (1 when
     in-process), so reports show what really ran.
     """
 
     jobs: int = 0
     simulated: int = 0
     cached: int = 0
+    store_hits: int = 0
+    inflight_hits: int = 0
     snapshot_builds: int = 0
     snapshot_clones: int = 0
     pool_loads: int = 0
@@ -917,6 +1013,8 @@ class ExecutionStats:
         self.jobs += other.jobs
         self.simulated += other.simulated
         self.cached += other.cached
+        self.store_hits += other.store_hits
+        self.inflight_hits += other.inflight_hits
         self.snapshot_builds += other.snapshot_builds
         self.snapshot_clones += other.snapshot_clones
         self.pool_loads += other.pool_loads
@@ -933,7 +1031,8 @@ class ExecutionStats:
             f"snapshot_clones={self.snapshot_clones} pool_loads={self.pool_loads} "
             f"workers_effective={self.workers_effective} retries={self.retries} "
             f"timeouts={self.timeouts} quarantined={self.quarantined} "
-            f"resumed_from_journal={self.resumed_from_journal}"
+            f"resumed_from_journal={self.resumed_from_journal} "
+            f"store_hits={self.store_hits} inflight_hits={self.inflight_hits}"
         )
 
     def degraded(self) -> bool:
@@ -1039,6 +1138,106 @@ def collect_stats():
         yield stats
     finally:
         _COLLECTORS.remove(stats)
+
+
+# ------------------------------------------------------------ in-flight dedup
+class _InflightEntry:
+    """One job digest currently being simulated somewhere in this process."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: Optional[RunResult] = None
+
+
+class InflightRegistry:
+    """Process-wide registry of cache keys whose simulation is in flight.
+
+    Concurrent :func:`execute` calls (the service's sweep threads) that
+    contain the identical job — same builder digest, trace digest,
+    simulator version, run params — must not simulate it twice.  The
+    first caller to :meth:`claim` a key owns it and must
+    :meth:`resolve` (or :meth:`abandon`) it; every other caller gets the
+    owner's entry back and waits on its event instead of simulating.
+    An abandoned key (owner raised, or quarantined the job) wakes the
+    waiters with ``result=None`` and they fall back to simulating
+    themselves — dedup is an optimisation, never a correctness
+    dependency.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _InflightEntry] = {}
+
+    def claim(self, key: str) -> Optional[_InflightEntry]:
+        """``None``: the caller now owns ``key`` (and must resolve it);
+        an entry: someone else owns it — wait on ``entry.event``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+            self._entries[key] = _InflightEntry()
+            return None
+
+    def resolve(self, key: str, result: Optional[RunResult]) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry.result = result
+            entry.event.set()
+
+    def abandon(self, key: str) -> None:
+        self.resolve(key, None)
+
+
+#: The process singleton :func:`execute` registers in-flight jobs with.
+_INFLIGHT = InflightRegistry()
+
+#: ``_EXEC_STATE`` (below) is a module global inherited by forked workers,
+#: so only one supervised fan-out may run at a time per process; concurrent
+#: ``execute`` calls from service threads serialize on this lock (their
+#: cache/store/in-flight fast paths still overlap freely).
+_FORK_LOCK = threading.Lock()
+
+
+def _copy_result(result: RunResult) -> RunResult:
+    """A deep, independent copy (results are mutable: labels get rewritten)."""
+    return _result_from_row(_result_to_row(result))
+
+
+# ----------------------------------------------------- module-default hooks
+#: Default result store / progress callback for :func:`execute` when the
+#: caller passes none — set once by the CLI (``--store`` / ``--progress``)
+#: instead of threading new parameters through every experiment signature.
+_DEFAULT_STORE = None
+_DEFAULT_PROGRESS: Optional[Callable[[int, int, ExecutionStats], None]] = None
+
+
+@contextmanager
+def use_store(store):
+    """Make ``store`` the default :class:`~repro.sim.store.ResultStore`
+    for every :func:`execute` call inside the block (``None`` disables)."""
+    global _DEFAULT_STORE
+    previous = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    try:
+        yield store
+    finally:
+        _DEFAULT_STORE = previous
+
+
+def set_default_progress(
+    callback: Optional[Callable[[int, int, ExecutionStats], None]],
+) -> None:
+    """Install a process-default ``on_progress`` callback (``None`` clears).
+
+    The callback receives ``(done, total, stats)`` after every job lands
+    and once more when the sweep finishes, so a renderer can terminate
+    its line even when jobs were quarantined.
+    """
+    global _DEFAULT_PROGRESS
+    _DEFAULT_PROGRESS = callback
 
 
 _DIRTY_WARNED = False
@@ -1493,6 +1692,8 @@ def execute(
     trace_memo: bool = True,
     supervision: Optional[SupervisionPolicy] = None,
     on_result: Optional[Callable[[JobSpec, RunResult], None]] = None,
+    on_progress: Optional[Callable[[int, int, ExecutionStats], None]] = None,
+    store=None,
 ) -> PlanRun:
     """Execute ``plan`` and return its results in job order.
 
@@ -1519,19 +1720,42 @@ def execute(
             (defaults to :class:`SupervisionPolicy`'s defaults; an active
             fault plan may override fields for testing).
         on_result: streaming-completion hook, called as each job's result
-            becomes available (cache hit, journal restore, or fresh
-            simulation; completion order under workers is nondeterministic).
+            becomes available (cache hit, journal restore, store hit,
+            in-flight adoption, or fresh simulation; completion order
+            under workers is nondeterministic).
+        on_progress: called as ``callback(done, total, stats)`` after
+            every landed job and once more when the sweep finishes
+            (defaults to the process-wide callback installed by
+            :func:`set_default_progress`).
+        store: a :class:`~repro.sim.store.ResultStore` consulted after a
+            cache miss and fed every landed result (defaults to the
+            :func:`use_store` context's store).  The same dirty/unknown
+            version rule as the cache applies.  Jobs neither the cache
+            nor the store can answer are deduplicated against identical
+            jobs already in flight in other threads of this process.
     """
     stats = ExecutionStats(jobs=len(plan.jobs))
     version: Optional[str] = None
     active_cache = cache
-    if active_cache is not None:
+    active_store = store if store is not None else _DEFAULT_STORE
+    if active_cache is not None or active_store is not None:
         version = simulator_version()
         if version == "unknown" or version.endswith("-dirty"):
             _warn_cache_bypassed(version)
             active_cache = None
+            active_store = None
     if pool is None and active_cache is not None:
         pool = TracePool(os.path.join(active_cache.directory, "traces"))
+
+    progress = on_progress if on_progress is not None else _DEFAULT_PROGRESS
+    total = len(plan.jobs)
+    done = 0
+
+    def note_done() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, stats)
 
     traces: Dict[str, Trace] = {}
     digests: Dict[str, str] = {}
@@ -1565,15 +1789,28 @@ def execute(
     results: List[Optional[RunResult]] = [None] * len(plan.jobs)
 
     # Content-address every job up front: the keys name the cache entries,
-    # the journal rows, and (digested together) the sweep's journal file.
+    # the journal rows, the store rows, the in-flight claims, and (digested
+    # together) the sweep's journal file.  The metas carry the digest
+    # provenance the store persists per row.
     keys: List[Optional[str]] = [None] * len(plan.jobs)
-    if active_cache is not None:
+    metas: List[Optional[Dict[str, object]]] = [None] * len(plan.jobs)
+    if active_cache is not None or active_store is not None:
         for index, job in enumerate(plan.jobs):
             builder_digest = plan.builders[job.builder].digest()
             if builder_digest is not None:
+                trace_content = content_digest(job.trace)
                 keys[index] = _cache_key(
-                    job, builder_digest, content_digest(job.trace), core_digest, version
+                    job, builder_digest, trace_content, core_digest, version
                 )
+                metas[index] = {
+                    "builder_digest": builder_digest,
+                    "trace_digest": trace_content,
+                    "core_digest": core_digest,
+                    "simulator_version": version,
+                    "num_instructions": job.num_instructions,
+                    "prewarm": job.prewarm,
+                    "mode": job.mode,
+                }
 
     journal: Optional[SweepJournal] = None
     journal_rows: Dict[str, Dict[str, object]] = {}
@@ -1583,31 +1820,69 @@ def execute(
         )
         journal_rows = journal.load()
 
+    def store_put(index: int, key: str, result: RunResult) -> None:
+        if active_store is not None:
+            active_store.put(key, result, meta=metas[index])
+
     pending: List[Tuple[int, JobSpec, Optional[str]]] = []
     for index, job in enumerate(plan.jobs):
         key = keys[index]
         if key is not None:
-            hit = active_cache.get(key)
-            if hit is not None:
-                hit.system = job.system
-                results[index] = hit
-                stats.cached += 1
-                if on_result is not None:
-                    on_result(job, hit)
-                continue
-            row = journal_rows.get(key)
-            if row is not None:
-                # An interrupted sweep checkpointed this job; restore it
-                # and repair the cache entry the crash (or pruning) lost.
-                restored = _result_from_row(row)
-                restored.system = job.system
-                results[index] = restored
-                stats.resumed_from_journal += 1
-                active_cache.put(key, restored)
-                if on_result is not None:
-                    on_result(job, restored)
-                continue
+            if active_cache is not None:
+                hit = active_cache.get(key)
+                if hit is not None:
+                    hit.system = job.system
+                    results[index] = hit
+                    stats.cached += 1
+                    # The store converges on everything the cache knows.
+                    store_put(index, key, hit)
+                    if on_result is not None:
+                        on_result(job, hit)
+                    note_done()
+                    continue
+                row = journal_rows.get(key)
+                if row is not None:
+                    # An interrupted sweep checkpointed this job; restore it
+                    # and repair the cache entry the crash (or pruning) lost.
+                    restored = _result_from_row(row)
+                    restored.system = job.system
+                    results[index] = restored
+                    stats.resumed_from_journal += 1
+                    active_cache.put(key, restored, meta=metas[index])
+                    store_put(index, key, restored)
+                    if on_result is not None:
+                        on_result(job, restored)
+                    note_done()
+                    continue
+            if active_store is not None:
+                hit = active_store.get(key)
+                if hit is not None:
+                    hit.system = job.system
+                    results[index] = hit
+                    stats.store_hits += 1
+                    if active_cache is not None:
+                        # Repair the faster tier so the next run is one open().
+                        active_cache.put(key, hit, meta=metas[index])
+                    if on_result is not None:
+                        on_result(job, hit)
+                    note_done()
+                    continue
         pending.append((index, job, key))
+
+    # In-flight dedup: claim every addressable pending job.  Owned jobs
+    # simulate here; a job another thread already claimed waits for that
+    # thread's result instead of simulating it twice.
+    claimed: set = set()
+    owned: List[Tuple[int, JobSpec, Optional[str]]] = []
+    waiting: List[Tuple[int, JobSpec, str, _InflightEntry]] = []
+    for index, job, key in pending:
+        entry = _INFLIGHT.claim(key) if key is not None else None
+        if entry is None:
+            if key is not None:
+                claimed.add(key)
+            owned.append((index, job, key))
+        else:
+            waiting.append((index, job, key, entry))
 
     failures: List[JobFailure] = []
     completed_ok = False
@@ -1623,7 +1898,7 @@ def execute(
                         builder_digest or f"adhoc:{job.builder}",
                         content_digest(job.trace),
                     )
-            stats.simulated = len(pending)
+            stats.simulated = len(owned)
 
             def commit(index: int, job: JobSpec, key: Optional[str],
                        result: RunResult) -> None:
@@ -1631,14 +1906,21 @@ def execute(
                 results[index] = result
                 if key is not None:
                     if active_cache is not None:
-                        active_cache.put(key, result)
+                        active_cache.put(key, result, meta=metas[index])
                     if journal is not None:
-                        journal.append(key, result)
+                        journal.append(key, result, meta=metas[index])
+                    store_put(index, key, result)
+                    if key in claimed:
+                        # Hand waiters their own copy: results are mutable
+                        # (labels get rewritten by adopting sweeps).
+                        _INFLIGHT.resolve(key, _copy_result(result))
+                        claimed.discard(key)
                 if on_result is not None:
                     on_result(job, result)
                 faults.on_commit()
+                note_done()
 
-            use_workers = workers is not None and workers > 1 and len(pending) > 1
+            use_workers = workers is not None and workers > 1 and len(owned) > 1
             if use_workers and not hasattr(os, "fork"):
                 _warn_sequential_fallback(
                     f"workers={workers} requested but the platform lacks os.fork"
@@ -1649,31 +1931,34 @@ def execute(
                 policy = _effective_policy(supervision)
                 entries = [
                     _Pending(index, job, key, seq)
-                    for seq, (index, job, key) in enumerate(pending)
+                    for seq, (index, job, key) in enumerate(owned)
                 ]
-                _EXEC_STATE.update(
-                    plan=plan,
-                    traces=traces,
-                    snapshot_keys=snapshot_keys,
-                    local_blobs=local_blobs,
-                    stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
-                )
-                try:
-                    executor = _SupervisedExecutor(
-                        entries,
-                        stats,
-                        policy,
-                        lambda entry, result: commit(
-                            entry.index, entry.job, entry.key, result
-                        ),
-                        processes=min(workers, len(pending)),
+                # _EXEC_STATE is inherited by forked workers, so only one
+                # supervised fan-out may be staged at a time per process.
+                with _FORK_LOCK:
+                    _EXEC_STATE.update(
+                        plan=plan,
+                        traces=traces,
+                        snapshot_keys=snapshot_keys,
+                        local_blobs=local_blobs,
+                        stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
                     )
-                    failures = executor.run()
-                finally:
-                    _EXEC_STATE.clear()
-            else:
+                    try:
+                        executor = _SupervisedExecutor(
+                            entries,
+                            stats,
+                            policy,
+                            lambda entry, result: commit(
+                                entry.index, entry.job, entry.key, result
+                            ),
+                            processes=min(workers, len(owned)),
+                        )
+                        failures = executor.run()
+                    finally:
+                        _EXEC_STATE.clear()
+            elif owned:
                 stats.workers_effective = max(stats.workers_effective, 1)
-                for index, job, key in pending:
+                for index, job, key in owned:
                     commit(
                         index, job, key,
                         _run_job(
@@ -1681,8 +1966,49 @@ def execute(
                             local_blobs, stats,
                         ),
                     )
+
+            if waiting:
+                # Quarantined owned jobs never committed: release their
+                # claims now so a same-key waiter below (or in another
+                # thread) falls back to simulating instead of timing out.
+                for failure in failures:
+                    failed_key = keys[failure.index]
+                    if failed_key is not None and failed_key in claimed:
+                        _INFLIGHT.abandon(failed_key)
+                        claimed.discard(failed_key)
+                policy = _effective_policy(supervision)
+                for index, job, key, entry in waiting:
+                    # Generous cap: the owner has the same per-job timeout
+                    # budget plus retries.  Dedup is best-effort — on a
+                    # timed-out or abandoned claim we simulate ourselves;
+                    # every write path is idempotent.
+                    cap = max(
+                        60.0,
+                        policy.timeout_for(job.num_instructions)
+                        * (policy.max_retries + 2),
+                    )
+                    adopted = entry.result if entry.event.wait(cap) else None
+                    if adopted is None:
+                        stats.simulated += 1
+                        stats.workers_effective = max(stats.workers_effective, 1)
+                        commit(
+                            index, job, key,
+                            _run_job(
+                                plan, job, traces[job.trace], snapshot_keys.get(job),
+                                local_blobs, stats,
+                            ),
+                        )
+                        continue
+                    result = _copy_result(adopted)
+                    result.system = job.system
+                    stats.inflight_hits += 1
+                    commit(index, job, key, result)
         completed_ok = not failures
     finally:
+        # Claims left over (exception mid-sweep, quarantined jobs with no
+        # same-plan waiter) must wake cross-thread waiters.
+        for key in list(claimed):
+            _INFLIGHT.abandon(key)
         if journal is not None:
             if completed_ok:
                 # The sweep finished: the cache holds everything, the
@@ -1693,6 +2019,8 @@ def execute(
                 # journal so the next run resumes from it.
                 journal.close()
 
+    if progress is not None:
+        progress(done, total, stats)
     for collector in _COLLECTORS:
         collector.add(stats)
     return PlanRun(results=results, stats=stats, failures=failures)

@@ -357,7 +357,9 @@ class TestResultCache:
             cache.put(f"{index:064x}", _dummy_result(f"junk{index}"))
         before = len(self._entry_paths(cache))
         execute(compile_sweep(builders, specs, TINY), cache=cache)  # refresh LRU stamps
-        cache.limit_bytes = 2048
+        # Budget fits the two refreshed real entries (result row plus digest
+        # provenance meta) and nothing else.
+        cache.limit_bytes = 4096
         assert cache.prune() > 0
         assert len(self._entry_paths(cache)) < before
         warm = execute(compile_sweep(builders, specs, TINY), cache=cache)
