@@ -27,8 +27,10 @@ stage set:
   scenario engine's vectorized-vs-scalar-vs-legacy synthesis, binary
   trace capture/replay, the repeated-sweep micro comparing the plan
   layer's snapshot+pool and warm-cache paths against the direct path,
-  and the store-vs-cache micro holding the SQLite result store's warm
-  hit path and raw query throughput against the cache tier);
+  the store-vs-cache micro holding the SQLite result store's warm
+  hit path and raw query throughput against the cache tier, and the
+  parallel-sweep micro A/B-ing the persistent worker pool plus shared
+  snapshot blobs against the historical fork-per-sweep path);
 * ``fig4_sweep`` — the bench-sized Fig. 4 sweep (sizes from
   ``benchmarks/conftest.py``) in dense and event mode, with a
   bit-identical-stats assertion between the two;
@@ -416,6 +418,174 @@ def micro_store_query(repeat, instructions=2000):
     }
 
 
+def micro_parallel_sweep(repeat, instructions=2000, workers=2):
+    """Shared-state parallel execution vs the fork-per-sweep path, A/B.
+
+    The persistent-pool leg (A) runs ``--workers N`` sweeps on pooled
+    workers that share prewarm snapshots through the on-disk
+    :class:`~repro.sim.plan.SnapshotStore` and pooled traces through
+    ``mmap``; the fork-per-sweep leg (B) disables both
+    (``REPRO_NO_POOL=1`` + ``REPRO_NO_SNAPSHOT_STORE=1``), reproducing
+    the historical per-sweep behaviour: every sweep forks fresh workers
+    and every worker re-prewarms privately.  Rounds are interleaved
+    (A/B per round) to cancel wall-clock drift, the result cache is
+    wiped before every round so each run actually simulates, and both
+    legs are asserted bit-identical to the sequential reference.
+
+    The stage also measures two *distinct* concurrent sweeps launched
+    from threads against the same sweeps run back-to-back.  With the
+    fork lock gone they interleave freely; the combined-vs-sum ratio is
+    recorded (not asserted — a single-core box legitimately sits near
+    1.0) while the cross-sweep bit-identity is asserted hard.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.sim import plan as plan_module
+
+    if not hasattr(os, "fork"):
+        return {"skipped": "platform lacks os.fork"}
+
+    specs = select_workloads(1)
+    builders = conventional_builders()
+    names = sorted(builders)
+    half_a = {name: builders[name] for name in names[: len(names) // 2]}
+    half_b = {name: builders[name] for name in names[len(names) // 2:]}
+    compiled = lambda chosen: plan_module.compile_sweep(chosen, specs, instructions)  # noqa: E731
+
+    pinned = os.environ.get("REPRO_SIM_VERSION")
+    os.environ["REPRO_SIM_VERSION"] = "bench-local"
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = plan_module.ResultCache(os.path.join(tmp, "cache"))
+            results_dir = os.path.join(cache.directory, "results")
+
+            def fresh_round():
+                # Each timed run must simulate: drop the result tier but
+                # keep the snapshot blobs and pooled traces (the state
+                # under test), and drop the in-process snapshot L1 the
+                # next fork would inherit.
+                shutil.rmtree(results_dir, ignore_errors=True)
+                plan_module._SNAPSHOT_BLOBS.clear()
+
+            plan_module._SNAPSHOT_BLOBS.clear()
+            baseline = plan_module.execute(compiled(builders)).results
+
+            def pooled():
+                return plan_module.execute(
+                    compiled(builders), cache=cache, workers=workers
+                )
+
+            def fork_per_sweep():
+                os.environ["REPRO_NO_POOL"] = "1"
+                os.environ["REPRO_NO_SNAPSHOT_STORE"] = "1"
+                try:
+                    return plan_module.execute(
+                        compiled(builders), cache=cache, workers=workers
+                    )
+                finally:
+                    os.environ.pop("REPRO_NO_POOL", None)
+                    os.environ.pop("REPRO_NO_SNAPSHOT_STORE", None)
+
+            # Warm the snapshot store and trace pool, then prove the
+            # cross-process contract: a fresh worker re-prewarms nothing
+            # a sibling already prewarmed (disk hits, zero builds).
+            fresh_round()
+            pooled()
+            plan_module.shutdown_worker_pool()
+            fresh_round()
+            first = pooled()
+            if first.stats.snapshot_builds:
+                raise AssertionError(
+                    "fresh pool workers re-prewarmed despite the snapshot "
+                    "store — blob sharing bug"
+                )
+            if not first.stats.snapshot_disk_hits:
+                raise AssertionError("no snapshot disk hits — blob sharing bug")
+
+            pooled_wall = fork_wall = None
+            pooled_run = fork_run = None
+            for _ in range(max(repeat, 3)):
+                fresh_round()
+                wall, pooled_run = _best_of(1, pooled)
+                pooled_wall = wall if pooled_wall is None else min(pooled_wall, wall)
+                fresh_round()
+                wall, fork_run = _best_of(1, fork_per_sweep)
+                fork_wall = wall if fork_wall is None else min(fork_wall, wall)
+            if not pooled_run.stats.pool_reused:
+                raise AssertionError("warm rounds never reused a pool worker")
+            if fork_run.stats.pool_reused:
+                raise AssertionError("REPRO_NO_POOL leg reused a pool worker")
+
+            # Concurrent distinct sweeps: back-to-back vs threads.
+            sequential_sum = 0.0
+            for chosen in (half_a, half_b):
+                fresh_round()
+                wall, _ = _best_of(1, lambda: plan_module.execute(
+                    compiled(chosen), cache=cache, workers=workers
+                ))
+                sequential_sum += wall
+            fresh_round()
+            concurrent_runs = [None, None]
+
+            def sweep(index, chosen):
+                concurrent_runs[index] = plan_module.execute(
+                    compiled(chosen), cache=cache, workers=workers
+                )
+
+            threads = [
+                threading.Thread(target=sweep, args=(index, chosen))
+                for index, chosen in enumerate((half_a, half_b))
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            concurrent_wall = time.perf_counter() - start
+
+        if not _results_identical(baseline, pooled_run.results):
+            raise AssertionError("pooled parallel sweep diverged — pool bug")
+        if not _results_identical(baseline, fork_run.results):
+            raise AssertionError("fork-per-sweep leg diverged — executor bug")
+        concurrent_results = [
+            result
+            for run in concurrent_runs
+            for result in run.results
+        ]
+        by_label = {
+            (result.system, result.workload): result for result in baseline
+        }
+        reference = [
+            by_label[(result.system, result.workload)]
+            for result in concurrent_results
+        ]
+        if not _results_identical(reference, concurrent_results):
+            raise AssertionError("concurrent sweeps diverged — pool bug")
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_SIM_VERSION", None)
+        else:
+            os.environ["REPRO_SIM_VERSION"] = pinned
+
+    runs = len(baseline)
+    return {
+        "runs": runs,
+        "instructions_per_run": instructions,
+        "workers": workers,
+        "pooled_wall_s": pooled_wall,
+        "fork_per_sweep_wall_s": fork_wall,
+        "pooled_speedup_vs_fork": fork_wall / pooled_wall,
+        "pooled_jobs_per_s": runs / pooled_wall,
+        "snapshot_disk_hits_cold_pool": first.stats.snapshot_disk_hits,
+        "sequential_sum_wall_s": sequential_sum,
+        "concurrent_wall_s": concurrent_wall,
+        "concurrent_vs_sum_ratio": concurrent_wall / sequential_sum,
+        "bit_identical": True,
+    }
+
+
 def micro_core_batch(repeat, instructions=5000):
     """Span-batched core fast path: engine on vs force-disabled, interleaved.
 
@@ -635,6 +805,24 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
                 f"result-store query micro regressed {store_ratio:.2f}x vs "
                 f"{baseline_path} (limit {max_slowdown:.2f}x)"
             )
+    # Parallel-sweep micro: the persistent-pool leg's job throughput is
+    # held against the committed baseline the same way (absent in BENCH
+    # files older than the pool).
+    parallel_base = committed.get("micro_parallel_sweep")
+    if parallel_base and parallel_base.get("pooled_jobs_per_s"):
+        parallel_new = stages["micro_parallel_sweep"].get("pooled_jobs_per_s")
+        if parallel_new:
+            parallel_ratio = parallel_base["pooled_jobs_per_s"] / parallel_new
+            print(
+                f"baseline check: parallel sweep (pooled) {parallel_new:,.1f} jobs/s vs "
+                f"committed {parallel_base['pooled_jobs_per_s']:,.1f} jobs/s "
+                f"({parallel_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+            )
+            if parallel_ratio > max_slowdown:
+                raise SystemExit(
+                    f"parallel-sweep micro regressed {parallel_ratio:.2f}x vs "
+                    f"{baseline_path} (limit {max_slowdown:.2f}x)"
+                )
     # Span-batched core micro: the warm-replay throughput is held against
     # the committed baseline the same way (absent in BENCH files older
     # than the span engine).
@@ -705,6 +893,8 @@ def main(argv=None):
     stages["micro_sweep_cached"] = micro_sweep_cached(args.repeat, args.instructions)
     print("micro: result store vs result cache (warm hits, raw queries) ...", flush=True)
     stages["micro_store_query"] = micro_store_query(args.repeat, args.instructions)
+    print("micro: parallel sweep (persistent pool vs fork-per-sweep) ...", flush=True)
+    stages["micro_parallel_sweep"] = micro_parallel_sweep(args.repeat, args.instructions)
     print("micro: span-batched core (engine on vs per-cycle reference) ...", flush=True)
     stages["micro_core_batch"] = micro_core_batch(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
@@ -754,6 +944,17 @@ def main(argv=None):
         f"({store_stage['store_vs_cache_ratio']:.2f}x ratio, bit-identical), "
         f"raw queries {store_stage['queries_per_s']:,.0f}/s"
     )
+    parallel = stages["micro_parallel_sweep"]
+    if "pooled_wall_s" in parallel:
+        print(
+            f"parallel sweep ({parallel['workers']} workers): "
+            f"persistent pool {parallel['pooled_wall_s']:.2f}s, "
+            f"fork-per-sweep {parallel['fork_per_sweep_wall_s']:.2f}s "
+            f"({parallel['pooled_speedup_vs_fork']:.2f}x, bit-identical); "
+            f"two concurrent sweeps {parallel['concurrent_wall_s']:.2f}s vs "
+            f"{parallel['sequential_sum_wall_s']:.2f}s back-to-back "
+            f"({parallel['concurrent_vs_sum_ratio']:.2f}x)"
+        )
     batch = stages["micro_core_batch"]
     print(
         f"span-batched core ({batch['scenario']}): per-cycle {batch['nospan_wall_s']:.3f}s, "

@@ -53,8 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="fan sweeps out over N forked worker processes "
+        help="fan sweeps out over N persistent pool workers "
         "(result-identical to sequential; needs a fork-capable OS)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on idle workers kept in the persistent pool between "
+        "sweeps (default: REPRO_POOL_SIZE or 8); excess workers are "
+        "discarded instead of pooled",
+    )
+    parser.add_argument(
+        "--pool-max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="recycle a pool worker after it has run this many jobs "
+        "(default: REPRO_POOL_MAX_JOBS, unlimited when unset); results "
+        "are bit-identical either way",
     )
     parser.add_argument(
         "--no-cache",
@@ -166,8 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
     cache_verify = cache_sub.add_parser(
         "verify",
-        help="scan the result cache for corrupt or truncated entries "
-        "(deleting them, so they re-simulate instead of erroring)",
+        help="scan the result cache and the snapshot blob store for "
+        "corrupt or truncated entries (deleting them, so they "
+        "re-simulate / re-prewarm instead of erroring)",
     )
     cache_verify.add_argument(
         "--keep",
@@ -276,6 +295,10 @@ def _supervision(args):
 
 
 def _cache_verify(cache, keep: bool) -> None:
+    import os
+
+    from repro.sim.plan import SnapshotStore
+
     report = cache.verify(delete=not keep)
     verb = "found" if keep else "deleted"
     print(
@@ -284,6 +307,13 @@ def _cache_verify(cache, keep: bool) -> None:
         f"{report['stale_tmp']} stale tmp files, "
         f"{report['journals']} checkpoint journals "
         f"({report['stale_journals']} abandoned, {verb})"
+    )
+    snapshots = SnapshotStore(os.path.join(cache.directory, "snapshots"))
+    blobs = snapshots.verify(delete=not keep)
+    print(
+        f"snapshot store {snapshots.directory}: {blobs['checked']} blobs checked, "
+        f"{blobs['corrupt']} corrupt ({verb}), "
+        f"{blobs['stale_tmp']} stale tmp files"
     )
 
 
@@ -440,8 +470,10 @@ def _store_stats(store) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    from repro.sim.plan import set_default_progress, use_store
+    from repro.sim.plan import configure_worker_pool, set_default_progress, use_store
 
+    if args.pool_size is not None or args.pool_max_jobs is not None:
+        configure_worker_pool(size=args.pool_size, max_jobs=args.pool_max_jobs)
     cache = _result_cache(args)
     supervision = _supervision(args)
     store = _result_store(args, default_on=args.command in ("serve", "store"))

@@ -24,9 +24,10 @@ produces byte-identical files.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.cpu.isa import Instruction, InstrClass
@@ -52,8 +53,13 @@ def records_bytes(trace: Trace) -> bytes:
     This is the canonical byte serialization of the instruction stream
     (exactly what :func:`save_trace` writes after the header), so it doubles
     as the input for content digests: two traces are bit-identical iff their
-    record bytes are equal.
+    record bytes are equal.  For a :class:`MappedTrace` the raw mapped bytes
+    *are* that serialization, so they are returned directly — digesting a
+    mapped trace never decodes it.
     """
+    raw = getattr(trace, "_records", None)
+    if raw is not None:
+        return bytes(raw)
     pack = _RECORD.pack
     body = bytearray()
     for instruction in trace.instructions:
@@ -100,19 +106,12 @@ def read_meta(path: str) -> Dict[str, object]:
     return meta
 
 
-def load_trace(path: str) -> Trace:
-    """Load a trace saved by :func:`save_trace` (round-trip identical)."""
-    with open(path, "rb") as handle:
-        meta, expected = _read_header(handle, path)
-        payload = handle.read()
-    if len(payload) != expected * RECORD_BYTES:
-        raise TraceFormatError(
-            f"{path}: expected {expected} records "
-            f"({expected * RECORD_BYTES} bytes), found {len(payload)} bytes"
-        )
+def decode_records(payload, source: str = "<records>") -> List[Instruction]:
+    """Decode a packed record section (the canonical serialization) back
+    into :class:`Instruction` objects — the inverse of :func:`records_bytes`."""
     classes = {int(cls): cls for cls in InstrClass}
     try:
-        instructions = [
+        return [
             Instruction(
                 kind=classes[kind],
                 addr=addr,
@@ -125,11 +124,111 @@ def load_trace(path: str) -> Trace:
             for kind, flags, latency, dep1, dep2, addr in _RECORD.iter_unpack(payload)
         ]
     except KeyError as exc:
-        raise TraceFormatError(f"{path}: unknown instruction class {exc}") from None
+        raise TraceFormatError(f"{source}: unknown instruction class {exc}") from None
+
+
+def trace_from_records(name: str, category: str, payload: bytes) -> Trace:
+    """Rebuild a trace from its name, category, and packed record bytes.
+
+    This is how the worker pool ships unpooled traces: the parent sends
+    ``records_bytes(trace)`` (small, canonical, version-free) and the worker
+    reconstructs a bit-identical trace on its side.
+    """
+    if len(payload) % RECORD_BYTES:
+        raise TraceFormatError(
+            f"trace {name!r}: record payload of {len(payload)} bytes is not a "
+            f"multiple of {RECORD_BYTES}"
+        )
+    return Trace(name=name, category=category, instructions=decode_records(payload, name))
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace saved by :func:`save_trace` (round-trip identical)."""
+    with open(path, "rb") as handle:
+        meta, expected = _read_header(handle, path)
+        payload = handle.read()
+    if len(payload) != expected * RECORD_BYTES:
+        raise TraceFormatError(
+            f"{path}: expected {expected} records "
+            f"({expected * RECORD_BYTES} bytes), found {len(payload)} bytes"
+        )
     return Trace(
         name=str(meta.get("name", os.path.basename(path))),
         category=str(meta.get("category", "unknown")),
-        instructions=instructions,
+        instructions=decode_records(payload, path),
+    )
+
+
+class MappedTrace(Trace):
+    """A trace whose record bytes stay in an ``mmap`` of the ``.lntr`` file.
+
+    The instruction list is decoded lazily, per process, on first use; until
+    then the trace weighs one page table, and N worker processes mapping the
+    same pool file share the page cache instead of each holding a pickled
+    copy.  Everything observable — length, digest, decoded instructions,
+    simulation results — is bit-identical to :func:`load_trace` by
+    construction: both decode the same canonical record bytes with
+    :func:`decode_records`.
+
+    The class bypasses the :class:`Trace` dataclass ``__init__`` because
+    ``instructions`` is a property here; the cached-derived-state fields
+    (decode, resident set, digest) are initialised the same way.
+    """
+
+    def __init__(self, name: str, category: str, records, count: int, mapping=None):
+        self.name = name
+        self.category = category
+        self._records = records  #: memoryview over the mapped record section
+        self._count = count
+        self._mapping = mapping  #: keeps the mmap object alive
+        self._instructions = None
+        self._resident_cache = None
+        self._decoded_cache = None
+        self._digest_cache = None
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        decoded = self._instructions
+        if decoded is None:
+            decoded = decode_records(self._records, self.name)
+            self._instructions = decoded
+        return decoded
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def map_trace(path: str) -> Trace:
+    """Load a trace through ``mmap`` (falls back to :func:`load_trace`).
+
+    The fallback covers ``REPRO_NO_MMAP=1`` (the kill switch), filesystems
+    that refuse to map, and empty mappings; either way the returned trace is
+    bit-identical.  Format errors (bad magic, truncation) raise exactly as
+    :func:`load_trace` would.
+    """
+    if os.environ.get("REPRO_NO_MMAP"):
+        return load_trace(path)
+    with open(path, "rb") as handle:
+        meta, count = _read_header(handle, path)
+        offset = handle.tell()
+        try:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):
+            return load_trace(path)
+    expected = count * RECORD_BYTES
+    if len(mapping) - offset != expected:
+        mapping.close()
+        raise TraceFormatError(
+            f"{path}: expected {count} records ({expected} bytes), "
+            f"found {len(mapping) - offset} bytes"
+        )
+    records = memoryview(mapping)[offset:offset + expected]
+    return MappedTrace(
+        name=str(meta.get("name", os.path.basename(path))),
+        category=str(meta.get("category", "unknown")),
+        records=records,
+        count=count,
+        mapping=mapping,
     )
 
 

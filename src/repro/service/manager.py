@@ -15,6 +15,12 @@ at two levels:
 Below both sits the lookup ladder of ``execute`` itself (result cache →
 journal → SQLite store), which turns *repeated* requests into pure O(1)
 reads — ``counts.simulated == 0`` — with byte-identical results.
+
+Execution itself is shared too: each sweep thread's ``execute`` call
+enqueues its jobs into the process-wide persistent worker pool
+(:mod:`repro.sim.plan`), so concurrent non-identical sweeps draw from
+one set of warm workers and one on-disk snapshot blob store instead of
+serializing behind a fork lock.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.sim.plan import (
     compile_sweep,
     execute,
     simulator_version,
+    worker_pool_stats,
 )
 
 #: Smaller than the experiment default on purpose: a service request that
@@ -343,8 +350,11 @@ class SweepManager:
                 "retries": lifetime.retries,
                 "timeouts": lifetime.timeouts,
                 "quarantined": lifetime.quarantined,
+                "pool_reused": lifetime.pool_reused,
+                "snapshot_disk_hits": lifetime.snapshot_disk_hits,
                 "degraded": lifetime.degraded(),
             },
+            "worker_pool": worker_pool_stats(),
             "cache_dir": self.cache.directory if self.cache is not None else None,
         }
         if self.store is not None:

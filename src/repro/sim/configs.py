@@ -24,6 +24,7 @@ snapshot store.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 from dataclasses import dataclass
@@ -244,10 +245,16 @@ def build_lnuca_dnuca_hierarchy(levels: int, **overrides) -> LightNUCA:
 
 # --------------------------------------------------------------------------- builder specs
 def conventional_spec(l2_size_kb: int = 256) -> BuilderSpec:
-    """:func:`build_conventional_hierarchy` as a digestable spec."""
+    """:func:`build_conventional_hierarchy` as a digestable spec.
+
+    The factory is a :func:`functools.partial` of the module-level builder
+    (not a lambda) so the spec pickles by reference: the persistent worker
+    pool ships :class:`BuilderSpec`\\ s to already-running processes instead
+    of relying on fork-time memory inheritance.
+    """
     return builder_spec(
         f"conventional:l2={l2_size_kb}KB",
-        lambda: build_conventional_hierarchy(l2_size_kb),
+        functools.partial(build_conventional_hierarchy, l2_size_kb),
         l2_size_kb=l2_size_kb,
     )
 
@@ -261,7 +268,7 @@ def lnuca_l3_spec(levels: int, **overrides) -> BuilderSpec:
     """
     return builder_spec(
         f"lnuca-l3:levels={levels}",
-        lambda: build_lnuca_l3_hierarchy(levels, **overrides),
+        functools.partial(build_lnuca_l3_hierarchy, levels, **overrides),
         levels=levels,
         **overrides,
     )
@@ -276,7 +283,7 @@ def lnuca_dnuca_spec(levels: int, **overrides) -> BuilderSpec:
     """:func:`build_lnuca_dnuca_hierarchy` as a digestable spec."""
     return builder_spec(
         f"lnuca-dnuca:levels={levels}",
-        lambda: build_lnuca_dnuca_hierarchy(levels, **overrides),
+        functools.partial(build_lnuca_dnuca_hierarchy, levels, **overrides),
         levels=levels,
         **overrides,
     )

@@ -21,27 +21,42 @@ Sites and their ops
 ===================
 
 ``worker-job``
-    Fires in a forked worker right before it runs a job.  Matched by
-    ``job`` (the ``"system/trace"`` label), ``nth`` (the job's stable
-    position in the sweep's pending list), and ``attempt`` (0-based
-    dispatch attempt).  Ops: ``crash`` (``os._exit``), ``hang``
-    (sleep ``seconds``), ``garbage`` (reply with a non-result payload),
-    ``error`` (raise a retryable ``RuntimeError``), ``fatal-error``
-    (raise a deterministic :class:`~repro.common.errors.SimulationError`).
+    Fires right before a job runs on a pool worker.  The *supervisor*
+    matches the spec (:func:`worker_job_action`) and ships the action
+    with the job payload, so a freshly installed plan reaches workers
+    that were forked long before it — the persistent pool never relies
+    on fork-time plan inheritance.  Matched by ``job`` (the
+    ``"system/trace"`` label), ``nth`` (the job's stable position in the
+    sweep's pending list), and ``attempt`` (0-based dispatch attempt).
+    Ops: ``crash`` (``os._exit``), ``hang`` (sleep ``seconds``),
+    ``garbage`` (reply with a non-result payload), ``error`` (raise a
+    retryable ``RuntimeError``), ``fatal-error`` (raise a deterministic
+    :class:`~repro.common.errors.SimulationError`).
 ``commit``
     Fires in the committing process after a finished result has been
     written to the cache and journal.  Matched by ``nth`` (per-process
     commit counter).  Op ``exit`` SIGKILLs the process — the way tests
     interrupt a sweep mid-flight to exercise checkpoint-resume.
 ``spawn``
-    Fires when the supervisor forks a worker.  Op ``error`` raises
-    ``OSError``, exercising the degrade-to-in-process path.
-``result-cache`` / ``trace-pool`` / ``journal`` / ``store``
+    Fires when the supervisor acquires a worker — a fresh fork *or* a
+    reused pool worker (so the spawn-degradation path stays testable
+    when idle workers happen to exist).  Op ``error`` raises ``OSError``,
+    exercising the degrade-to-in-process path.
+``worker-recycle``
+    Fires when the supervisor returns a worker to the persistent pool.
+    Matched by ``nth`` (per-process release counter).  Op ``kill``
+    discards the worker instead of pooling it, exercising the
+    recycle-and-respawn path without a real crash.
+``result-cache`` / ``trace-pool`` / ``journal`` / ``store`` / ``snapshot-store``
     Fire after the respective file has been written (``store`` is the
-    SQLite result store, fired after each row insert commits).  Matched
+    SQLite result store, fired after each row insert commits;
+    ``snapshot-store`` is the on-disk prewarm blob store).  Matched
     by ``nth`` (per-site write counter) and ``path`` (substring).  Ops
     ``corrupt`` (overwrite the head with garbage bytes), ``truncate``
-    (halve the file), ``delete``.
+    (halve the file), ``delete``.  File sites fire in the process that
+    performs the write; pool workers run with no plan installed, so
+    worker-side writes are disturbed by corrupting the file from the
+    test process instead.
 ``snapshot-blob``
     Fires when a prewarm snapshot blob is stored.  Op ``corrupt``
     replaces the pickle with garbage, exercising the rebuild-on-corrupt
@@ -68,7 +83,7 @@ import signal
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Exit code of an injected worker crash (recognizable in waitpid status).
 CRASH_EXIT_CODE = 173
@@ -196,30 +211,62 @@ def _next(site: str) -> int:
 
 
 # ------------------------------------------------------------------ site hooks
-def worker_job(label: str, seq: int, attempt: int) -> Optional[str]:
-    """Called in a forked worker before running a job.
+def worker_job_action(label: str, seq: int, attempt: int) -> Optional[Tuple[str, float]]:
+    """Match a worker-job fault without executing it.
+
+    Called by the *supervisor* at dispatch time; the returned
+    ``(op, seconds)`` rides in the job payload and is applied by the
+    worker (:func:`apply_worker_action`).  Matching in the parent keeps
+    the occurrence counters in one process, so plans installed after the
+    pool spawned still hit deterministically.
+    """
+    spec = _match("worker-job", job=label, nth=seq, attempt=attempt)
+    if spec is None:
+        return None
+    return (spec.op, spec.seconds)
+
+
+def apply_worker_action(action: Optional[Tuple[str, float]], label: str) -> Optional[str]:
+    """Execute a shipped worker-job fault action inside the worker.
 
     Returns ``"garbage"`` when the worker should reply with a corrupt
     payload; may not return at all (``crash``), or may sleep (``hang``)
     or raise (``error`` / ``fatal-error``).
     """
-    spec = _match("worker-job", job=label, nth=seq, attempt=attempt)
-    if spec is None:
+    if action is None:
         return None
-    if spec.op == "crash":
+    op, seconds = action
+    if op == "crash":
         os._exit(CRASH_EXIT_CODE)
-    if spec.op == "hang":
-        time.sleep(spec.seconds)
+    if op == "hang":
+        time.sleep(seconds)
         return None
-    if spec.op == "garbage":
+    if op == "garbage":
         return "garbage"
-    if spec.op == "error":
+    if op == "error":
         raise RuntimeError(f"injected fault: transient error in {label}")
-    if spec.op == "fatal-error":
+    if op == "fatal-error":
         from repro.common.errors import SimulationError
 
         raise SimulationError(f"injected fault: deterministic error in {label}")
     return None
+
+
+def worker_job(label: str, seq: int, attempt: int) -> Optional[str]:
+    """Match *and* execute a worker-job fault in the calling process."""
+    return apply_worker_action(worker_job_action(label, seq, attempt), label)
+
+
+def on_worker_recycle() -> bool:
+    """Called when a worker is about to return to the persistent pool.
+
+    Returns True when the worker must be discarded (killed) instead of
+    pooled — the injected stand-in for an unhealthy-but-alive worker.
+    """
+    if active() is None:
+        return False
+    spec = _match("worker-recycle", nth=_next("worker-recycle"))
+    return spec is not None and spec.op == "kill"
 
 
 def on_commit() -> None:

@@ -18,8 +18,12 @@ loops with a compile/execute split:
      there, instead of being re-synthesized per sweep;
   2. **prewarm snapshots** — jobs that share a (builder, trace) pair clone
      a pickled functionally-prewarmed hierarchy instead of re-running
-     ``system.prewarm`` (the snapshot store is process-global, keyed by
-     content digests, so repeated sweeps and sibling experiments share it);
+     ``system.prewarm``.  The snapshot store is tiered: a process-global
+     L1 keyed by content digests, backed by an on-disk
+     content-addressed blob store (:class:`SnapshotStore`) next to the
+     result cache — so repeated sweeps, sibling experiments, *and every
+     worker process* share one set of snapshots, across process
+     lifetimes;
   3. **result cache** — finished :class:`~repro.sim.runner.RunResult`\\ s
      are memoized in a content-addressed on-disk cache
      (:class:`ResultCache`) keyed by (builder digest, trace digest,
@@ -30,11 +34,16 @@ Fault tolerance
 ===============
 
 ``execute(workers=N)`` runs uncached jobs under a **supervised executor**
-(:class:`_SupervisedExecutor`): jobs are dispatched one at a time over a
-per-worker pipe (a dead worker loses only its current job, never a
-chunk), every job carries a wall-clock timeout derived from its
-instruction budget, and a job whose worker crashes, hangs, or returns
-garbage is retried with exponential backoff on a replacement worker.  A
+(:class:`_SupervisedExecutor`) drawing workers from a **persistent
+process-global pool** (:class:`_WorkerPool`): workers are forked lazily,
+outlive the ``execute()`` call, and are reused by later and concurrent
+sweeps — jobs ship as self-contained payloads, so no fork lock serializes
+fan-outs.  Jobs are dispatched one at a time over a per-worker pipe (a
+dead worker loses only its current job, never a chunk), every job carries
+a wall-clock timeout derived from its instruction budget, and a job whose
+worker crashes, hangs, or returns garbage is retried with exponential
+backoff on a replacement worker (the failing worker is discarded, never
+returned to the pool).  A
 job that exhausts its retries — it keeps killing workers — is
 *quarantined*: the sweep still completes and reports a structured
 :class:`JobFailure` instead of raising (opt-in ``strict`` mode raises
@@ -74,6 +83,7 @@ crashed, hung, and corrupted mid-flight.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
@@ -90,16 +100,21 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim import faults
 
+# Imported at module level on purpose: pool workers are forked lazily and
+# must never take the import lock mid-job (a function-level import inside a
+# forked worker can deadlock against an importing thread in the parent).
+from repro.common.errors import ConfigurationError, ExecutionError, SimulationError
 from repro.cpu.core import CoreConfig, OoOCore
 from repro.cpu.trace import Trace
 from repro.cpu.workloads import WorkloadSpec, generate_trace
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.tracefile import (
     TraceFormatError,
-    load_trace,
+    map_trace,
     read_meta,
     records_bytes,
     save_trace,
+    trace_from_records,
 )
 from repro.sim.configs import BuilderSpec, _canonical
 from repro.sim.runner import RunResult, simulate
@@ -271,8 +286,10 @@ def trace_digest(trace: Trace) -> str:
     if cached is not None:
         return cached
     digest = hashlib.sha256()
+    # len(trace), not len(trace.instructions): identical by contract, but a
+    # mapped trace answers the former from its header without decoding.
     digest.update(
-        f"trace/{trace.name}\x00{trace.category}\x00{len(trace.instructions)}\x00".encode()
+        f"trace/{trace.name}\x00{trace.category}\x00{len(trace)}\x00".encode()
     )
     digest.update(records_bytes(trace))
     value = digest.hexdigest()
@@ -343,12 +360,19 @@ class TracePool:
             )
 
     def fetch(self, source: TraceSource, stats: Optional["ExecutionStats"] = None) -> Trace:
-        """Return the source's trace, replaying from the pool when possible."""
+        """Return the source's trace, replaying from the pool when possible.
+
+        Pool replays are mmap-backed (:func:`~repro.scenarios.tracefile
+        .map_trace`): the record bytes stay in the page cache — shared with
+        every worker process mapping the same file — and decode lazily per
+        process.  Bit-identical to an eager load by construction;
+        ``REPRO_NO_MMAP=1`` forces the eager path.
+        """
         if source.signature is None:
             return source.build()
         path = self.path_for(source)
         if os.path.exists(path) and self._entry_current(path, source):
-            trace = load_trace(path)
+            trace = map_trace(path)
             if stats is not None:
                 stats.pool_loads += 1
             return trace
@@ -903,10 +927,188 @@ def compile_sweep(
 
 
 # ------------------------------------------------------------------ snapshots
-#: Process-global prewarm snapshot store: (builder digest, trace digest) ->
+class SnapshotStore:
+    """Content-addressed on-disk store of prewarm snapshot blobs.
+
+    The disk tier under the in-process ``_SNAPSHOT_BLOBS`` L1.  Blobs live
+    as ``<directory>/<aa>/<digest>.blob`` files, where the digest is the
+    sha256 of ``snapshot/{simulator version}/{builder digest}/{trace
+    digest}`` — the simulator version is part of the address, so a code
+    change can never serve a stale hierarchy against the clone-equals-fresh
+    contract.  Any process (persistent pool workers, concurrent service
+    sweeps, tomorrow's run) hits snapshots produced by any other: a fresh
+    worker re-prewarms nothing a sibling already prewarmed.
+
+    Writes follow the result cache's tmp+fsync+``os.replace`` discipline
+    and fire the ``snapshot-store`` fault site.  IO failures degrade to a
+    miss; corrupt blobs are detected on unpickle by the consumer
+    (:func:`_prewarmed_system`), discarded, and rebuilt.  Size-capped LRU
+    pruning mirrors :class:`ResultCache`: ``REPRO_SNAPSHOT_LIMIT_MB``,
+    falling back to the shared ``REPRO_CACHE_LIMIT_MB``.
+    """
+
+    #: Amortisation: the size audit walks the blob tree, so it runs at
+    #: most once every this many writes (and on the first write).
+    PRUNE_EVERY = 16
+
+    def __init__(self, directory: str, version: Optional[str] = None,
+                 limit_mb: Optional[float] = None):
+        self.directory = directory
+        self.version = version if version else "unversioned"
+        self._write_failed = False
+        if limit_mb is None:
+            for knob in ("REPRO_SNAPSHOT_LIMIT_MB", "REPRO_CACHE_LIMIT_MB"):
+                env = os.environ.get(knob)
+                if not env:
+                    continue
+                try:
+                    limit_mb = float(env)
+                except ValueError:
+                    warnings.warn(
+                        f"{knob}={env!r} is not a number; ignoring it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                break
+        self.limit_bytes = None if limit_mb is None else int(limit_mb * 1024 * 1024)
+        self._puts_since_prune: Optional[int] = None  # None = never audited
+
+    def _path(self, key: Tuple[str, str]) -> str:
+        digest = hashlib.sha256(
+            f"snapshot/{self.version}/{key[0]}/{key[1]}".encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.directory, digest[:2], f"{digest}.blob")
+
+    def get(self, key: Tuple[str, str]) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        if self.limit_bytes is not None:
+            try:
+                os.utime(path)  # LRU stamp: hits protect their blob
+            except OSError:
+                pass
+        return blob
+
+    def put(self, key: Tuple[str, str], blob: bytes) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            if not self._write_failed:
+                self._write_failed = True
+                warnings.warn(
+                    f"snapshot store: disabled writes ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        faults.on_write("snapshot-store", path)
+        count = self._puts_since_prune
+        if count is None or count + 1 >= self.PRUNE_EVERY:
+            self.prune()
+            self._puts_since_prune = 0
+        else:
+            self._puts_since_prune = count + 1
+
+    def discard(self, key: Tuple[str, str]) -> None:
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            pass
+
+    def prune(self) -> int:
+        """Evict oldest-access blobs until the store fits its size limit."""
+        if self.limit_bytes is None:
+            return 0
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        try:
+            for dirpath, _, filenames in os.walk(self.directory):
+                for filename in filenames:
+                    if not filename.endswith(".blob"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        info = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((info.st_mtime, info.st_size, path))
+                    total += info.st_size
+        except OSError:
+            return 0
+        deleted = 0
+        if total > self.limit_bytes:
+            entries.sort()
+            for _, size, path in entries:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                total -= size
+                deleted += 1
+                if total <= self.limit_bytes:
+                    break
+        return deleted
+
+    def verify(self, delete: bool = True) -> Dict[str, int]:
+        """Scan the blob tree for corrupt blobs and stale tmp files.
+
+        A blob is *corrupt* when it does not unpickle — exactly the test a
+        consumer would apply — and is removed with ``delete`` (the default),
+        as are ``.tmp`` leftovers of crashed writers.  Returns
+        ``{"checked", "corrupt", "stale_tmp", "deleted"}`` counts; healthy
+        blobs are byte-untouched.
+        """
+        report = {"checked": 0, "corrupt": 0, "stale_tmp": 0, "deleted": 0}
+
+        def remove(path: str) -> None:
+            if delete:
+                try:
+                    os.remove(path)
+                    report["deleted"] += 1
+                except OSError:
+                    pass
+
+        for dirpath, _, filenames in os.walk(self.directory):
+            for filename in filenames:
+                path = os.path.join(dirpath, filename)
+                if ".tmp" in filename:
+                    report["stale_tmp"] += 1
+                    remove(path)
+                    continue
+                if not filename.endswith(".blob"):
+                    continue
+                report["checked"] += 1
+                try:
+                    with open(path, "rb") as handle:
+                        pickle.loads(handle.read())
+                except Exception as exc:
+                    report["corrupt"] += 1
+                    warnings.warn(
+                        f"snapshot store: corrupt blob {path} ({exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    remove(path)
+        return report
+
+
+#: Process-global prewarm snapshot L1: (builder digest, trace digest) ->
 #: pickled functionally-prewarmed hierarchy.  Keyed by content digests, so
 #: sharing across sweeps and experiments is always sound; bounded FIFO so a
-#: long session cannot grow without limit.
+#: long session cannot grow without limit.  Backed by the on-disk
+#: :class:`SnapshotStore` when a result cache is active.
 _SNAPSHOT_BLOBS: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
 _SNAPSHOT_CAP = 64
 
@@ -917,12 +1119,18 @@ _SNAPSHOT_CAP = 64
 _UNPICKLABLE_BUILDERS: set = set()
 
 
+def _trim_snapshot_l1() -> None:
+    while len(_SNAPSHOT_BLOBS) > _SNAPSHOT_CAP:
+        _SNAPSHOT_BLOBS.popitem(last=False)
+
+
 def _prewarmed_system(
     builder: BuilderSpec,
     trace: Trace,
     snapshot_key: Optional[Tuple[str, str]],
     local_blobs: Dict[Tuple[str, str], bytes],
     stats: "ExecutionStats",
+    disk_store: Optional[SnapshotStore] = None,
 ):
     """A functionally-prewarmed system, cloned from a snapshot when possible.
 
@@ -932,13 +1140,25 @@ def _prewarmed_system(
     the pristine original (no unpickle); every later job of the same
     (builder, trace) pair runs on an unpickled clone.  Clone-equals-fresh
     is enforced by the differential tests in ``tests/test_plan.py``.
+
+    The lookup is tiered: in-process L1 (``_SNAPSHOT_BLOBS``) first, then
+    ``disk_store`` (the on-disk :class:`SnapshotStore`, digestable builders
+    only) — a disk hit counts in ``snapshot_disk_hits``, promotes the blob
+    into L1, and still runs on an unpickled clone; a build writes through
+    to both tiers.  A corrupt blob from either tier is discarded from
+    both, rebuilt fresh, and never trusted.
     """
     if snapshot_key is None or builder.factory in _UNPICKLABLE_BUILDERS:
         system = builder.factory()
         system.prewarm(trace.resident_addresses())
         return system
     store = _SNAPSHOT_BLOBS if builder.digest() is not None else local_blobs
+    disk = disk_store if store is _SNAPSHOT_BLOBS else None
     blob = store.get(snapshot_key)
+    from_disk = False
+    if blob is None and disk is not None:
+        blob = disk.get(snapshot_key)
+        from_disk = blob is not None
     if blob is None:
         system = builder.factory()
         system.prewarm(trace.resident_addresses())
@@ -947,11 +1167,13 @@ def _prewarmed_system(
         except (pickle.PicklingError, TypeError, AttributeError):
             _UNPICKLABLE_BUILDERS.add(builder.factory)
             return system
-        store[snapshot_key] = faults.mangle_blob(blob)
+        blob = faults.mangle_blob(blob)
+        store[snapshot_key] = blob
+        if disk is not None:
+            disk.put(snapshot_key, blob)
         stats.snapshot_builds += 1
         if store is _SNAPSHOT_BLOBS:
-            while len(_SNAPSHOT_BLOBS) > _SNAPSHOT_CAP:
-                _SNAPSHOT_BLOBS.popitem(last=False)
+            _trim_snapshot_l1()
         return system
     try:
         system = pickle.loads(blob)
@@ -960,6 +1182,8 @@ def _prewarmed_system(
         # build-and-prewarm path and is replaced by a fresh snapshot —
         # never trusted, never fatal.
         store.pop(snapshot_key, None)
+        if disk is not None:
+            disk.discard(snapshot_key)
         warnings.warn(
             f"prewarm snapshot: discarding corrupt blob ({exc}); rebuilding",
             RuntimeWarning,
@@ -968,11 +1192,19 @@ def _prewarmed_system(
         system = builder.factory()
         system.prewarm(trace.resident_addresses())
         try:
-            store[snapshot_key] = pickle.dumps(system, pickle.HIGHEST_PROTOCOL)
+            fresh = pickle.dumps(system, pickle.HIGHEST_PROTOCOL)
+            store[snapshot_key] = fresh
+            if disk is not None:
+                disk.put(snapshot_key, fresh)
             stats.snapshot_builds += 1
         except (pickle.PicklingError, TypeError, AttributeError):
             _UNPICKLABLE_BUILDERS.add(builder.factory)
         return system
+    if from_disk:
+        stats.snapshot_disk_hits += 1
+        store[snapshot_key] = blob
+        if store is _SNAPSHOT_BLOBS:
+            _trim_snapshot_l1()
     stats.snapshot_clones += 1
     return system
 
@@ -991,7 +1223,11 @@ class ExecutionStats:
     counts results adopted from an identical job that another thread of
     this process was already simulating; ``workers_effective`` records
     the peak number of processes that actually executed jobs (1 when
-    in-process), so reports show what really ran.
+    in-process), so reports show what really ran.  ``pool_reused`` counts
+    worker acquisitions served by an already-warm persistent-pool worker
+    (instead of a fork); ``snapshot_disk_hits`` counts prewarm snapshots
+    served by the on-disk :class:`SnapshotStore` — redundant prewarm
+    across processes shows up as this number staying at zero.
     """
 
     jobs: int = 0
@@ -1001,8 +1237,10 @@ class ExecutionStats:
     inflight_hits: int = 0
     snapshot_builds: int = 0
     snapshot_clones: int = 0
+    snapshot_disk_hits: int = 0
     pool_loads: int = 0
     pool_saves: int = 0
+    pool_reused: int = 0
     retries: int = 0
     timeouts: int = 0
     quarantined: int = 0
@@ -1017,8 +1255,10 @@ class ExecutionStats:
         self.inflight_hits += other.inflight_hits
         self.snapshot_builds += other.snapshot_builds
         self.snapshot_clones += other.snapshot_clones
+        self.snapshot_disk_hits += other.snapshot_disk_hits
         self.pool_loads += other.pool_loads
         self.pool_saves += other.pool_saves
+        self.pool_reused += other.pool_reused
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.quarantined += other.quarantined
@@ -1026,13 +1266,16 @@ class ExecutionStats:
         self.workers_effective = max(self.workers_effective, other.workers_effective)
 
     def describe(self) -> str:
+        # New counters append at the end: CI and scripts grep for the
+        # existing "token=value " shapes and must keep matching.
         return (
             f"jobs={self.jobs} simulated={self.simulated} cached={self.cached} "
             f"snapshot_clones={self.snapshot_clones} pool_loads={self.pool_loads} "
             f"workers_effective={self.workers_effective} retries={self.retries} "
             f"timeouts={self.timeouts} quarantined={self.quarantined} "
             f"resumed_from_journal={self.resumed_from_journal} "
-            f"store_hits={self.store_hits} inflight_hits={self.inflight_hits}"
+            f"store_hits={self.store_hits} inflight_hits={self.inflight_hits} "
+            f"pool_reused={self.pool_reused} snapshot_disk_hits={self.snapshot_disk_hits}"
         )
 
     def degraded(self) -> bool:
@@ -1194,12 +1437,6 @@ class InflightRegistry:
 #: The process singleton :func:`execute` registers in-flight jobs with.
 _INFLIGHT = InflightRegistry()
 
-#: ``_EXEC_STATE`` (below) is a module global inherited by forked workers,
-#: so only one supervised fan-out may run at a time per process; concurrent
-#: ``execute`` calls from service threads serialize on this lock (their
-#: cache/store/in-flight fast paths still overlap freely).
-_FORK_LOCK = threading.Lock()
-
 
 def _copy_result(result: RunResult) -> RunResult:
     """A deep, independent copy (results are mutable: labels get rewritten)."""
@@ -1262,12 +1499,15 @@ def _run_job(
     snapshot_key: Optional[Tuple[str, str]],
     local_blobs: Dict,
     stats: ExecutionStats,
+    disk_store: Optional[SnapshotStore] = None,
 ) -> RunResult:
     """Simulate one job (the only place a core is ever constructed)."""
     builder = plan.builders[job.builder]
     source = plan.traces[job.trace]
     if job.prewarm:
-        system = _prewarmed_system(builder, trace, snapshot_key, local_blobs, stats)
+        system = _prewarmed_system(
+            builder, trace, snapshot_key, local_blobs, stats, disk_store
+        )
     else:
         system = builder.factory()
     core = OoOCore(trace, system, config=plan.core_config)
@@ -1282,11 +1522,6 @@ def _run_job(
         activity=system.activity(),
         core_stats=core.stats.as_dict(),
     )
-
-
-#: State inherited by forked workers (fork + module global sidesteps
-#: pickling builders, which are usually lambdas).
-_EXEC_STATE: Dict[str, object] = {}
 
 
 class _JobError:
@@ -1311,19 +1546,121 @@ class _JobError:
         self.exc_type, self.detail, self.deterministic = state
 
 
-def _supervised_worker(conn) -> None:
-    """One supervised worker: receive ``(index, seq, attempt)``, run, reply.
+class _TraceTransportError(RuntimeError):
+    """A pool worker could not reconstruct a job's trace from its pool-file
+    reference (file vanished, changed, or failed its digest check).  The
+    supervisor retries the job with the record bytes shipped inline."""
 
-    Replies ``(index, RunResult | _JobError, (snapshot builds, clones))``.
-    No exception escapes — the supervisor, not the worker, decides
-    between retry and quarantine.  The worker exits on a ``None``
-    sentinel or a broken pipe (the supervisor died).
+
+#: Per-worker decoded-trace cache entries retained (keyed by content).
+_WORKER_TRACE_CAP = 8
+
+
+def _payload_trace(payload: Dict[str, object], cache: "OrderedDict") -> Trace:
+    """Materialize a job payload's trace inside a pool worker.
+
+    ``("path", path, digest, ...)`` references mmap the shared pool file
+    and verify its content digest against the supervisor's — a mismatch
+    (stale or rewritten file) raises :class:`_TraceTransportError`, and
+    the supervisor falls back to shipping bytes.  ``("bytes", name,
+    category, blob)`` references rebuild the trace from its canonical
+    record bytes.  Either way the worker's trace is bit-identical to the
+    supervisor's.  Traces are cached per worker, keyed by content, so a
+    persistent worker decodes each trace once across jobs and sweeps.
     """
-    from repro.common.errors import ConfigurationError, SimulationError
+    ref = payload["trace_ref"]
+    if ref[0] == "path":
+        _, path, digest, _name, _category = ref
+        key = ("path", digest)
+        trace = cache.get(key)
+        if trace is not None:
+            cache.move_to_end(key)
+            return trace
+        try:
+            trace = map_trace(path)
+        except (OSError, TraceFormatError) as exc:
+            raise _TraceTransportError(f"pool file {path}: {exc}") from None
+        if trace_digest(trace) != digest:
+            raise _TraceTransportError(
+                f"pool file {path}: content digest mismatch (stale or rewritten)"
+            )
+    else:
+        _, name, category, blob = ref
+        key = ("bytes", hashlib.sha256(blob).hexdigest())
+        trace = cache.get(key)
+        if trace is not None:
+            cache.move_to_end(key)
+            return trace
+        trace = trace_from_records(name, category, blob)
+    cache[key] = trace
+    while len(cache) > _WORKER_TRACE_CAP:
+        cache.popitem(last=False)
+    return trace
 
-    state = _EXEC_STATE
-    plan: RunPlan = state["plan"]
-    stats: ExecutionStats = state["stats"]
+
+def _run_payload(
+    payload: Dict[str, object],
+    trace_cache: "OrderedDict",
+    store_cache: Dict[Tuple[str, str], SnapshotStore],
+) -> Tuple[RunResult, Tuple[int, int, int]]:
+    """Run one shipped job inside a pool worker; returns (result, counters).
+
+    The counters tuple is this job's ``(snapshot_builds, snapshot_clones,
+    snapshot_disk_hits)`` delta — per-worker stats die with the worker, so
+    each reply carries its own delta back to the supervisor.
+    """
+    builder: BuilderSpec = payload["builder"]
+    trace = _payload_trace(payload, trace_cache)
+    disk_store = None
+    if payload.get("snapshot_dir"):
+        store_key = (payload["snapshot_dir"], payload["snapshot_version"])
+        disk_store = store_cache.get(store_key)
+        if disk_store is None:
+            disk_store = SnapshotStore(store_key[0], version=store_key[1])
+            store_cache[store_key] = disk_store
+    scratch = ExecutionStats()
+    if payload["prewarm"]:
+        system = _prewarmed_system(
+            builder, trace, payload["snapshot_key"], {}, scratch, disk_store
+        )
+    else:
+        system = builder.factory()
+    core = OoOCore(trace, system, config=payload["core_config"])
+    summary = simulate(core, mode=payload["mode"])
+    result = RunResult(
+        system=payload["system"],
+        workload=payload["workload"],
+        category=payload["category"],
+        ipc=summary["ipc"],
+        cycles=summary["cycles"],
+        instructions=summary["instructions"],
+        activity=system.activity(),
+        core_stats=core.stats.as_dict(),
+    )
+    return result, (
+        scratch.snapshot_builds,
+        scratch.snapshot_clones,
+        scratch.snapshot_disk_hits,
+    )
+
+
+def _pool_worker(conn) -> None:
+    """One persistent pool worker: receive a job payload, run it, reply.
+
+    Jobs arrive as self-contained payload dicts (picklable builder spec,
+    trace reference, snapshot addressing, pre-matched fault action) — the
+    worker outlives the ``execute()`` call that forked it and serves any
+    later sweep, so nothing may depend on fork-time sweep state.  Replies
+    ``(index, RunResult | _JobError, (builds, clones, disk_hits))``; no
+    exception escapes — the supervisor, not the worker, decides between
+    retry and quarantine.  Exits on a ``None`` sentinel or a broken pipe.
+    """
+    # Fault plans are matched by the supervisor and shipped per job; a
+    # plan inherited over fork must not also fire worker-side (its
+    # counters would race the parent's).
+    faults.install(None)
+    trace_cache: "OrderedDict" = OrderedDict()
+    store_cache: Dict[Tuple[str, str], SnapshotStore] = {}
     while True:
         try:
             message = conn.recv()
@@ -1331,23 +1668,15 @@ def _supervised_worker(conn) -> None:
             return
         if message is None:
             return
-        index, seq, attempt = message
-        job = plan.jobs[index]
-        builds, clones = stats.snapshot_builds, stats.snapshot_clones
+        index = message["index"]
+        counters = (0, 0, 0)
         payload: object
         try:
-            action = faults.worker_job(f"{job.system}/{job.trace}", seq, attempt)
+            action = faults.apply_worker_action(message.get("action"), message["label"])
             if action == "garbage":
                 payload = "\x00injected-garbage-payload"
             else:
-                payload = _run_job(
-                    plan,
-                    job,
-                    state["traces"][job.trace],
-                    state["snapshot_keys"].get(job),
-                    state["local_blobs"],
-                    stats,
-                )
+                payload, counters = _run_payload(message, trace_cache, store_cache)
         except Exception as exc:
             payload = _JobError(
                 type(exc).__name__,
@@ -1355,21 +1684,241 @@ def _supervised_worker(conn) -> None:
                 isinstance(exc, (SimulationError, ConfigurationError)),
             )
         try:
-            # The per-worker stats object dies with the fork; ship this
-            # job's snapshot-counter delta back so the parent's stats stay
-            # truthful.
-            conn.send(
-                (index, payload,
-                 (stats.snapshot_builds - builds, stats.snapshot_clones - clones))
-            )
+            conn.send((index, payload, counters))
         except (BrokenPipeError, OSError):
             return
+
+
+class _PoolWorker:
+    """One persistent worker process plus its duplex pipe."""
+
+    __slots__ = ("process", "conn", "jobs_done")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.jobs_done = 0  #: completed jobs (recycling threshold)
+
+
+class _WorkerPool:
+    """Process-global pool of persistent workers, shared across sweeps.
+
+    Workers are forked lazily on first demand, parked idle when a sweep's
+    supervisor releases them, and handed — still warm, with their decoded
+    traces and snapshot L1 intact — to the next sweep that asks, whether
+    that sweep runs in this thread or a concurrent service thread.  Jobs
+    travel as self-contained payloads, so nothing here depends on
+    fork-time sweep state and no fork lock serializes concurrent
+    supervised fan-outs.
+
+    Supervision is unchanged and lives in :class:`_SupervisedExecutor`:
+    a crashed, hung, or garbage-spewing worker is discarded (never
+    pooled), exactly as the fork-per-sweep executor replaced it.  Knobs:
+    ``REPRO_POOL_SIZE`` caps the idle workers retained (default
+    :data:`_POOL_SIZE_DEFAULT`), ``REPRO_POOL_MAX_JOBS`` recycles a
+    worker after that many jobs (worker lifetime; default unlimited),
+    ``REPRO_NO_POOL=1`` disables reuse entirely (every acquisition
+    forks, every release discards — the bench's fork-per-sweep A/B
+    leg).  Both knobs are overridable
+    per process via :func:`configure_worker_pool`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._idle: List[_PoolWorker] = []
+        self._pid = os.getpid()
+        self.size_override: Optional[int] = None
+        self.max_jobs_override: Optional[int] = None
+        self.forked = 0
+        self.reused = 0
+        self.recycled = 0
+        self.discarded = 0
+
+    def _int_knob(self, override: Optional[int], env_name: str) -> Optional[int]:
+        if override is not None:
+            return override
+        env = os.environ.get(env_name)
+        if env:
+            try:
+                return int(env)
+            except ValueError:
+                warnings.warn(
+                    f"{env_name}={env!r} is not an integer; ignoring it",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return None
+
+    def _limit(self) -> int:
+        value = self._int_knob(self.size_override, "REPRO_POOL_SIZE")
+        return _POOL_SIZE_DEFAULT if value is None else max(0, value)
+
+    def _max_jobs(self) -> Optional[int]:
+        return self._int_knob(self.max_jobs_override, "REPRO_POOL_MAX_JOBS")
+
+    def _check_pid_locked(self) -> None:
+        # A forked child (a pool worker, a test harness fork) inherits
+        # this module state, but the idle workers belong to the parent:
+        # drop the bookkeeping, never the processes.
+        if self._pid != os.getpid():
+            self._idle = []
+            self._pid = os.getpid()
+            self.forked = self.reused = self.recycled = self.discarded = 0
+
+    def acquire(self) -> _PoolWorker:
+        """A live worker: a warm idle one when available, else a fresh fork.
+
+        Fires the ``spawn`` fault site on *every* acquisition (reuse
+        included), so spawn-degradation stays testable; raises ``OSError``
+        on spawn failure — the supervisor owns the degradation policy.
+        """
+        faults.on_spawn()
+        with self._lock:
+            self._check_pid_locked()
+            # REPRO_NO_POOL must disable reuse symmetrically: a no-pool
+            # acquisition forking past the idle list (instead of draining
+            # and then discarding it) leaves pooled sweeps' warm workers
+            # for pooled sweeps.
+            while self._idle and not os.environ.get("REPRO_NO_POOL"):
+                worker = self._idle.pop()
+                if worker.process.is_alive():
+                    self.reused += 1
+                    return worker
+                self._close_locked(worker)
+            # Fork under the lock: a concurrent fork could otherwise
+            # inherit this pipe's child end and mask the worker's EOF.
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            try:
+                process = ctx.Process(
+                    target=_pool_worker, args=(child_conn,), daemon=True
+                )
+                process.start()
+            except OSError:
+                parent_conn.close()
+                child_conn.close()
+                raise
+            child_conn.close()
+            self.forked += 1
+            return _PoolWorker(process, parent_conn)
+
+    def release(self, worker: _PoolWorker) -> None:
+        """Park a healthy worker for reuse (or retire it per policy)."""
+        if not worker.process.is_alive():
+            self.discard(worker, kill=False)
+            return
+        if faults.on_worker_recycle():
+            self.recycled += 1
+            self.discard(worker)
+            return
+        if os.environ.get("REPRO_NO_POOL"):
+            self.discard(worker)
+            return
+        max_jobs = self._max_jobs()
+        if max_jobs is not None and worker.jobs_done >= max_jobs:
+            self.recycled += 1
+            self.discard(worker)
+            return
+        with self._lock:
+            self._check_pid_locked()
+            if len(self._idle) < self._limit():
+                self._idle.append(worker)
+                return
+        self.discard(worker)
+
+    def _close_locked(self, worker: _PoolWorker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=5.0)
+        self.discarded += 1
+
+    def discard(self, worker: _PoolWorker, kill: bool = True) -> None:
+        """Retire a worker for good (dead, unhealthy, or over its limits)."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if kill and worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        self.discarded += 1
+
+    def shutdown(self) -> None:
+        """Stop every idle worker (atexit, tests, explicit CLI teardown)."""
+        with self._lock:
+            self._check_pid_locked()
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in idle:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            self._check_pid_locked()
+            return {
+                "idle": len(self._idle),
+                "forked": self.forked,
+                "reused": self.reused,
+                "recycled": self.recycled,
+                "discarded": self.discarded,
+            }
+
+
+#: Idle workers retained when no explicit pool size is configured.
+_POOL_SIZE_DEFAULT = 8
+
+#: The process singleton every supervised :func:`execute` draws from.
+_POOL = _WorkerPool()
+atexit.register(_POOL.shutdown)
+
+
+def configure_worker_pool(
+    size: Optional[int] = None, max_jobs: Optional[int] = None
+) -> None:
+    """Set the persistent pool's retention knobs for this process.
+
+    ``size`` caps idle workers retained between sweeps (overrides
+    ``REPRO_POOL_SIZE``); ``max_jobs`` recycles a worker after that many
+    completed jobs (overrides ``REPRO_POOL_MAX_JOBS``).  ``None`` leaves
+    the respective knob as configured.  Wired to the CLI's
+    ``--pool-size`` / ``--pool-max-jobs`` flags.
+    """
+    if size is not None:
+        _POOL.size_override = size
+    if max_jobs is not None:
+        _POOL.max_jobs_override = max_jobs
+
+
+def shutdown_worker_pool() -> None:
+    """Stop all idle pool workers now (tests, service shutdown)."""
+    _POOL.shutdown()
+
+
+def worker_pool_stats() -> Dict[str, int]:
+    """The pool's lifetime counters (``/healthz``, tests)."""
+    return _POOL.stats()
 
 
 class _Pending:
     """One not-yet-committed job in the supervisor's queue."""
 
-    __slots__ = ("index", "job", "key", "seq", "attempts", "ready_at")
+    __slots__ = ("index", "job", "key", "seq", "attempts", "ready_at", "ship_bytes")
 
     def __init__(self, index: int, job: JobSpec, key: Optional[str], seq: int):
         self.index = index
@@ -1378,19 +1927,29 @@ class _Pending:
         self.seq = seq  #: stable position in the pending list (fault matching)
         self.attempts = 0  #: dispatches so far
         self.ready_at = 0.0  #: backoff: earliest monotonic re-dispatch time
+        self.ship_bytes = False  #: ship record bytes (pool-file ref failed once)
 
     def label(self) -> str:
         return f"{self.job.system}/{self.job.trace}"
 
 
 class _Worker:
-    __slots__ = ("process", "conn", "entry", "deadline")
+    """One pool worker currently leased by a supervisor."""
 
-    def __init__(self, process, conn):
-        self.process = process
-        self.conn = conn
+    __slots__ = ("pool_worker", "entry", "deadline")
+
+    def __init__(self, pool_worker: _PoolWorker):
+        self.pool_worker = pool_worker
         self.entry: Optional[_Pending] = None
         self.deadline = 0.0
+
+    @property
+    def conn(self):
+        return self.pool_worker.conn
+
+    @property
+    def process(self):
+        return self.pool_worker.process
 
 
 #: Consecutive worker-spawn failures before the supervisor gives up on
@@ -1410,19 +1969,36 @@ class _SupervisedExecutor:
     SIGKILLing and replacing the worker.  Completed results are committed
     — cache, journal, caller callback — the moment they arrive, which is
     what makes an interrupted sweep resumable.
+
+    Workers are leased from the process-global persistent pool
+    (:class:`_WorkerPool`): jobs ship as self-contained payloads
+    (``payload_for``), so a worker forked by last week's sweep serves this
+    one.  Healthy workers return to the pool at shutdown; crashed, hung,
+    or garbage-spewing ones are discarded — never pooled.  Jobs whose
+    payload cannot ship (``transportable`` is false: ad-hoc lambda
+    builders) run in-process via ``run_local`` with
+    quarantine-on-exception semantics, as does the whole queue when
+    worker acquisition keeps failing (degradation).
     """
 
     def __init__(self, entries: List[_Pending], stats: ExecutionStats,
                  policy: SupervisionPolicy, commit: Callable[[_Pending, RunResult], None],
-                 processes: int):
-        import multiprocessing
-
-        self.ctx = multiprocessing.get_context("fork")
-        self.queue: "deque[_Pending]" = deque(entries)
+                 processes: int,
+                 payload_for: Callable[[_Pending], Dict[str, object]],
+                 run_local: Callable[[_Pending], RunResult],
+                 transportable: Callable[[_Pending], bool]):
+        self.queue: "deque[_Pending]" = deque(
+            entry for entry in entries if transportable(entry)
+        )
+        self.local: List[_Pending] = [
+            entry for entry in entries if not transportable(entry)
+        ]
         self.stats = stats
         self.policy = policy
         self.commit = commit
         self.processes = processes
+        self.payload_for = payload_for
+        self.run_local = run_local
         self.workers: Dict[object, _Worker] = {}  # conn -> worker
         self.failures: List[JobFailure] = []
         self.remaining = len(entries)
@@ -1432,12 +2008,7 @@ class _SupervisedExecutor:
     # -- lifecycle ---------------------------------------------------------
     def _spawn(self) -> bool:
         try:
-            faults.on_spawn()
-            parent_conn, child_conn = self.ctx.Pipe(duplex=True)
-            process = self.ctx.Process(
-                target=_supervised_worker, args=(child_conn,), daemon=True
-            )
-            process.start()
+            pool_worker = _POOL.acquire()
         except OSError as exc:
             self._spawn_failures += 1
             if self._spawn_failures >= _SPAWN_FAILURE_LIMIT and not self._live():
@@ -1450,8 +2021,9 @@ class _SupervisedExecutor:
                 )
             return False
         self._spawn_failures = 0
-        child_conn.close()
-        self.workers[parent_conn] = _Worker(process, parent_conn)
+        if pool_worker.jobs_done > 0:
+            self.stats.pool_reused += 1
+        self.workers[pool_worker.conn] = _Worker(pool_worker)
         self.stats.workers_effective = max(
             self.stats.workers_effective, len(self.workers)
         )
@@ -1461,31 +2033,19 @@ class _SupervisedExecutor:
         return len(self.workers)
 
     def _reap(self, worker: _Worker, kill: bool) -> None:
+        # Job-level failure: this worker is not trustworthy (or dead) —
+        # retire it from the pool entirely, never park it.
         self.workers.pop(worker.conn, None)
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        if kill:
-            worker.process.kill()
-        worker.process.join(timeout=5.0)
+        _POOL.discard(worker.pool_worker, kill=kill)
 
     def _shutdown(self) -> None:
         for worker in list(self.workers.values()):
-            try:
-                worker.conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        deadline = time.monotonic() + 2.0
-        for worker in list(self.workers.values()):
-            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=5.0)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+            if worker.entry is None:
+                _POOL.release(worker.pool_worker)
+            else:
+                # Still holding a job (strict-mode abort mid-flight): the
+                # reply would arrive into nobody's sweep — kill it.
+                _POOL.discard(worker.pool_worker, kill=True)
         self.workers.clear()
 
     # -- failure handling --------------------------------------------------
@@ -1503,8 +2063,6 @@ class _SupervisedExecutor:
             stacklevel=4,
         )
         if self.policy.strict:
-            from repro.common.errors import ExecutionError
-
             raise ExecutionError(
                 f"sweep job failed permanently: {failure.describe()} "
                 "(completed jobs are checkpointed; a re-run resumes from them)"
@@ -1535,7 +2093,10 @@ class _SupervisedExecutor:
                 continue
             worker = idle.pop()
             try:
-                worker.conn.send((entry.index, entry.seq, entry.attempts))
+                # The payload is built per dispatch: the shipped fault
+                # action depends on the attempt, and a retried job may
+                # switch its trace reference to inline bytes.
+                worker.conn.send(self.payload_for(entry))
             except (BrokenPipeError, OSError):
                 # Died while idle: no job was lost, just replace it.
                 self._reap(worker, kill=False)
@@ -1553,8 +2114,30 @@ class _SupervisedExecutor:
         # Cap the sleep so replenish/dispatch stay live even when quiet.
         return min(max(min(horizons) - now, 0.0), 1.0)
 
+    def _run_one_local(self, entry: _Pending) -> None:
+        try:
+            result = self.run_local(entry)
+        except Exception as exc:
+            entry.attempts += 1
+            self._quarantine(entry, "error", f"{type(exc).__name__}: {exc}")
+            return
+        self.commit(entry, result)
+        self.remaining -= 1
+
+    def _run_local_entries(self) -> None:
+        """Jobs whose payload cannot ship (ad-hoc builders) run here.
+
+        Same quarantine-on-exception semantics as the degraded path: the
+        sweep still completes, strict mode still raises.
+        """
+        if not self.local:
+            return
+        self.stats.workers_effective = max(self.stats.workers_effective, 1)
+        for entry in self.local:
+            self._run_one_local(entry)
+
     def _run_in_process(self) -> None:
-        """Fork is unavailable or keeps failing: finish the sweep here.
+        """Worker acquisition is unavailable or keeps failing: finish here.
 
         No crash/timeout supervision is possible in-process (a crash
         would be ours), so job exceptions quarantine directly — but the
@@ -1562,30 +2145,14 @@ class _SupervisedExecutor:
         mode still raises.
         """
         self.stats.workers_effective = max(self.stats.workers_effective, 1)
-        state = _EXEC_STATE
-        plan: RunPlan = state["plan"]
         while self.queue:
-            entry = self.queue.popleft()
-            try:
-                result = _run_job(
-                    plan,
-                    entry.job,
-                    state["traces"][entry.job.trace],
-                    state["snapshot_keys"].get(entry.job),
-                    state["local_blobs"],
-                    self.stats,
-                )
-            except Exception as exc:
-                entry.attempts += 1
-                self._quarantine(entry, "error", f"{type(exc).__name__}: {exc}")
-                continue
-            self.commit(entry, result)
-            self.remaining -= 1
+            self._run_one_local(self.queue.popleft())
 
     def run(self) -> List[JobFailure]:
         from multiprocessing import connection as mp_connection
 
         try:
+            self._run_local_entries()
             while self.remaining > 0:
                 if self._degraded:
                     self._run_in_process()
@@ -1648,15 +2215,21 @@ class _SupervisedExecutor:
         )
         payload = message[1] if valid else None
         if valid and isinstance(payload, _JobError):
+            if payload.exc_type == "_TraceTransportError":
+                # The shared pool file failed the worker (vanished, stale,
+                # digest mismatch): retry with the bytes shipped inline.
+                entry.ship_bytes = True
             self._fail(
                 entry, "error", f"{payload.exc_type}: {payload.detail}",
                 deterministic=payload.deterministic,
             )
             return
         if valid and isinstance(payload, RunResult):
-            builds, clones = message[2]
+            builds, clones, disk_hits = message[2]
             self.stats.snapshot_builds += builds
             self.stats.snapshot_clones += clones
+            self.stats.snapshot_disk_hits += disk_hits
+            worker.pool_worker.jobs_done += 1
             self.commit(entry, payload)
             self.remaining -= 1
             return
@@ -1698,11 +2271,14 @@ def execute(
     """Execute ``plan`` and return its results in job order.
 
     Args:
-        workers: fan the uncached jobs out over that many forked worker
-            processes under the supervised executor (order-preserving and
-            result-identical, exactly like the historical ``run_suite``
-            fan-out; falls back to in-process execution — with a
-            :class:`RuntimeWarning` naming the reason — without ``fork``).
+        workers: fan the uncached jobs out over that many worker processes
+            leased from the persistent pool under the supervised executor
+            (order-preserving and result-identical, exactly like the
+            historical ``run_suite`` fan-out; falls back to in-process
+            execution — with a :class:`RuntimeWarning` naming the reason —
+            without ``fork``).  Workers outlive this call and are reused
+            by later sweeps, including concurrent ones from service
+            threads (no fork lock).
         cache: result cache; ``None`` disables memoization.  A ``-dirty``
             or unknown simulator version bypasses a configured cache with a
             warning.  An active cache also activates the per-sweep
@@ -1712,7 +2288,10 @@ def execute(
             is active, else in-memory synthesis.
         snapshots: clone prewarmed hierarchies across jobs that share a
             (builder, trace) pair; disable to force the direct
-            build-and-prewarm path per job.
+            build-and-prewarm path per job.  With an active cache,
+            snapshots are additionally shared across processes through the
+            on-disk :class:`SnapshotStore` (``<cache dir>/snapshots``;
+            ``REPRO_NO_SNAPSHOT_STORE=1`` disables the disk tier).
         trace_memo: share immutable synthesized traces (and their cached
             decode / resident set / digest) across execute calls in this
             process; disable to force per-plan materialization.
@@ -1746,6 +2325,18 @@ def execute(
             active_store = None
     if pool is None and active_cache is not None:
         pool = TracePool(os.path.join(active_cache.directory, "traces"))
+
+    # On-disk snapshot tier: only with an active cache (the store lives
+    # next to it, and the same dirty/unknown version rule applies).
+    disk_store: Optional[SnapshotStore] = None
+    if (
+        snapshots
+        and active_cache is not None
+        and not os.environ.get("REPRO_NO_SNAPSHOT_STORE")
+    ):
+        disk_store = SnapshotStore(
+            os.path.join(active_cache.directory, "snapshots"), version=version
+        )
 
     progress = on_progress if on_progress is not None else _DEFAULT_PROGRESS
     total = len(plan.jobs)
@@ -1891,7 +2482,7 @@ def execute(
             snapshot_keys: Dict[JobSpec, Tuple[str, str]] = {}
             local_blobs: Dict[Tuple[str, str], bytes] = {}
             for index, job, key in pending:
-                materialize(job.trace)  # before any fork, so workers share memory
+                materialize(job.trace)  # pool files land before any dispatch
                 if snapshots and job.prewarm:
                     builder_digest = plan.builders[job.builder].digest()
                     snapshot_keys[job] = (
@@ -1933,29 +2524,101 @@ def execute(
                     _Pending(index, job, key, seq)
                     for seq, (index, job, key) in enumerate(owned)
                 ]
-                # _EXEC_STATE is inherited by forked workers, so only one
-                # supervised fan-out may be staged at a time per process.
-                with _FORK_LOCK:
-                    _EXEC_STATE.update(
-                        plan=plan,
-                        traces=traces,
-                        snapshot_keys=snapshot_keys,
-                        local_blobs=local_blobs,
-                        stats=ExecutionStats(),  # per-worker scratch; parent keeps its own
+                # Jobs ship to the persistent pool as self-contained
+                # payloads; a builder must pickle by reference (registry
+                # specs do — functools.partial of module-level factories)
+                # and carry a digest.  Anything else runs in-process.
+                shippable: Dict[str, bool] = {}
+
+                def transportable(entry: _Pending) -> bool:
+                    name = entry.job.builder
+                    known = shippable.get(name)
+                    if known is None:
+                        spec = plan.builders[name]
+                        known = spec.digest() is not None
+                        if known:
+                            try:
+                                pickle.dumps(spec, pickle.HIGHEST_PROTOCOL)
+                            except Exception:
+                                known = False
+                        shippable[name] = known
+                    return known
+
+                ref_cache: Dict[Tuple[str, bool], tuple] = {}
+
+                def trace_ref(entry: _Pending) -> tuple:
+                    cache_key = (entry.job.trace, entry.ship_bytes)
+                    ref = ref_cache.get(cache_key)
+                    if ref is None:
+                        trace = traces[entry.job.trace]
+                        source = plan.traces[entry.job.trace]
+                        if (
+                            not entry.ship_bytes
+                            and pool is not None
+                            and source.signature is not None
+                        ):
+                            path = pool.path_for(source)
+                            if os.path.exists(path):
+                                ref = (
+                                    "path", path, content_digest(entry.job.trace),
+                                    trace.name, trace.category,
+                                )
+                        if ref is None:
+                            ref = (
+                                "bytes", trace.name, trace.category,
+                                records_bytes(trace),
+                            )
+                        ref_cache[cache_key] = ref
+                    return ref
+
+                def payload_for(entry: _Pending) -> Dict[str, object]:
+                    job = entry.job
+                    source = plan.traces[job.trace]
+                    return {
+                        "index": entry.index,
+                        "label": entry.label(),
+                        # The supervisor matches worker-job faults and
+                        # ships the action: pool workers run with no
+                        # installed plan (they may predate it).
+                        "action": faults.worker_job_action(
+                            entry.label(), entry.seq, entry.attempts
+                        ),
+                        "system": job.system,
+                        "workload": source.name,
+                        "category": source.category,
+                        "builder": plan.builders[job.builder],
+                        "trace_ref": trace_ref(entry),
+                        "prewarm": job.prewarm,
+                        "mode": job.mode,
+                        "core_config": plan.core_config,
+                        "snapshot_key": snapshot_keys.get(job),
+                        "snapshot_dir": (
+                            disk_store.directory if disk_store is not None else None
+                        ),
+                        "snapshot_version": (
+                            disk_store.version if disk_store is not None else None
+                        ),
+                    }
+
+                def run_local(entry: _Pending) -> RunResult:
+                    return _run_job(
+                        plan, entry.job, traces[entry.job.trace],
+                        snapshot_keys.get(entry.job), local_blobs, stats, disk_store,
                     )
-                    try:
-                        executor = _SupervisedExecutor(
-                            entries,
-                            stats,
-                            policy,
-                            lambda entry, result: commit(
-                                entry.index, entry.job, entry.key, result
-                            ),
-                            processes=min(workers, len(owned)),
-                        )
-                        failures = executor.run()
-                    finally:
-                        _EXEC_STATE.clear()
+
+                executor = _SupervisedExecutor(
+                    entries,
+                    stats,
+                    policy,
+                    lambda entry, result: commit(
+                        entry.index, entry.job, entry.key, result
+                    ),
+                    processes=min(workers, len(owned)),
+                    payload_for=payload_for,
+                    run_local=run_local,
+                    transportable=transportable,
+                )
+                failures = executor.run()
             elif owned:
                 stats.workers_effective = max(stats.workers_effective, 1)
                 for index, job, key in owned:
@@ -1963,7 +2626,7 @@ def execute(
                         index, job, key,
                         _run_job(
                             plan, job, traces[job.trace], snapshot_keys.get(job),
-                            local_blobs, stats,
+                            local_blobs, stats, disk_store,
                         ),
                     )
 
@@ -1995,7 +2658,7 @@ def execute(
                             index, job, key,
                             _run_job(
                                 plan, job, traces[job.trace], snapshot_keys.get(job),
-                                local_blobs, stats,
+                                local_blobs, stats, disk_store,
                             ),
                         )
                         continue

@@ -246,8 +246,9 @@ def run_suite(
     Args:
         mode: scheduler mode passed to every simulation.
         workers: when > 1 (and the platform supports ``fork``), the
-            (system, workload) pairs are simulated in that many worker
-            processes.  Each pair is fully independent, so the result list
+            (system, workload) pairs are simulated on that many workers
+            drawn from the process-wide persistent pool (reused across
+            calls).  Each pair is fully independent, so the result list
             is identical to a sequential run, in the same order.
         trace_factory: ``(spec, num_instructions) -> Trace`` used to
             generate each workload's trace; defaults to the legacy
