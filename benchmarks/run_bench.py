@@ -663,6 +663,92 @@ def micro_core_batch(repeat, instructions=5000):
     }
 
 
+def micro_hier_batch(repeat, instructions=5000):
+    """Hierarchy span engine: engine on vs force-disabled, interleaved.
+
+    Runs a synthetic steady-state hit streak — fetch groups of one
+    L1-resident load plus three ALU ops, the memory-side sequence whose
+    closed form the hierarchy engine fast-forwards (``DESIGN.md`` §9,
+    pinned exactly by ``tests/test_hier_batch.py``) — on a warm
+    conventional hierarchy in event mode, A/B-ing against
+    ``REPRO_NO_HIER_BATCH=1``.  The reference leg keeps the pure-ALU span
+    engine *enabled*: loads break every ALU span, so this measures
+    precisely the marginal value of the memory-inclusive engine.  Rounds
+    are interleaved (A/B per round) to cancel wall-clock drift, and the
+    two paths' results are asserted bit-identical.
+
+    Cold builds the per-window schedules analytically and memoizes them
+    on the trace; warm replays them — the sweep-service number, as in
+    ``micro_core_batch``.
+    """
+    from repro.cpu.core import OoOCore
+    from repro.cpu.isa import Instruction, InstrClass
+    from repro.cpu.trace import Trace
+    from repro.sim.configs import build_conventional_hierarchy
+    from repro.sim.runner import simulate
+
+    n = instructions * 10
+    groups = max(n // 4, 8)
+    instrs = []
+    for _ in range(groups):
+        instrs.append(Instruction(InstrClass.LOAD, addr=64))
+        instrs.extend(Instruction(InstrClass.INT_ALU) for _ in range(3))
+    trace = Trace("hit-streak", "int", instrs)
+    trace.decoded()
+    resident = trace.resident_addresses()
+
+    def run(hier_on):
+        if hier_on:
+            os.environ.pop("REPRO_NO_HIER_BATCH", None)
+        else:
+            os.environ["REPRO_NO_HIER_BATCH"] = "1"
+        system = build_conventional_hierarchy()
+        system.prewarm(resident)
+        core = OoOCore(trace, system)
+        start = time.perf_counter()
+        simulate(core, mode="event")
+        return time.perf_counter() - start, core, system
+
+    pinned = os.environ.get("REPRO_NO_HIER_BATCH")
+    try:
+        cold_wall, _, _ = run(True)  # first encounter: builds the schedule memo
+        hier_wall = nohier_wall = None
+        for _ in range(max(repeat, 3)):
+            wall, hier_core, hier_system = run(True)
+            hier_wall = wall if hier_wall is None else min(hier_wall, wall)
+            wall, ref_core, ref_system = run(False)
+            nohier_wall = wall if nohier_wall is None else min(nohier_wall, wall)
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_NO_HIER_BATCH", None)
+        else:
+            os.environ["REPRO_NO_HIER_BATCH"] = pinned
+    if (
+        hier_core.cycle != ref_core.cycle
+        or hier_core.stats.as_dict() != ref_core.stats.as_dict()
+        or hier_system.activity() != ref_system.activity()
+    ):
+        raise AssertionError("hier-batched and reference paths diverged — engine bug")
+    if ref_core.hier_ff_cycles or ref_core.hier_replays or ref_core.hier_bails:
+        raise AssertionError("REPRO_NO_HIER_BATCH=1 still ran the hier engine")
+    if not hier_core.hier_ff_cycles:
+        raise AssertionError("hier engine never engaged — the A/B is vacuous")
+    return {
+        "scenario": "synthetic-hit-streak",
+        "instructions": 4 * groups,
+        "nohier_wall_s": nohier_wall,
+        "cold_wall_s": cold_wall,
+        "hier_wall_s": hier_wall,
+        "hier_speedup_cold": nohier_wall / cold_wall,
+        "hier_speedup_warm": nohier_wall / hier_wall,
+        "hier_instructions_per_s": 4 * groups / hier_wall,
+        "hier_ff_cycles": hier_core.hier_ff_cycles,
+        "hier_replays": hier_core.hier_replays,
+        "hier_bails": hier_core.hier_bails,
+        "bit_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- sweep
 def _results_identical(lhs, rhs):
     return all(
@@ -840,6 +926,23 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
                 f"span-batched core micro regressed {batch_ratio:.2f}x vs "
                 f"{baseline_path} (limit {max_slowdown:.2f}x)"
             )
+    # Hierarchy span micro: the memory-inclusive engine's warm-replay
+    # throughput, same contract (absent in BENCH files older than the
+    # hier engine).
+    hier_base = committed.get("micro_hier_batch")
+    if hier_base and hier_base.get("hier_instructions_per_s"):
+        hier_new = stages["micro_hier_batch"]["hier_instructions_per_s"]
+        hier_ratio = hier_base["hier_instructions_per_s"] / hier_new
+        print(
+            f"baseline check: hier-batched streak {hier_new:,.0f} instr/s vs "
+            f"committed {hier_base['hier_instructions_per_s']:,.0f} instr/s "
+            f"({hier_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+        )
+        if hier_ratio > max_slowdown:
+            raise SystemExit(
+                f"hier-batched streak micro regressed {hier_ratio:.2f}x vs "
+                f"{baseline_path} (limit {max_slowdown:.2f}x)"
+            )
 
 
 def main(argv=None):
@@ -897,6 +1000,8 @@ def main(argv=None):
     stages["micro_parallel_sweep"] = micro_parallel_sweep(args.repeat, args.instructions)
     print("micro: span-batched core (engine on vs per-cycle reference) ...", flush=True)
     stages["micro_core_batch"] = micro_core_batch(args.repeat, args.instructions)
+    print("micro: hier-batched streak (engine on vs force-disabled) ...", flush=True)
+    stages["micro_hier_batch"] = micro_hier_batch(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
     stages["fig4_sweep"] = fig4_sweep(
         args.repeat, args.workers, args.instructions, args.per_category
@@ -961,6 +1066,14 @@ def main(argv=None):
         f"engine cold {batch['cold_wall_s']:.3f}s ({batch['span_speedup_cold']:.2f}x), "
         f"warm replay {batch['span_wall_s']:.3f}s "
         f"({batch['span_speedup_warm']:.2f}x, bit-identical)"
+    )
+    hier = stages["micro_hier_batch"]
+    print(
+        f"hier-batched streak ({hier['scenario']}): "
+        f"engine off {hier['nohier_wall_s']:.3f}s, "
+        f"engine cold {hier['cold_wall_s']:.3f}s ({hier['hier_speedup_cold']:.2f}x), "
+        f"warm replay {hier['hier_wall_s']:.3f}s "
+        f"({hier['hier_speedup_warm']:.2f}x, bit-identical)"
     )
     gen = stages["micro_scenario_gen"]
     if "vectorized_instructions_per_s" in gen:

@@ -82,6 +82,77 @@ class SearchWave:
     wave_id: int = field(default_factory=lambda: next(_wave_ids))
 
 
+class _LNUCASpanView:
+    """Analyzable steady-state window view of a :class:`LightNUCA`.
+
+    Handed out by :meth:`LightNUCA.span_window` when the fabric is quiet;
+    see :meth:`repro.sim.memsys.MemorySystem.span_window` for the contract.
+    Both loads and stores require r-tile residency (``store_needs_residency``
+    and ``store_capacity is None``): a resident store just dirties the
+    r-tile copy — it reaches the backside only when it dominoes off an
+    upper-corner tile, far outside any analyzable window.
+    """
+
+    __slots__ = ("lnuca", "rtile", "cfg_tag", "load_latency", "ports",
+                 "store_capacity", "store_needs_residency", "front_name")
+
+    def __init__(self, lnuca: "LightNUCA") -> None:
+        rtile = lnuca.rtile
+        self.lnuca = lnuca
+        self.rtile = rtile
+        self.load_latency = lnuca._rtile_completion
+        self.ports = rtile.config.ports
+        self.store_capacity = None
+        self.store_needs_residency = True
+        self.front_name = rtile.name
+        self.cfg_tag = (
+            "lnuca", lnuca.name, rtile.name, rtile.config.size_bytes,
+            rtile.config.associativity, rtile.config.block_size,
+            self.load_latency, self.ports,
+        )
+
+    def entry_sig(self, cycle: int) -> tuple:
+        # A quiet fabric with free ports and an empty write buffer carries
+        # no timing state a window schedule could depend on.
+        return ()
+
+    def block_addr(self, addr: int) -> int:
+        return self.rtile.block_addr(addr)
+
+    def resident(self, addr: int) -> bool:
+        return self.rtile.array.contains(addr)
+
+    def resident_all(self, addrs) -> bool:
+        return self.rtile.array.contains_all(addrs)
+
+    def mshr_clear(self, addrs) -> bool:
+        # span_window already requires the r-tile MSHR file to be idle (the
+        # fabric resolves misses through search waves, which close windows
+        # wholesale), so per-address screening has nothing left to exclude.
+        return True
+
+    def apply_span_events(self, base: int, events) -> None:
+        """Replay validated ``(rel, is_store, addr)`` hits through the r-tile.
+
+        No per-event pump: hit-only windows enqueue no corner evictions and
+        no r-tile write-buffer entries, so the dense path would find both
+        drain queues empty at every one of these cycles.
+        """
+        rtile = self.rtile
+        reserve = rtile.reserve_port
+        lookup = rtile.lookup
+        counters = self.lnuca.stats._counters
+        for rel, is_store, addr in events:
+            start = reserve(base + rel)
+            if is_store:
+                block = lookup(addr, start, True)
+                block.dirty = True
+                counters["writes"] += 1.0
+            else:
+                lookup(addr, start, False)
+                counters["reads"] += 1.0
+
+
 class LightNUCA(MemorySystem):
     """An L-NUCA cache in front of an arbitrary backside memory system.
 
@@ -152,6 +223,8 @@ class LightNUCA(MemorySystem):
         self._corner_last_pop = -1
         self._transport_active: set = set()
         self._replacement_active: set = set()
+        #: Lazily built window view handed out by :meth:`span_window`.
+        self._span_view: Optional[_LNUCASpanView] = None
 
         # Tiles ordered by distance for the two buffered-network sweeps.
         self._tiles_by_distance = sorted(
@@ -179,6 +252,30 @@ class LightNUCA(MemorySystem):
                 nxt.extend(self.search_net.children_of(coord))
             frontier = tuple(nxt)
         self._level_frontiers = frontiers
+        #: Prefix sums of the canonical frontier widths (``prefix[i]`` =
+        #: total tiles in levels ``0..i-1``) so a burst-replayed miss run
+        #: can account its tag probes and link traversals in O(1).
+        prefix = [0.0]
+        for level_frontier, _ in frontiers:
+            prefix.append(prefix[-1] + len(level_frontier))
+        self._frontier_len_prefix = prefix
+        #: Canonical level index of each fabric tile (the step at which
+        #: the no-hit expansion reaches it).
+        self._frontier_index_of: Dict[Coordinate, int] = {}
+        for index, (level_frontier, _) in enumerate(frontiers):
+            for coord in level_frontier:
+                self._frontier_index_of.setdefault(coord, index)
+        #: Steps a custom (post-hit) frontier rooted at a tile needs until
+        #: its fan-out dies: 0 at the leaves, 1 + max over children above.
+        depth_below: Dict[Coordinate, int] = {}
+        for level_frontier, _ in reversed(frontiers):
+            for coord in level_frontier:
+                children = self.search_net.children_of(coord)
+                depth_below[coord] = (
+                    1 + max(depth_below[child] for child in children)
+                    if children else 0
+                )
+        self._depth_below = depth_below
         #: Aggregate tag-probe counter for search misses.  Dense probing
         #: charged each probed tile's ``search_lookups`` individually; the
         #: per-tile attribution is observable only as the fleet-wide sum
@@ -252,14 +349,25 @@ class LightNUCA(MemorySystem):
 
         Per-cycle queues (transport/replacement sweeps, eviction injection,
         root-buffer deliveries) fire every cycle while non-empty, so they
-        pin the next event to ``cycle + 1``.  Search waves and backside
-        fills carry explicit fire cycles — those are the spans the
-        scheduler can leap over.  Write-buffer drains and corner-eviction
-        pops request no wakeups at all: they are *deferred* and replayed at
-        their exact dense-mode cycles by :meth:`_pump_drains` before
-        anything can observe the fabric, so a hierarchy with only backside
-        drain traffic left reports ``None`` and the scheduler skips it
-        entirely.
+        pin the next event to ``cycle + 1``.  Write-buffer drains and
+        corner-eviction pops request no wakeups at all: they are *deferred*
+        and replayed at their exact dense-mode cycles by
+        :meth:`_pump_drains` before anything can observe the fabric, so a
+        hierarchy with only backside drain traffic left reports ``None``
+        and the scheduler skips it entirely.
+
+        Search waves are fast-forwarded analytically: with the rest of the
+        fabric quiet the content maps are frozen (nothing can *add* a
+        block before the next tick — fills need replacement or delivery
+        activity, which forces the per-cycle branch — and removals only
+        delay a hit), so a wave's next observable action — the probe that
+        hits, or the terminal step that declares the global miss — sits at
+        a precomputable *decisive* cycle.  The per-level steps in between
+        touch nothing but commutative probe/broadcast counters and the
+        wave's own position, so the scheduler leaps straight to the
+        decisive cycle and :meth:`tick` burst-replays the skipped levels
+        (see :meth:`_catch_up_waves`), exactly the deferred-drain
+        discipline applied to the search network.
         """
         best: Optional[int] = None
         if (
@@ -271,10 +379,11 @@ class LightNUCA(MemorySystem):
             best = cycle + 1
         else:
             if self._waves:
-                when = self._waves[0].next_cycle
+                when = None
                 for wave in self._waves:
-                    if wave.next_cycle < when:
-                        when = wave.next_cycle
+                    decisive = self._wave_decisive_cycle(wave)
+                    if when is None or decisive < when:
+                        when = decisive
                 if when <= cycle:
                     when = cycle + 1
                 if best is None or when < best:
@@ -298,6 +407,45 @@ class LightNUCA(MemorySystem):
             or self._replacement_active
             or self._root_buffers_busy()
         )
+
+    def span_window(self, cycle: int):
+        """A steady-state window view, or ``None`` (see the base contract).
+
+        An L-NUCA window is analyzable only with the whole fabric quiet: no
+        search waves, backside fills, evictions in flight, active network
+        sweeps, occupied root buffers, pending corner pops or buffered
+        r-tile writes (deferred drains are replayed up to ``cycle`` first,
+        exactly as :meth:`can_accept` does), an idle r-tile MSHR file and
+        all r-tile ports free.  Under those gates a resident load completes
+        at ``start + completion`` and a resident store at ``start + 1``
+        (dirtying the r-tile copy, no write-buffer traffic), so both loads
+        *and* stores carry residency probes.  Hit-only windows keep the
+        fabric quiet by construction, and the backside — at most deferred
+        drain work of its own — stays unobserved throughout.
+        """
+        if self._corner_evictions or self._rtile_wb._queue:
+            self._pump_drains(cycle)
+        if (
+            self._waves
+            or self._backside_fills
+            or self._rtile_evictions
+            or self._corner_evictions
+            or self._transport_active
+            or self._replacement_active
+            or self._rtile_wb._queue
+            or self._root_buffers_busy()
+        ):
+            return None
+        rtile = self.rtile
+        if rtile._initiation_cycles != 1 or not rtile.mshr.is_idle():
+            return None
+        for free in rtile._port_free_cycle:
+            if free > cycle:
+                return None
+        view = self._span_view
+        if view is None:
+            view = self._span_view = _LNUCASpanView(self)
+        return view
 
     def finalize(self, cycle: int) -> int:
         """Drain all in-flight state, then let the backside finish draining.
@@ -445,6 +593,11 @@ class LightNUCA(MemorySystem):
             or self._replacement_active
             or self._root_buffers_busy()
         ):
+            if self._waves:
+                # Replay any wave steps the scheduler leapt over before the
+                # frontiers become observable (replacement conflict sets,
+                # the decisive probe itself).
+                self._catch_up_waves(cycle)
             self._deliver_to_rtile(cycle)
             self._advance_transport(cycle)
             if self._replacement_active:
@@ -639,6 +792,100 @@ class LightNUCA(MemorySystem):
             self._replacement_active.add(destination)
 
     # -- step 4: search network -----------------------------------------------
+    def _wave_decisive_cycle(self, wave: SearchWave) -> int:
+        """First cycle at which ``wave`` does something observable.
+
+        Observable means a probe that hits (LRU touch, extraction,
+        transport injection) or the terminal expansion step (global-miss
+        handling / wave retirement).  Every step before that only bumps
+        probe/broadcast counters and the wave's own frontier, which
+        :meth:`_catch_up_waves` replays in bulk.  Only valid as a
+        scheduling target while the rest of the fabric is quiet: the
+        content maps may shrink before the decisive cycle (making the
+        estimate conservatively early — a harmless extra tick) but cannot
+        gain a block, so no hit can materialise earlier than reported.
+        """
+        next_cycle = wave.next_cycle
+        level_index = wave.level_index
+        if level_index is None:
+            # Post-hit fan-out: the block was extracted, so the wave just
+            # sweeps to the leaves and retires.
+            depth_below = self._depth_below
+            return next_cycle + max(depth_below[c] for c in wave.frontier)
+        block_addr = wave.block_addr
+        index_of = self._frontier_index_of
+        target = len(self._level_frontiers) - 1  # terminal step: global miss
+        loc = self._tile_contents.get(block_addr)
+        if loc is not None:
+            hit_index = index_of.get(loc)
+            if hit_index is not None and level_index <= hit_index < target:
+                target = hit_index
+        loc = self._u_contents.get(block_addr)
+        if loc is not None:
+            hit_index = index_of.get(loc)
+            if hit_index is not None and level_index <= hit_index < target:
+                target = hit_index
+        return next_cycle + (target - level_index)
+
+    def _catch_up_waves(self, cycle: int) -> None:
+        """Burst-replay the miss-only wave steps of skipped cycles.
+
+        The scheduler leaps from one decisive wave cycle to the next (see
+        :meth:`next_event_cycle`); each skipped per-level step is a proven
+        miss whose only effects are the bulk probe counter, one broadcast
+        record, and the wave's frontier advance — replayed here, before
+        anything else in the tick can observe a stale frontier.  Canonical
+        (no-hit-yet) waves replay in O(1) off the precomputed frontier
+        width prefix sums; pruned post-hit frontiers re-expand tile by
+        tile, which is still cheap next to the machine cycles skipped.
+        """
+        tile_contents = self._tile_contents
+        u_contents = self._u_contents
+        for wave in self._waves:
+            behind = cycle - wave.next_cycle
+            if behind <= 0:
+                continue
+            if self._wave_decisive_cycle(wave) < cycle:
+                raise SimulationError(
+                    f"search wave for 0x{wave.block_addr:x} leapt past its "
+                    f"decisive cycle: fabric mutated during a quiet window"
+                )
+            level_index = wave.level_index
+            if level_index is not None:
+                prefix = self._frontier_len_prefix
+                self._search_lookups_bulk += (
+                    prefix[level_index + behind] - prefix[level_index]
+                )
+                net_counters = self.search_net.stats._counters
+                net_counters["broadcasts"] += float(behind)
+                net_counters["link_traversals"] += (
+                    prefix[level_index + behind + 1] - prefix[level_index + 1]
+                )
+                wave.level_index = level_index + behind
+                wave.frontier = self._level_frontiers[wave.level_index][0]
+                wave.next_cycle = cycle
+                continue
+            block_addr = wave.block_addr
+            children_of = self.search_net.children_of
+            while wave.next_cycle < cycle:
+                frontier = wave.frontier
+                loc = tile_contents.get(block_addr)
+                if loc is None:
+                    loc = u_contents.get(block_addr)
+                if loc is not None and loc in frontier:
+                    raise SimulationError(
+                        f"search wave for 0x{wave.block_addr:x} found a hit "
+                        f"in a skipped step: fabric mutated during a quiet "
+                        f"window"
+                    )
+                self._search_lookups_bulk += len(frontier)
+                next_frontier: List[Coordinate] = []
+                for coord in frontier:
+                    next_frontier.extend(children_of(coord))
+                self.search_net.record_broadcast(len(next_frontier))
+                wave.frontier = next_frontier
+                wave.next_cycle += 1
+
     def _advance_search(self, cycle: int) -> None:
         """Advance every wave due this cycle by one level.
 

@@ -61,6 +61,12 @@ class SpanIndex:
             instruction ``j`` is a breaker, or ``len(trace)`` when no
             breaker follows.  ``len(next_break) == len(trace) + 1`` (the
             final sentinel entry makes ``next_break[len(trace)]`` valid).
+        next_hard_break: like ``next_break`` but counting only *hard*
+            breakers — mispredicted branches.  Memory operations are soft
+            breakers: the memory-inclusive span engine
+            (:meth:`repro.cpu.core.OoOCore._run_span_mem`) can fast-forward
+            across them when the hierarchy exposes an analyzable window, so
+            its window length is bounded by this column instead.
         mem_indices: indices of all memory operations, ascending.
         spans: maximal breaker-free runs as ``(start, end, flags)`` tuples
             (``end`` exclusive, only non-empty runs), where ``flags`` is
@@ -74,7 +80,7 @@ class SpanIndex:
             still be observed by future dependence dispatch.
     """
 
-    __slots__ = ("next_break", "mem_indices", "spans", "max_dep")
+    __slots__ = ("next_break", "next_hard_break", "mem_indices", "spans", "max_dep")
 
     def __init__(self, decoded: "DecodedTrace") -> None:
         kinds = decoded.kind
@@ -82,9 +88,11 @@ class SpanIndex:
         mispredicted = decoded.mispredicted
         n = len(kinds)
         next_break = [n] * (n + 1)
+        next_hard_break = [n] * (n + 1)
         mem_indices: List[int] = []
         spans: List[tuple] = []
         nxt = n
+        hard = n
         flags = 0
         end = n
         for i in range(n - 1, -1, -1):
@@ -94,6 +102,8 @@ class SpanIndex:
                 flags = 0
                 end = i
                 nxt = i
+                if mispredicted[i]:
+                    hard = i
                 if is_mem[i]:
                     mem_indices.append(i)
             else:
@@ -103,11 +113,13 @@ class SpanIndex:
                 elif kind == _BRANCH_CODE:
                     flags |= SPAN_HAS_BRANCH
             next_break[i] = nxt
+            next_hard_break[i] = hard
         if end > 0:
             spans.append((0, end, flags))
         spans.reverse()
         mem_indices.reverse()
         self.next_break = next_break
+        self.next_hard_break = next_hard_break
         self.mem_indices = mem_indices
         self.spans = spans
         dep_max1 = max(decoded.dep1, default=0)
@@ -140,7 +152,7 @@ class DecodedTrace:
     __slots__ = (
         "kind", "addr", "dep1", "dep2", "latency", "mispredicted", "window",
         "is_mem", "issue_class", "prod1", "prod2", "_span_cache", "_lat_cache",
-        "span_memo",
+        "span_memo", "hier_memo",
     )
 
     def __init__(self, instructions: List[Instruction]) -> None:
@@ -170,6 +182,15 @@ class DecodedTrace:
         #: object and with it this memo.  Keys and values are built by
         #: :meth:`repro.cpu.core.OoOCore._run_span`.
         self.span_memo: Dict[tuple, Optional[tuple]] = {}
+        #: Like :attr:`span_memo` but for the memory-inclusive engine
+        #: (:meth:`repro.cpu.core.OoOCore._run_span_mem`): keys additionally
+        #: carry a hierarchy-config tag and the hierarchy's cycle-relative
+        #: entry signature; residency is not part of the key — every
+        #: attempt re-probes the live arrays before the lookup, and the
+        #: window length those probes produce is in the key, so a replay
+        #: only ever fires when all of its events still hit (traces — and
+        #: with them this memo — are shared across all systems of a sweep).
+        self.hier_memo: Dict[tuple, Optional[tuple]] = {}
         kind_append = self.kind.append
         addr_append = self.addr.append
         dep1_append = self.dep1.append

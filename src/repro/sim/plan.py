@@ -1246,6 +1246,13 @@ class ExecutionStats:
     quarantined: int = 0
     resumed_from_journal: int = 0
     workers_effective: int = 0
+    #: Hierarchy span-engine engagement, summed over every simulated job:
+    #: cycles fast-forwarded analytically and schedules replayed from the
+    #: memo.  Zero under ``REPRO_NO_HIER_BATCH=1`` (the kill switch) and
+    #: for purely cached executions; results are bit-identical either way,
+    #: so these are engagement diagnostics, not model statistics.
+    hier_fast_forwarded_cycles: int = 0
+    hier_schedule_replays: int = 0
 
     def add(self, other: "ExecutionStats") -> None:
         self.jobs += other.jobs
@@ -1263,6 +1270,8 @@ class ExecutionStats:
         self.timeouts += other.timeouts
         self.quarantined += other.quarantined
         self.resumed_from_journal += other.resumed_from_journal
+        self.hier_fast_forwarded_cycles += other.hier_fast_forwarded_cycles
+        self.hier_schedule_replays += other.hier_schedule_replays
         self.workers_effective = max(self.workers_effective, other.workers_effective)
 
     def describe(self) -> str:
@@ -1275,7 +1284,9 @@ class ExecutionStats:
             f"timeouts={self.timeouts} quarantined={self.quarantined} "
             f"resumed_from_journal={self.resumed_from_journal} "
             f"store_hits={self.store_hits} inflight_hits={self.inflight_hits} "
-            f"pool_reused={self.pool_reused} snapshot_disk_hits={self.snapshot_disk_hits}"
+            f"pool_reused={self.pool_reused} snapshot_disk_hits={self.snapshot_disk_hits} "
+            f"hier_fast_forwarded_cycles={self.hier_fast_forwarded_cycles} "
+            f"hier_schedule_replays={self.hier_schedule_replays}"
         )
 
     def degraded(self) -> bool:
@@ -1512,6 +1523,8 @@ def _run_job(
         system = builder.factory()
     core = OoOCore(trace, system, config=plan.core_config)
     summary = simulate(core, mode=job.mode)
+    stats.hier_fast_forwarded_cycles += core.hier_ff_cycles
+    stats.hier_schedule_replays += core.hier_replays
     return RunResult(
         system=job.system,
         workload=source.name,
@@ -1606,8 +1619,9 @@ def _run_payload(
     """Run one shipped job inside a pool worker; returns (result, counters).
 
     The counters tuple is this job's ``(snapshot_builds, snapshot_clones,
-    snapshot_disk_hits)`` delta — per-worker stats die with the worker, so
-    each reply carries its own delta back to the supervisor.
+    snapshot_disk_hits, hier_fast_forwarded_cycles, hier_schedule_replays)``
+    delta — per-worker stats die with the worker, so each reply carries its
+    own delta back to the supervisor.
     """
     builder: BuilderSpec = payload["builder"]
     trace = _payload_trace(payload, trace_cache)
@@ -1641,6 +1655,8 @@ def _run_payload(
         scratch.snapshot_builds,
         scratch.snapshot_clones,
         scratch.snapshot_disk_hits,
+        core.hier_ff_cycles,
+        core.hier_replays,
     )
 
 
@@ -1651,7 +1667,7 @@ def _pool_worker(conn) -> None:
     trace reference, snapshot addressing, pre-matched fault action) — the
     worker outlives the ``execute()`` call that forked it and serves any
     later sweep, so nothing may depend on fork-time sweep state.  Replies
-    ``(index, RunResult | _JobError, (builds, clones, disk_hits))``; no
+    ``(index, RunResult | _JobError, (builds, clones, disk_hits, ff, replays))``; no
     exception escapes — the supervisor, not the worker, decides between
     retry and quarantine.  Exits on a ``None`` sentinel or a broken pipe.
     """
@@ -1669,7 +1685,7 @@ def _pool_worker(conn) -> None:
         if message is None:
             return
         index = message["index"]
-        counters = (0, 0, 0)
+        counters = (0, 0, 0, 0, 0)
         payload: object
         try:
             action = faults.apply_worker_action(message.get("action"), message["label"])
@@ -2225,10 +2241,12 @@ class _SupervisedExecutor:
             )
             return
         if valid and isinstance(payload, RunResult):
-            builds, clones, disk_hits = message[2]
+            builds, clones, disk_hits, ff_cycles, replays = message[2]
             self.stats.snapshot_builds += builds
             self.stats.snapshot_clones += clones
             self.stats.snapshot_disk_hits += disk_hits
+            self.stats.hier_fast_forwarded_cycles += ff_cycles
+            self.stats.hier_schedule_replays += replays
             worker.pool_worker.jobs_done += 1
             self.commit(entry, payload)
             self.remaining -= 1

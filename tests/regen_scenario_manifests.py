@@ -39,6 +39,79 @@ def manifest_systems():
     return {"L2-256KB": conventional_spec(), "LN3-144KB": lnuca_l3_spec(3)}
 
 
+def span_metrics(trace) -> Dict[str, object]:
+    """Trace-level span statistics pinned alongside the run manifests.
+
+    Two shapes drive the analytic engines' coverage, so the manifests pin
+    them per scenario:
+
+    * ``mean_alu_span`` — mean length of the maximal runs of non-memory
+      instructions (the pure-ALU engine's raw material);
+    * ``hit_streaks`` — distribution of maximal runs of consecutive
+      memory accesses that hit a functionally warmed conventional L1
+      (the hierarchy engine's raw material).  The replay is functional
+      (``contains`` then ``touch_or_fill``), warmed exactly like a timed
+      run's prewarm, so the streaks are deterministic per trace.
+    """
+    from repro.sim.configs import conventional_spec
+
+    decoded = trace.decoded()
+    is_mem = decoded.is_mem
+    addrs = decoded.addr
+
+    alu_spans = []
+    run = 0
+    for flag in is_mem:
+        if flag:
+            if run:
+                alu_spans.append(run)
+            run = 0
+        else:
+            run += 1
+    if run:
+        alu_spans.append(run)
+
+    l1 = conventional_spec().factory().levels[0]
+    array = l1.array
+    touch = array.touch_or_fill
+    for addr in trace.resident_addresses():
+        touch(addr)
+    contains = array.contains
+    streaks = []
+    streak = 0
+    for index, flag in enumerate(is_mem):
+        if not flag:
+            continue
+        addr = addrs[index]
+        if contains(addr):
+            streak += 1
+        else:
+            if streak:
+                streaks.append(streak)
+            streak = 0
+        touch(addr)
+    if streak:
+        streaks.append(streak)
+
+    histogram: Dict[str, int] = {}
+    for length in streaks:
+        bucket = 1
+        while bucket * 2 <= length:
+            bucket *= 2
+        key = str(bucket)
+        histogram[key] = histogram.get(key, 0) + 1
+    return {
+        "mean_alu_span": round(sum(alu_spans) / len(alu_spans), 4) if alu_spans else 0.0,
+        "hit_streaks": {
+            "front": f"{l1.config.size_bytes // 1024}KB-L1",
+            "count": len(streaks),
+            "mean": round(sum(streaks) / len(streaks), 4) if streaks else 0.0,
+            "max": max(streaks) if streaks else 0,
+            "histogram": histogram,
+        },
+    }
+
+
 def compute_manifests() -> Dict[str, object]:
     """Simulate every catalog scenario and collect its exact stats.
 
@@ -65,6 +138,7 @@ def compute_manifests() -> Dict[str, object]:
                 "instructions": result.instructions,
                 "activity": result.activity,
             }
+        per_system["spans"] = span_metrics(trace)
         entries[spec.name] = per_system
     return {
         "_meta": {

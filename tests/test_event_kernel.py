@@ -124,6 +124,17 @@ class TestNextEventContract:
         lnuca.issue(0x8000, AccessType.LOAD, 0)  # r-tile miss -> search wave
         event = lnuca.next_event_cycle(0)
         assert event is not None
-        # The wave probes one level per cycle; its first step must not be
-        # skipped past.
-        assert event <= min(wave.next_cycle for wave in lnuca._waves)
+        # The wave probes one level per cycle, but the intermediate steps
+        # are burst-replayed (`_catch_up_waves`), so the scheduler leaps
+        # straight to the wave's decisive cycle — and never past it.
+        decisive = min(lnuca._wave_decisive_cycle(w) for w in lnuca._waves)
+        assert event == decisive
+        # The skipped steps really are replayed: a tick at the decisive
+        # cycle must observe the same probe/broadcast activity as a
+        # hierarchy ticked densely up to that point.
+        dense = make_small_lnuca(3)
+        dense.issue(0x8000, AccessType.LOAD, 0)
+        for cycle in range(event + 1):
+            dense.tick(cycle)
+        lnuca.tick(event)
+        assert lnuca.activity() == dense.activity()

@@ -152,3 +152,42 @@ class TestDenseEventFuzz:
             SYSTEMS[system], spec, _N, trace=trace, prewarm=False, mode="event"
         )
         _assert_identical(dense, event, f"{system}/{family} (cold)")
+
+    #: Targeted draws for the hierarchy span engine's extreme regimes,
+    #: pinned (not sampled) so they cannot drift out of the regime:
+    #: a low-skew zipf-kv whose tiny hot set turns warm runs into long
+    #: L1 hit streaks (maximum window engagement), and a giant-table
+    #: gups whose cold misses keep the MSHR files saturated (maximum
+    #: pressure on the per-address window gates and truncation paths).
+    TARGETED = {
+        "hit-streak-heavy": (
+            "zipf-kv",
+            {"num_keys": 256, "skew": 0.1, "update_fraction": 0.1, "meta_kb": 8.0},
+            True,
+        ),
+        "mshr-saturating": (
+            "gups",
+            {"table_mb": 48, "update_fraction": 0.9, "table_weight": 0.95},
+            False,
+        ),
+    }
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    @pytest.mark.parametrize("regime", sorted(TARGETED))
+    def test_targeted_hier_regimes_bit_identical(self, system, regime):
+        family, params, prewarm = self.TARGETED[regime]
+        spec = ScenarioSpec(
+            name=f"targeted-{regime}",
+            family=family,
+            category="fuzz",
+            params=params,
+            seed=71,
+        )
+        trace = build_trace(spec, _N)
+        dense = run_workload(
+            SYSTEMS[system], spec, _N, trace=trace, prewarm=prewarm, mode="dense"
+        )
+        event = run_workload(
+            SYSTEMS[system], spec, _N, trace=trace, prewarm=prewarm, mode="event"
+        )
+        _assert_identical(dense, event, f"{system}/{regime}")

@@ -130,7 +130,14 @@ class TestSpanEngine:
     @needs_span_engine
     @pytest.mark.parametrize("system", sorted(SYSTEMS))
     @pytest.mark.parametrize("prewarm", [True, False], ids=["warm", "cold"])
-    def test_alu_scenario_bit_identical_and_engine_fires(self, system, prewarm):
+    def test_alu_scenario_bit_identical_and_engine_fires(
+        self, system, prewarm, monkeypatch
+    ):
+        # Isolate the pure-ALU engine: with the memory-inclusive engine
+        # enabled it would absorb these windows (it runs first), making
+        # the span_hits assertion below vacuous.  test_hier_batch.py pins
+        # the memory-inclusive engine's engagement the same way.
+        monkeypatch.setenv("REPRO_NO_HIER_BATCH", "1")
         spec = scenario("fma-unroll")
         trace = build_trace(spec, _N)
         dense = run_workload(
@@ -149,7 +156,8 @@ class TestSpanEngine:
         assert hierarchy.activity() == dense.activity
 
     @needs_span_engine
-    def test_memo_replay_bit_identical(self):
+    def test_memo_replay_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_HIER_BATCH", "1")
         spec = scenario("fma-unroll")
         trace = build_trace(spec, _N)
         results = []

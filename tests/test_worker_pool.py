@@ -210,7 +210,11 @@ class TestPersistentPool:
         assert "cached=0 " in text
         assert "simulated=0 " in text
         assert "retries=0 " in text
-        assert text.endswith("pool_reused=0 snapshot_disk_hits=0")
+        assert "pool_reused=0 " in text
+        assert "snapshot_disk_hits=0 " in text
+        assert text.endswith(
+            "hier_fast_forwarded_cycles=0 hier_schedule_replays=0"
+        )
 
     def test_add_sums_pool_counters(self):
         total = ExecutionStats()
@@ -219,6 +223,14 @@ class TestPersistentPool:
         total.add(part)
         assert total.pool_reused == 4
         assert total.snapshot_disk_hits == 6
+
+    def test_add_sums_hier_engagement_counters(self):
+        total = ExecutionStats()
+        part = ExecutionStats(hier_fast_forwarded_cycles=10, hier_schedule_replays=2)
+        total.add(part)
+        total.add(part)
+        assert total.hier_fast_forwarded_cycles == 20
+        assert total.hier_schedule_replays == 4
 
     def test_healthz_reports_worker_pool(self):
         from repro.service.manager import SweepManager
