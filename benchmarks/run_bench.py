@@ -749,6 +749,128 @@ def micro_hier_batch(repeat, instructions=5000):
     }
 
 
+def micro_sched_store(repeat, instructions=5000):
+    """Persistent schedule store: cold process with warm disk vs disabled.
+
+    Emulates the cross-process contract in-process: every round decodes a
+    *fresh* copy of the hit-streak trace (empty memos — exactly what a new
+    worker process sees), then either restores the span/hier schedules
+    from a warm on-disk :class:`~repro.sim.schedstore.ScheduleStore` and
+    replays them (leg A), or runs under ``REPRO_NO_SCHED_STORE=1`` and
+    rebuilds every schedule analytically from scratch (leg B).  Rounds are
+    interleaved (A/B per round) to cancel wall-clock drift, both legs are
+    asserted bit-identical, and the kill switch is asserted *symmetric*:
+    with it set, a warm store restores nothing and a built trace publishes
+    nothing.
+    """
+    import tempfile
+
+    from repro.cpu.core import OoOCore
+    from repro.cpu.isa import Instruction, InstrClass
+    from repro.cpu.trace import Trace
+    from repro.sim import schedstore
+    from repro.sim.configs import build_conventional_hierarchy
+    from repro.sim.runner import simulate
+
+    n = instructions * 10
+    groups = max(n // 4, 8)
+
+    def fresh_trace():
+        instrs = []
+        for _ in range(groups):
+            instrs.append(Instruction(InstrClass.LOAD, addr=64))
+            instrs.extend(Instruction(InstrClass.INT_ALU) for _ in range(3))
+        trace = Trace("hit-streak", "int", instrs)
+        trace.decoded()
+        return trace
+
+    def run(trace, resident):
+        system = build_conventional_hierarchy()
+        system.prewarm(resident)
+        core = OoOCore(trace, system)
+        start = time.perf_counter()
+        simulate(core, mode="event")
+        return time.perf_counter() - start, core, system
+
+    key = ("bench-trace", "bench-cfg")
+    pinned = os.environ.get("REPRO_NO_SCHED_STORE")
+    os.environ.pop("REPRO_NO_SCHED_STORE", None)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = schedstore.ScheduleStore(
+                os.path.join(tmp, "schedules"), version="bench-v1"
+            )
+            seed = fresh_trace()
+            resident = seed.resident_addresses()
+            run(seed, resident)  # cold build: populates the memos
+            if not schedstore.publish_schedules(store, seed, *key):
+                raise AssertionError("seed run built no schedules to publish")
+
+            # Kill-switch symmetry: with the switch set, a warm store
+            # restores nothing and a freshly built trace publishes nothing.
+            os.environ["REPRO_NO_SCHED_STORE"] = "1"
+            probe = fresh_trace()
+            if schedstore.restore_schedules(store, probe, *key):
+                raise AssertionError("REPRO_NO_SCHED_STORE=1 still restored")
+            run(probe, resident)
+            if schedstore.publish_schedules(store, probe, *key):
+                raise AssertionError("REPRO_NO_SCHED_STORE=1 still published")
+            os.environ.pop("REPRO_NO_SCHED_STORE", None)
+
+            store_wall = disabled_wall = None
+            for _ in range(max(repeat, 3)):
+                # The store leg pays for its disk read: the restore is
+                # inside the timed section.
+                trace = fresh_trace()
+                start = time.perf_counter()
+                if not schedstore.restore_schedules(store, trace, *key):
+                    raise AssertionError("warm disk store missed — store bug")
+                restore_s = time.perf_counter() - start
+                wall, store_core, store_system = run(trace, resident)
+                wall += restore_s
+                store_wall = wall if store_wall is None else min(store_wall, wall)
+
+                os.environ["REPRO_NO_SCHED_STORE"] = "1"
+                try:
+                    trace = fresh_trace()
+                    schedstore.restore_schedules(store, trace, *key)
+                    wall, ref_core, ref_system = run(trace, resident)
+                finally:
+                    os.environ.pop("REPRO_NO_SCHED_STORE", None)
+                disabled_wall = (
+                    wall if disabled_wall is None else min(disabled_wall, wall)
+                )
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_NO_SCHED_STORE", None)
+        else:
+            os.environ["REPRO_NO_SCHED_STORE"] = pinned
+    if (
+        store_core.cycle != ref_core.cycle
+        or store_core.stats.as_dict() != ref_core.stats.as_dict()
+        or store_system.activity() != ref_system.activity()
+    ):
+        raise AssertionError("restored-schedule and rebuilt paths diverged — store bug")
+    if not store_core.hier_replays:
+        raise AssertionError("store leg never replayed a restored schedule")
+    speedup = disabled_wall / store_wall
+    if instructions >= BENCH_INSTRUCTIONS and speedup < 2.0:
+        raise AssertionError(
+            f"schedule store speedup {speedup:.2f}x < 2x at full budget"
+        )
+    return {
+        "scenario": "synthetic-hit-streak",
+        "instructions": 4 * groups,
+        "disabled_wall_s": disabled_wall,
+        "store_wall_s": store_wall,
+        "sched_store_speedup_vs_disabled": speedup,
+        "sched_store_instructions_per_s": 4 * groups / store_wall,
+        "hier_replays": store_core.hier_replays,
+        "kill_switch_symmetric": True,
+        "bit_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- sweep
 def _results_identical(lhs, rhs):
     return all(
@@ -943,6 +1065,22 @@ def check_against_baseline(stages, baseline_path, max_slowdown):
                 f"hier-batched streak micro regressed {hier_ratio:.2f}x vs "
                 f"{baseline_path} (limit {max_slowdown:.2f}x)"
             )
+    # Schedule-store micro: the warm-disk replay throughput, same contract
+    # (absent in BENCH files older than the schedule store).
+    sched_base = committed.get("micro_sched_store")
+    if sched_base and sched_base.get("sched_store_instructions_per_s"):
+        sched_new = stages["micro_sched_store"]["sched_store_instructions_per_s"]
+        sched_ratio = sched_base["sched_store_instructions_per_s"] / sched_new
+        print(
+            f"baseline check: schedule-store replay {sched_new:,.0f} instr/s vs "
+            f"committed {sched_base['sched_store_instructions_per_s']:,.0f} instr/s "
+            f"({sched_ratio:.2f}x slowdown, limit {max_slowdown:.2f}x)"
+        )
+        if sched_ratio > max_slowdown:
+            raise SystemExit(
+                f"schedule-store micro regressed {sched_ratio:.2f}x vs "
+                f"{baseline_path} (limit {max_slowdown:.2f}x)"
+            )
 
 
 def main(argv=None):
@@ -1002,6 +1140,8 @@ def main(argv=None):
     stages["micro_core_batch"] = micro_core_batch(args.repeat, args.instructions)
     print("micro: hier-batched streak (engine on vs force-disabled) ...", flush=True)
     stages["micro_hier_batch"] = micro_hier_batch(args.repeat, args.instructions)
+    print("micro: schedule store (warm disk vs store-disabled rebuild) ...", flush=True)
+    stages["micro_sched_store"] = micro_sched_store(args.repeat, args.instructions)
     print("fig4 sweep (dense vs event) ...", flush=True)
     stages["fig4_sweep"] = fig4_sweep(
         args.repeat, args.workers, args.instructions, args.per_category
@@ -1074,6 +1214,14 @@ def main(argv=None):
         f"engine cold {hier['cold_wall_s']:.3f}s ({hier['hier_speedup_cold']:.2f}x), "
         f"warm replay {hier['hier_wall_s']:.3f}s "
         f"({hier['hier_speedup_warm']:.2f}x, bit-identical)"
+    )
+    sched = stages["micro_sched_store"]
+    print(
+        f"schedule store ({sched['scenario']}): "
+        f"store-disabled rebuild {sched['disabled_wall_s']:.3f}s, "
+        f"warm-disk replay {sched['store_wall_s']:.3f}s "
+        f"({sched['sched_store_speedup_vs_disabled']:.2f}x, bit-identical, "
+        f"kill switch symmetric)"
     )
     gen = stages["micro_scenario_gen"]
     if "vectorized_instructions_per_s" in gen:

@@ -77,9 +77,19 @@ _MEM = 2
 #: decode's precomputed issue classes.
 _KIND_STORE = int(InstrClass.STORE)
 
-#: Span-engine activation threshold: a window shorter than this many fetch
-#: groups is not worth the engine's seed/apply overhead.
-_SPAN_MIN_GROUPS = 3
+#: Span-engine activation floors, in fetch groups.  The *build* floor gates
+#: the top-of-attempt entry checks: below it the O(rob) seeding / signature
+#: cost of even probing the memo outweighs ticking the window densely.  The
+#: *replay* floor gates every downstream truncation (residency pre-pass,
+#: pass-1/pass-3 shrinkage): once an attempt is underway, committing a
+#: truncated prefix is sound at any length (prefix stability, see the pass
+#: docstrings) and a memoized schedule replays in O(exit state) — so short
+#: truncated windows are built once, memoized, and thereafter replayed from
+#: the per-trace memo (or the on-disk schedule store,
+#: :mod:`repro.sim.schedstore`).  Keeping the replay floor at 1 is what
+#: lets short hit streaks (e.g. fig4's 1.7–8.75-access runs) engage at all.
+_SPAN_MIN_GROUPS_BUILD = 3
+_SPAN_MIN_GROUPS_REPLAY = 1
 
 #: Hierarchy-engine window bound, in fetch groups.  Memory-inclusive spans
 #: are bounded by the next *hard* breaker (mispredicted branch), which on
@@ -512,7 +522,7 @@ class OoOCore:
         max_groups = cap - cycle
         if groups > max_groups:
             groups = max_groups
-        if groups < _SPAN_MIN_GROUPS:
+        if groups < _SPAN_MIN_GROUPS_BUILD:
             return None
         rob = self._rob
         n_seed = len(rob)
@@ -648,7 +658,7 @@ class OoOCore:
                     else:
                         int_issues[rel] += 1
         if trunc < groups:
-            if trunc < _SPAN_MIN_GROUPS:
+            if trunc < _SPAN_MIN_GROUPS_REPLAY:
                 if len(memo) >= _SPAN_MEMO_CAP:
                     memo.clear()
                 memo[key] = None
@@ -718,7 +728,7 @@ class OoOCore:
             occ_fp += gf
             rob_len += fw
             base += fw
-        if groups < _SPAN_MIN_GROUPS:
+        if groups < _SPAN_MIN_GROUPS_REPLAY:
             if len(memo) >= _SPAN_MEMO_CAP:
                 memo.clear()
             memo[key] = None
@@ -939,7 +949,7 @@ class OoOCore:
         max_groups = cap - cycle
         if groups > max_groups:
             groups = max_groups
-        if groups < _SPAN_MIN_GROUPS:
+        if groups < _SPAN_MIN_GROUPS_BUILD:
             return None
         F = s + groups * fw
         if self._next_break[s] >= F:
@@ -1016,7 +1026,7 @@ class OoOCore:
                     miss_at = probe_idx[j]
                     break
             groups = (miss_at - s) // fw
-            if groups < _SPAN_MIN_GROUPS or self._next_break[s] >= s + groups * fw:
+            if groups < _SPAN_MIN_GROUPS_REPLAY or self._next_break[s] >= s + groups * fw:
                 # Too short, or the hit-only prefix is pure ALU (the miss
                 # is the very first memory op): route back to the classic
                 # engine / per-cycle path without poisoning the memo.
@@ -1137,7 +1147,7 @@ class OoOCore:
                     else:
                         int_issues[rel] += 1
         if trunc < groups:
-            if trunc < _SPAN_MIN_GROUPS:
+            if trunc < _SPAN_MIN_GROUPS_REPLAY:
                 if len(memo) >= _SPAN_MEMO_CAP:
                     memo.clear()
                 memo[key] = None
@@ -1295,7 +1305,7 @@ class OoOCore:
             rob_len += fw
             lsq += gm
             base += fw
-        if groups < _SPAN_MIN_GROUPS:
+        if groups < _SPAN_MIN_GROUPS_REPLAY:
             if len(memo) >= _SPAN_MEMO_CAP:
                 memo.clear()
             memo[key] = None

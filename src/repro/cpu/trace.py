@@ -152,7 +152,7 @@ class DecodedTrace:
     __slots__ = (
         "kind", "addr", "dep1", "dep2", "latency", "mispredicted", "window",
         "is_mem", "issue_class", "prod1", "prod2", "_span_cache", "_lat_cache",
-        "span_memo", "hier_memo",
+        "span_memo", "hier_memo", "sched_sync",
     )
 
     def __init__(self, instructions: List[Instruction]) -> None:
@@ -191,6 +191,12 @@ class DecodedTrace:
         #: only ever fires when all of its events still hit (traces — and
         #: with them this memo — are shared across all systems of a sweep).
         self.hier_memo: Dict[tuple, Optional[tuple]] = {}
+        #: Disk-sync bookkeeping for the persistent schedule store
+        #: (:mod:`repro.sim.schedstore`): (store identity, trace digest,
+        #: config key) -> (span, hier) memo sizes at the last load/publish.
+        #: Bounds disk traffic to one load per (store, trace, config) per
+        #: process and one publish per actual table change.
+        self.sched_sync: Dict[tuple, tuple] = {}
         kind_append = self.kind.append
         addr_append = self.addr.append
         dep1_append = self.dep1.append

@@ -98,7 +98,7 @@ from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.sim import faults
+from repro.sim import faults, schedstore
 
 # Imported at module level on purpose: pool workers are forked lazily and
 # must never take the import lock mid-job (a function-level import inside a
@@ -1253,6 +1253,13 @@ class ExecutionStats:
     #: so these are engagement diagnostics, not model statistics.
     hier_fast_forwarded_cycles: int = 0
     hier_schedule_replays: int = 0
+    #: Persistent schedule-store traffic (:mod:`repro.sim.schedstore`):
+    #: blob loads that restored span/hier schedules built by another
+    #: process, and blob publishes of schedules this execution built.
+    #: Zero under ``REPRO_NO_SCHED_STORE=1``; results are bit-identical
+    #: either way, so these too are engagement diagnostics.
+    sched_store_hits: int = 0
+    sched_store_builds: int = 0
 
     def add(self, other: "ExecutionStats") -> None:
         self.jobs += other.jobs
@@ -1272,6 +1279,8 @@ class ExecutionStats:
         self.resumed_from_journal += other.resumed_from_journal
         self.hier_fast_forwarded_cycles += other.hier_fast_forwarded_cycles
         self.hier_schedule_replays += other.hier_schedule_replays
+        self.sched_store_hits += other.sched_store_hits
+        self.sched_store_builds += other.sched_store_builds
         self.workers_effective = max(self.workers_effective, other.workers_effective)
 
     def describe(self) -> str:
@@ -1286,7 +1295,9 @@ class ExecutionStats:
             f"store_hits={self.store_hits} inflight_hits={self.inflight_hits} "
             f"pool_reused={self.pool_reused} snapshot_disk_hits={self.snapshot_disk_hits} "
             f"hier_fast_forwarded_cycles={self.hier_fast_forwarded_cycles} "
-            f"hier_schedule_replays={self.hier_schedule_replays}"
+            f"hier_schedule_replays={self.hier_schedule_replays} "
+            f"sched_store_hits={self.sched_store_hits} "
+            f"sched_store_builds={self.sched_store_builds}"
         )
 
     def degraded(self) -> bool:
@@ -1511,10 +1522,19 @@ def _run_job(
     local_blobs: Dict,
     stats: ExecutionStats,
     disk_store: Optional[SnapshotStore] = None,
+    sched_store: Optional[schedstore.ScheduleStore] = None,
+    sched_key: Optional[Tuple[str, str]] = None,
 ) -> RunResult:
     """Simulate one job (the only place a core is ever constructed)."""
     builder = plan.builders[job.builder]
     source = plan.traces[job.trace]
+    if sched_store is not None and sched_key is not None:
+        # Restore any schedules a sibling process already built for this
+        # (trace, config) before the core decodes: the first run then
+        # starts at warm-replay speed instead of rebuilding the memos.
+        stats.sched_store_hits += schedstore.restore_schedules(
+            sched_store, trace, sched_key[0], sched_key[1]
+        )
     if job.prewarm:
         system = _prewarmed_system(
             builder, trace, snapshot_key, local_blobs, stats, disk_store
@@ -1525,6 +1545,10 @@ def _run_job(
     summary = simulate(core, mode=job.mode)
     stats.hier_fast_forwarded_cycles += core.hier_ff_cycles
     stats.hier_schedule_replays += core.hier_replays
+    if sched_store is not None and sched_key is not None:
+        stats.sched_store_builds += schedstore.publish_schedules(
+            sched_store, trace, sched_key[0], sched_key[1]
+        )
     return RunResult(
         system=job.system,
         workload=source.name,
@@ -1607,7 +1631,10 @@ def _payload_trace(payload: Dict[str, object], cache: "OrderedDict") -> Trace:
         trace = trace_from_records(name, category, blob)
     cache[key] = trace
     while len(cache) > _WORKER_TRACE_CAP:
-        cache.popitem(last=False)
+        _, evicted = cache.popitem(last=False)
+        # Last chance before the decoded memos are garbage-collected:
+        # flush any schedules built since their last disk sync.
+        schedstore.publish_pending(evicted)
     return trace
 
 
@@ -1615,13 +1642,15 @@ def _run_payload(
     payload: Dict[str, object],
     trace_cache: "OrderedDict",
     store_cache: Dict[Tuple[str, str], SnapshotStore],
+    sched_cache: Dict[Tuple[str, str], schedstore.ScheduleStore],
 ) -> Tuple[RunResult, Tuple[int, int, int]]:
     """Run one shipped job inside a pool worker; returns (result, counters).
 
     The counters tuple is this job's ``(snapshot_builds, snapshot_clones,
-    snapshot_disk_hits, hier_fast_forwarded_cycles, hier_schedule_replays)``
-    delta — per-worker stats die with the worker, so each reply carries its
-    own delta back to the supervisor.
+    snapshot_disk_hits, hier_fast_forwarded_cycles, hier_schedule_replays,
+    sched_store_hits, sched_store_builds)`` delta — per-worker stats die
+    with the worker, so each reply carries its own delta back to the
+    supervisor.
     """
     builder: BuilderSpec = payload["builder"]
     trace = _payload_trace(payload, trace_cache)
@@ -1632,6 +1661,24 @@ def _run_payload(
         if disk_store is None:
             disk_store = SnapshotStore(store_key[0], version=store_key[1])
             store_cache[store_key] = disk_store
+    # Schedule-store participation is re-checked worker-side (symmetric
+    # kill switch: the env may differ from the supervisor's fork-time
+    # state, and load/publish must disable together either way).
+    sched_store = None
+    sched_key = payload.get("sched_key")
+    if payload.get("sched_dir") and sched_key is not None and schedstore.store_enabled():
+        sched_store_key = (payload["sched_dir"], payload["sched_version"])
+        sched_store = sched_cache.get(sched_store_key)
+        if sched_store is None:
+            sched_store = schedstore.ScheduleStore(
+                sched_store_key[0], version=sched_store_key[1]
+            )
+            sched_cache[sched_store_key] = sched_store
+    sched_hits = sched_builds = 0
+    if sched_store is not None:
+        sched_hits = schedstore.restore_schedules(
+            sched_store, trace, sched_key[0], sched_key[1]
+        )
     scratch = ExecutionStats()
     if payload["prewarm"]:
         system = _prewarmed_system(
@@ -1651,12 +1698,18 @@ def _run_payload(
         activity=system.activity(),
         core_stats=core.stats.as_dict(),
     )
+    if sched_store is not None:
+        sched_builds = schedstore.publish_schedules(
+            sched_store, trace, sched_key[0], sched_key[1]
+        )
     return result, (
         scratch.snapshot_builds,
         scratch.snapshot_clones,
         scratch.snapshot_disk_hits,
         core.hier_ff_cycles,
         core.hier_replays,
+        sched_hits,
+        sched_builds,
     )
 
 
@@ -1667,7 +1720,8 @@ def _pool_worker(conn) -> None:
     trace reference, snapshot addressing, pre-matched fault action) — the
     worker outlives the ``execute()`` call that forked it and serves any
     later sweep, so nothing may depend on fork-time sweep state.  Replies
-    ``(index, RunResult | _JobError, (builds, clones, disk_hits, ff, replays))``; no
+    ``(index, RunResult | _JobError, (builds, clones, disk_hits, ff, replays,
+    sched_hits, sched_builds))``; no
     exception escapes — the supervisor, not the worker, decides between
     retry and quarantine.  Exits on a ``None`` sentinel or a broken pipe.
     """
@@ -1677,6 +1731,7 @@ def _pool_worker(conn) -> None:
     faults.install(None)
     trace_cache: "OrderedDict" = OrderedDict()
     store_cache: Dict[Tuple[str, str], SnapshotStore] = {}
+    sched_cache: Dict[Tuple[str, str], schedstore.ScheduleStore] = {}
     while True:
         try:
             message = conn.recv()
@@ -1685,14 +1740,16 @@ def _pool_worker(conn) -> None:
         if message is None:
             return
         index = message["index"]
-        counters = (0, 0, 0, 0, 0)
+        counters = (0, 0, 0, 0, 0, 0, 0)
         payload: object
         try:
             action = faults.apply_worker_action(message.get("action"), message["label"])
             if action == "garbage":
                 payload = "\x00injected-garbage-payload"
             else:
-                payload, counters = _run_payload(message, trace_cache, store_cache)
+                payload, counters = _run_payload(
+                    message, trace_cache, store_cache, sched_cache
+                )
         except Exception as exc:
             payload = _JobError(
                 type(exc).__name__,
@@ -2241,12 +2298,15 @@ class _SupervisedExecutor:
             )
             return
         if valid and isinstance(payload, RunResult):
-            builds, clones, disk_hits, ff_cycles, replays = message[2]
+            (builds, clones, disk_hits, ff_cycles, replays,
+             sched_hits, sched_builds) = message[2]
             self.stats.snapshot_builds += builds
             self.stats.snapshot_clones += clones
             self.stats.snapshot_disk_hits += disk_hits
             self.stats.hier_fast_forwarded_cycles += ff_cycles
             self.stats.hier_schedule_replays += replays
+            self.stats.sched_store_hits += sched_hits
+            self.stats.sched_store_builds += sched_builds
             worker.pool_worker.jobs_done += 1
             self.commit(entry, payload)
             self.remaining -= 1
@@ -2356,6 +2416,16 @@ def execute(
             os.path.join(active_cache.directory, "snapshots"), version=version
         )
 
+    # Persistent analytic-schedule store: same placement and dirty/unknown
+    # version rule as the snapshot tier.  ``store_enabled`` gates load and
+    # publish together (symmetric kill switch) — constructing no store here
+    # disables both sides at once, in this process and in every payload.
+    sched_store: Optional[schedstore.ScheduleStore] = None
+    if active_cache is not None and schedstore.store_enabled():
+        sched_store = schedstore.ScheduleStore(
+            os.path.join(active_cache.directory, "schedules"), version=version
+        )
+
     progress = on_progress if on_progress is not None else _DEFAULT_PROGRESS
     total = len(plan.jobs)
     done = 0
@@ -2380,7 +2450,11 @@ def execute(
                 if memo_key is not None:
                     _TRACE_MEMO[memo_key] = trace
                     while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
-                        _TRACE_MEMO.popitem(last=False)
+                        _, evicted = _TRACE_MEMO.popitem(last=False)
+                        # Publish-on-eviction: schedules built since the
+                        # evicted trace's last job must reach disk before
+                        # the decode is garbage-collected.
+                        stats.sched_store_builds += schedstore.publish_pending(evicted)
             elif pool is not None:
                 # Memo hit, but the file-backed capture must still appear.
                 pool.ensure(source, trace, stats)
@@ -2498,6 +2572,7 @@ def execute(
     try:
         if pending:
             snapshot_keys: Dict[JobSpec, Tuple[str, str]] = {}
+            sched_keys: Dict[JobSpec, Tuple[str, str]] = {}
             local_blobs: Dict[Tuple[str, str], bytes] = {}
             for index, job, key in pending:
                 materialize(job.trace)  # pool files land before any dispatch
@@ -2507,6 +2582,15 @@ def execute(
                         builder_digest or f"adhoc:{job.builder}",
                         content_digest(job.trace),
                     )
+                if sched_store is not None and job not in sched_keys:
+                    # Schedule blobs address by (trace content, config):
+                    # ad-hoc builders (no digest) stay per-process.
+                    builder_digest = plan.builders[job.builder].digest()
+                    if builder_digest is not None:
+                        sched_keys[job] = (
+                            content_digest(job.trace),
+                            f"{builder_digest}/{core_digest}",
+                        )
             stats.simulated = len(owned)
 
             def commit(index: int, job: JobSpec, key: Optional[str],
@@ -2616,12 +2700,20 @@ def execute(
                         "snapshot_version": (
                             disk_store.version if disk_store is not None else None
                         ),
+                        "sched_key": sched_keys.get(job),
+                        "sched_dir": (
+                            sched_store.directory if sched_store is not None else None
+                        ),
+                        "sched_version": (
+                            sched_store.version if sched_store is not None else None
+                        ),
                     }
 
                 def run_local(entry: _Pending) -> RunResult:
                     return _run_job(
                         plan, entry.job, traces[entry.job.trace],
                         snapshot_keys.get(entry.job), local_blobs, stats, disk_store,
+                        sched_store, sched_keys.get(entry.job),
                     )
 
                 executor = _SupervisedExecutor(
@@ -2645,6 +2737,7 @@ def execute(
                         _run_job(
                             plan, job, traces[job.trace], snapshot_keys.get(job),
                             local_blobs, stats, disk_store,
+                            sched_store, sched_keys.get(job),
                         ),
                     )
 
@@ -2677,6 +2770,7 @@ def execute(
                             _run_job(
                                 plan, job, traces[job.trace], snapshot_keys.get(job),
                                 local_blobs, stats, disk_store,
+                                sched_store, sched_keys.get(job),
                             ),
                         )
                         continue

@@ -191,3 +191,38 @@ class TestDenseEventFuzz:
             SYSTEMS[system], spec, _N, trace=trace, prewarm=prewarm, mode="event"
         )
         _assert_identical(dense, event, f"{system}/{regime}")
+
+
+class TestScheduleStoreFuzz:
+    """Store-enabled regime: schedules that cross a disk round-trip stay exact.
+
+    Each draw builds schedules in one trace, publishes them to a throwaway
+    :class:`ScheduleStore`, restores them into a *freshly decoded* copy of
+    the trace (empty memos, as a new process would see), and asserts the
+    replayed event run is bit-identical to dense.  Under the kill switch
+    (``REPRO_NO_SCHED_STORE=1``) publish and restore both no-op and the
+    case degrades to a plain warm-fuzz check — which must still hold.
+    """
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    @pytest.mark.parametrize("family", ["compute-kernel", "phase-mix"])
+    def test_restored_schedules_bit_identical(self, system, family, tmp_path):
+        from repro.sim.schedstore import (
+            ScheduleStore,
+            publish_schedules,
+            restore_schedules,
+        )
+
+        spec = _fuzz_spec(family, 83)
+        built = build_trace(spec, _N)
+        dense = run_workload(SYSTEMS[system], spec, _N, trace=built, mode="dense")
+        run_workload(SYSTEMS[system], spec, _N, trace=built, mode="event")
+
+        store = ScheduleStore(str(tmp_path / "schedules"), version="fuzz-v1")
+        published = publish_schedules(store, built, "fuzz-digest", f"cfg-{system}")
+
+        fresh = build_trace(spec, _N)
+        restored = restore_schedules(store, fresh, "fuzz-digest", f"cfg-{system}")
+        assert restored == published  # a published blob must restore; no blob, no hit
+        event = run_workload(SYSTEMS[system], spec, _N, trace=fresh, mode="event")
+        _assert_identical(dense, event, f"{system}/{family} (store round-trip)")

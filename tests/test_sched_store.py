@@ -1,0 +1,502 @@
+"""Persistent analytic-schedule store: codec, sharing, partitioning, faults.
+
+The contract of :mod:`repro.sim.schedstore`: span/hier schedules built by
+one process replay in any other — bit-identically, because restored memo
+entries go through exactly the probe-and-validate path locally built ones
+do — and every failure mode (corrupt blob, injected write fault, version
+or config skew, the kill switch) degrades to a miss, never to a wrong
+schedule.  Cross-process coverage runs the real worker path: schedules
+built by a sequential sweep are consumed by freshly forked pool workers
+that decode their traces from pool files, not from inherited memory.
+"""
+
+import os
+import pickle
+import shutil
+
+import pytest
+
+from repro.cpu.core import CoreConfig, OoOCore
+from repro.cpu.isa import Instruction, InstrClass
+from repro.cpu.trace import Trace
+from repro.sim import faults, plan, schedstore
+from repro.sim.configs import build_conventional_hierarchy
+from repro.sim.faults import FaultPlan, FaultSpec
+from repro.sim.plan import (
+    ResultCache,
+    SupervisionPolicy,
+    compile_sweep,
+    execute,
+    shutdown_worker_pool,
+)
+from repro.sim.runner import simulate
+from repro.sim.schedstore import (
+    ScheduleStore,
+    publish_pending,
+    publish_schedules,
+    restore_schedules,
+    store_enabled,
+)
+
+from tests.test_plan import FOUR_HIERARCHIES, TINY, assert_identical, two_workloads
+
+FAST = SupervisionPolicy(backoff_base=0.01)
+
+I = Instruction
+K = InstrClass
+RESIDENT = 64
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    """Fresh process-level state: faults off, pool cold, memos empty."""
+    faults.install(FaultPlan())
+    plan._TRACE_MEMO.clear()
+    plan._SNAPSHOT_BLOBS.clear()
+    shutdown_worker_pool()
+    yield
+    faults.reset()
+    plan._TRACE_MEMO.clear()
+    shutdown_worker_pool()
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-1")
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def sched_blob_paths(cache):
+    root = os.path.join(cache.directory, "schedules")
+    return sorted(
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+        if name.endswith(".blob")
+    )
+
+
+def forget_process_state():
+    """Emulate a fresh process between execute() calls in one test.
+
+    Clears the trace memo (so traces re-decode with empty schedule memos
+    and empty sync bookkeeping) and the snapshot L1, and parks no warm
+    workers — the three tiers a genuinely new process would not have.
+    """
+    plan._TRACE_MEMO.clear()
+    plan._SNAPSHOT_BLOBS.clear()
+    shutdown_worker_pool()
+
+
+def wipe_results(cache):
+    shutil.rmtree(os.path.join(cache.directory, "results"), ignore_errors=True)
+
+
+def small_plan(**kwargs):
+    builders = {"L2-256KB": FOUR_HIERARCHIES["L2-256KB"]}
+    return compile_sweep(builders, two_workloads(), TINY, **kwargs)
+
+
+def full_plan(**kwargs):
+    return compile_sweep(FOUR_HIERARCHIES, two_workloads(), TINY, **kwargs)
+
+
+# ------------------------------------------------------------------ store unit
+class TestScheduleStoreCodec:
+    def test_roundtrip(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        span = {("cfg", 0, 5, (1, 2)): (5, 20, 18), ("cfg", 9, 4, ()): None}
+        hier = {("hcfg", "tag", 0, 3, (), ()): (3, [1, 2], (4, 5))}
+        assert store.store(("trace-d", "cfg-d"), span, hier)
+        loaded = store.load(("trace-d", "cfg-d"))
+        assert loaded == (span, hier)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        assert store.load(("absent", "key")) is None
+
+    def test_versions_partition_the_address_space(self, tmp_path):
+        a = ScheduleStore(str(tmp_path), version="v1")
+        b = ScheduleStore(str(tmp_path), version="v2")
+        a.store(("t", "c"), {"k": (1,)}, {})
+        assert b.load(("t", "c")) is None
+        assert a.load(("t", "c")) is not None
+
+    def test_corrupt_blob_warns_discards_and_misses(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        store.store(("t", "c"), {"k": (1,)}, {})
+        path = store._path(("t", "c"))
+        with open(path, "wb") as handle:
+            handle.write(b"\x00not a pickle")
+        with pytest.warns(RuntimeWarning, match="corrupt blob"):
+            assert store.load(("t", "c")) is None
+        assert not os.path.exists(path)
+
+    def test_stale_codec_blob_is_a_silent_miss(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        path = store._path(("t", "c"))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(pickle.dumps(("sched", 9999, {}, {})))
+        assert store.load(("t", "c")) is None
+
+    def test_verify_counts_corrupt_stale_codec_and_tmp(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        store.store(("good", "c"), {"k": (1,)}, {})
+        store.store(("bad", "c"), {"k": (1,)}, {})
+        with open(store._path(("bad", "c")), "wb") as handle:
+            handle.write(b"garbage")
+        stale = store._path(("stale", "c"))
+        os.makedirs(os.path.dirname(stale), exist_ok=True)
+        with open(stale, "wb") as handle:
+            handle.write(pickle.dumps(("sched", 9999, {}, {})))
+        with open(os.path.join(str(tmp_path), "leftover.blob.tmp123"), "wb") as handle:
+            handle.write(b"x")
+        with pytest.warns(RuntimeWarning):
+            report = store.verify(delete=True)
+        assert report["checked"] == 3
+        assert report["corrupt"] == 2  # the garbage blob and the stale codec
+        assert report["stale_tmp"] == 1
+        assert report["deleted"] == 3
+        assert store.load(("good", "c")) is not None
+
+    def test_prune_enforces_size_limit(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1", limit_mb=0.0001)
+        big = {i: tuple(range(50)) for i in range(100)}
+        for n in range(4):
+            store.store((f"t{n}", "c"), big, {})
+        store.prune()
+        remaining = sum(
+            1
+            for dirpath, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.endswith(".blob")
+        )
+        assert remaining < 4
+
+    def test_kill_switch_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SCHED_STORE", raising=False)
+        assert store_enabled()
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "1")
+        assert not store_enabled()
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "0")
+        assert store_enabled()
+
+
+# ------------------------------------------------------------------ sync logic
+def _streak_trace(groups: int, name: str = "sync-streak") -> Trace:
+    instrs = []
+    for _ in range(groups):
+        instrs.append(I(K.LOAD, addr=RESIDENT))
+        instrs.extend(I(K.INT_ALU) for _ in range(3))
+    return Trace(name, "int", instrs)
+
+
+def _run_event(trace: Trace) -> OoOCore:
+    hierarchy = build_conventional_hierarchy()
+    hierarchy.prewarm(trace.resident_addresses())
+    core = OoOCore(trace, hierarchy)
+    simulate(core, mode="event")
+    return core
+
+
+# The strict tests assume schedules get built (the hierarchy engine on)
+# and persisted (the store on); the engine-off and store-off CI legs
+# exercise everything else and skip these — the fallback paths they pin
+# are covered by the unconditional tests below.
+HIER_DISABLED = (
+    os.environ.get("REPRO_NO_SPAN_BATCH", "") not in ("", "0")
+    or os.environ.get("REPRO_NO_HIER_BATCH", "") not in ("", "0")
+)
+STORE_OFF = not store_enabled()
+needs_hier = pytest.mark.skipif(
+    HIER_DISABLED, reason="span/hier engines force-disabled via environment"
+)
+needs_store = pytest.mark.skipif(
+    STORE_OFF, reason="schedule store force-disabled via environment"
+)
+
+
+class TestSyncHelpers:
+    @needs_hier
+    @needs_store
+    def test_publish_then_restore_into_fresh_decode(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        built = _streak_trace(200)
+        reference = _run_event(built)
+        assert publish_schedules(store, built, "digest", "cfg") == 1
+
+        fresh = _streak_trace(200)
+        assert restore_schedules(store, fresh, "digest", "cfg") == 1
+        assert fresh.decoded().span_memo == built.decoded().span_memo
+        assert fresh.decoded().hier_memo == built.decoded().hier_memo
+        replayed = _run_event(fresh)
+        assert replayed.cycle == reference.cycle
+        assert replayed.stats.as_dict() == reference.stats.as_dict()
+        # The restored schedule replays without a single rebuild.
+        assert replayed.hier_replays > 0
+
+    @needs_hier
+    @needs_store
+    def test_publish_skipped_when_nothing_changed(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        trace = _streak_trace(200)
+        _run_event(trace)
+        assert publish_schedules(store, trace, "digest", "cfg") == 1
+        assert publish_schedules(store, trace, "digest", "cfg") == 0
+
+    def test_publish_of_undecoded_trace_is_noop(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        assert publish_schedules(store, _streak_trace(4), "digest", "cfg") == 0
+        assert not sched_blob_paths_under(str(tmp_path))
+
+    @needs_hier
+    @needs_store
+    def test_restore_loads_once_per_process(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        built = _streak_trace(200)
+        _run_event(built)
+        publish_schedules(store, built, "digest", "cfg")
+        fresh = _streak_trace(200)
+        assert restore_schedules(store, fresh, "digest", "cfg") == 1
+        assert restore_schedules(store, fresh, "digest", "cfg") == 0  # memoized
+
+    @needs_hier
+    @needs_store
+    def test_local_entries_win_on_merge(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        built = _streak_trace(200)
+        _run_event(built)
+        publish_schedules(store, built, "digest", "cfg")
+        fresh = _streak_trace(200)
+        _run_event(fresh)  # builds its own (identical) entries first
+        local = dict(fresh.decoded().hier_memo)
+        restore_schedules(store, fresh, "digest", "cfg")
+        for key, record in local.items():
+            assert fresh.decoded().hier_memo[key] is local[key]
+
+    @needs_hier
+    @needs_store
+    def test_publish_pending_flushes_unsynced_growth(self, tmp_path):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        trace = _streak_trace(200)
+        # A restore against an empty store records the sync point...
+        assert restore_schedules(store, trace, "digest", "cfg") == 0
+        # ...then schedules are built after it: eviction must flush them.
+        _run_event(trace)
+        assert publish_pending(trace) == 1
+        fresh = _streak_trace(200)
+        assert restore_schedules(store, fresh, "digest", "cfg") == 1
+
+    def test_kill_switch_disables_both_sides(self, tmp_path, monkeypatch):
+        store = ScheduleStore(str(tmp_path), version="v1")
+        built = _streak_trace(200)
+        _run_event(built)
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "1")
+        assert publish_schedules(store, built, "digest", "cfg") == 0
+        assert not sched_blob_paths_under(str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_SCHED_STORE")
+        publish_schedules(store, built, "digest", "cfg")
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "1")
+        fresh = _streak_trace(200)
+        assert restore_schedules(store, fresh, "digest", "cfg") == 0
+        assert not fresh.decoded().span_memo
+        assert not fresh.decoded().hier_memo
+
+
+def sched_blob_paths_under(root):
+    return [
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+        if name.endswith(".blob")
+    ]
+
+
+# ------------------------------------------------------- floor retune (fig4)
+class TestShortStreakEngagement:
+    """The build/replay floor split: short truncated windows engage.
+
+    fig4-shaped traces interleave short L1 hit streaks (1–2 fetch groups)
+    with cold misses; under the old single ``_SPAN_MIN_GROUPS = 3`` floor
+    the residency pre-pass bailed on every such window.  With the replay
+    floor at 1 they build, memoize, and replay — bit-identically.
+    """
+
+    def _short_streak_trace(self, repeats: int = 40) -> Trace:
+        instrs = []
+        for i in range(repeats):
+            instrs.append(I(K.LOAD, addr=RESIDENT))
+            instrs.extend(I(K.INT_ALU) for _ in range(3))
+            instrs.append(I(K.LOAD, addr=(1 << 20) + i * 4096))
+            instrs.extend(I(K.INT_ALU) for _ in range(3))
+        return Trace("fig4-short-streaks", "int", instrs)
+
+    def _run(self, trace, mode):
+        hierarchy = build_conventional_hierarchy()
+        hierarchy.prewarm([RESIDENT])
+        core = OoOCore(trace, hierarchy)
+        simulate(core, mode=mode)
+        return core, hierarchy
+
+    def test_short_windows_bit_identical_and_engaged(self):
+        trace = self._short_streak_trace()
+        dense, dense_h = self._run(trace, "dense")
+        event, event_h = self._run(trace, "event")
+        assert event.cycle == dense.cycle
+        assert event.stats.as_dict() == dense.stats.as_dict()
+        assert event_h.activity() == dense_h.activity()
+        if not HIER_DISABLED:
+            # One-group windows now engage (the old floor bailed on all).
+            assert event.hier_ff_cycles > 0
+
+
+# ------------------------------------------------------------- cross-process
+class TestCrossProcessSharing:
+    @needs_hier
+    @needs_store
+    @pytest.mark.parametrize("prewarm", [True, False], ids=["warm", "cold"])
+    def test_fresh_workers_replay_prior_process_schedules(self, cache, prewarm):
+        """Build schedules sequentially; fresh forked workers replay them.
+
+        Pool workers decode their traces from the shared pool file (not
+        from inherited memory), so their memos start empty — a restored
+        schedule is the only way ``sched_store_hits`` can be nonzero.
+        Asserts bit-identical cycles/IPC/activity across all four
+        hierarchies against the direct (uncached, storeless) path.
+        """
+        compiled = full_plan(prewarm=prewarm)
+        reference = execute(compiled)
+        assert not reference.failures
+
+        first = execute(compiled, cache=cache)
+        assert first.stats.sched_store_builds > 0
+        assert sched_blob_paths(cache)
+        assert_identical(first.results, reference.results)
+
+        wipe_results(cache)
+        forget_process_state()
+        second = execute(compiled, workers=2, cache=cache, supervision=FAST)
+        assert not second.failures
+        assert second.stats.simulated == len(compiled.jobs)
+        assert second.stats.sched_store_hits > 0
+        assert second.stats.sched_store_builds == 0  # nothing new to publish
+        assert_identical(second.results, reference.results)
+
+    @needs_hier
+    @needs_store
+    def test_sequential_rerun_hits_the_store(self, cache):
+        compiled = small_plan()
+        execute(compiled, cache=cache)
+        wipe_results(cache)
+        forget_process_state()
+        warm = execute(compiled, cache=cache)
+        assert warm.stats.sched_store_hits > 0
+        assert warm.stats.sched_store_builds == 0
+
+    @needs_hier
+    @needs_store
+    def test_version_partitioning(self, cache, monkeypatch):
+        compiled = small_plan()
+        execute(compiled, cache=cache)
+        blobs = len(sched_blob_paths(cache))
+        assert blobs > 0
+        wipe_results(cache)
+        forget_process_state()
+        monkeypatch.setenv("REPRO_SIM_VERSION", "test-version-2")
+        skewed = execute(compiled, cache=cache)
+        assert skewed.stats.sched_store_hits == 0  # version is in the address
+        assert skewed.stats.sched_store_builds > 0
+        assert len(sched_blob_paths(cache)) > blobs
+
+    def test_config_partitioning(self, cache):
+        execute(small_plan(), cache=cache)
+        wipe_results(cache)
+        forget_process_state()
+        narrow = small_plan(core_config=CoreConfig(rob_size=64))
+        skewed = execute(narrow, cache=cache)
+        assert skewed.stats.sched_store_hits == 0  # config key is in the address
+
+    @needs_hier
+    def test_kill_switch_is_symmetric_in_execute(self, cache, monkeypatch):
+        """``REPRO_NO_SCHED_STORE=1`` disables load *and* publish."""
+        compiled = small_plan()
+        reference = execute(compiled)
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "1")
+        disabled = execute(compiled, cache=cache)
+        assert disabled.stats.sched_store_builds == 0
+        assert sched_blob_paths(cache) == []  # publish really off
+        assert_identical(disabled.results, reference.results)
+
+        monkeypatch.delenv("REPRO_NO_SCHED_STORE")
+        wipe_results(cache)
+        forget_process_state()
+        execute(compiled, cache=cache)  # warm the disk store
+        assert sched_blob_paths(cache)
+        wipe_results(cache)
+        forget_process_state()
+        monkeypatch.setenv("REPRO_NO_SCHED_STORE", "1")
+        off = execute(compiled, cache=cache)
+        assert off.stats.sched_store_hits == 0  # load really off too
+        assert_identical(off.results, reference.results)
+
+    def test_dirty_version_bypasses_the_store(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VERSION", "abc123-dirty")
+        monkeypatch.setattr(plan, "_DIRTY_WARNED", False)  # warn-once flag
+        with pytest.warns(RuntimeWarning, match="cache bypassed"):
+            run = execute(small_plan(), cache=cache)
+        assert run.stats.sched_store_builds == 0
+        assert sched_blob_paths(cache) == []
+
+    def test_healthz_reports_sched_store_counters(self):
+        from repro.service.manager import SweepManager
+
+        payload = SweepManager().healthz()
+        assert payload["executor"]["sched_store_hits"] == 0
+        assert payload["executor"]["sched_store_builds"] == 0
+
+
+# ------------------------------------------------------------------ fault legs
+class TestScheduleStoreFaults:
+    def _built_store(self, cache, fault_op):
+        compiled = small_plan()
+        reference = execute(compiled)
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="schedule-store", op=fault_op, nth=0),
+        ]))
+        execute(compiled, cache=cache)
+        faults.install(FaultPlan())
+        wipe_results(cache)
+        forget_process_state()
+        return compiled, reference
+
+    @needs_hier
+    @needs_store
+    def test_corrupt_after_write_recovers(self, cache):
+        compiled, reference = self._built_store(cache, "corrupt")
+        with pytest.warns(RuntimeWarning, match="corrupt blob"):
+            recovered = execute(compiled, cache=cache)
+        assert not recovered.failures
+        assert_identical(recovered.results, reference.results)
+        # The rebuild published a healthy replacement blob.
+        assert recovered.stats.sched_store_builds > 0
+        store = ScheduleStore(os.path.join(cache.directory, "schedules"))
+        assert store.verify()["corrupt"] == 0
+
+    @needs_hier
+    @needs_store
+    def test_truncate_after_write_recovers(self, cache):
+        compiled, reference = self._built_store(cache, "truncate")
+        with pytest.warns(RuntimeWarning, match="corrupt blob"):
+            recovered = execute(compiled, cache=cache)
+        assert not recovered.failures
+        assert_identical(recovered.results, reference.results)
+
+    @needs_hier
+    @needs_store
+    def test_delete_after_write_is_a_plain_miss(self, cache):
+        compiled, reference = self._built_store(cache, "delete")
+        recovered = execute(compiled, cache=cache)
+        assert not recovered.failures
+        assert recovered.stats.sched_store_builds > 0  # rebuilt the blob
+        assert_identical(recovered.results, reference.results)

@@ -212,8 +212,10 @@ class TestPersistentPool:
         assert "retries=0 " in text
         assert "pool_reused=0 " in text
         assert "snapshot_disk_hits=0 " in text
+        assert "hier_fast_forwarded_cycles=0 " in text
+        assert "hier_schedule_replays=0 " in text
         assert text.endswith(
-            "hier_fast_forwarded_cycles=0 hier_schedule_replays=0"
+            "sched_store_hits=0 sched_store_builds=0"
         )
 
     def test_add_sums_pool_counters(self):
